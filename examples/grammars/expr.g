@@ -1,0 +1,15 @@
+// Left-recursive expression grammar (rewritten automatically):
+//   dune exec bin/main.exe -- analyze examples/grammars/expr.g -v
+//   dune exec bin/main.exe -- gen examples/grammars/expr.g -n 3
+grammar Expr;
+
+prog : e EOF ;
+
+e : e '*' e
+  | e '/' e
+  | e '+' e
+  | e '-' e
+  | '(' e ')'
+  | INT
+  | ID
+  ;

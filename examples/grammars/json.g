@@ -1,0 +1,22 @@
+// JSON, as a file-based example for the antlrkit CLI:
+//   dune exec bin/main.exe -- analyze examples/grammars/json.g
+//   dune exec bin/main.exe -- parse examples/grammars/json.g \
+//       examples/grammars/sample.json --string STRING --float FLOAT -t -p
+grammar Json;
+
+value
+  : obj
+  | arr
+  | STRING
+  | INT
+  | FLOAT
+  | 'true'
+  | 'false'
+  | 'null'
+  ;
+
+obj : '{' (pair (',' pair)*)? '}' ;
+
+pair : STRING ':' value ;
+
+arr : '[' (value (',' value)*)? ']' ;
