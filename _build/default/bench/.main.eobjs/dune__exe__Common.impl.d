@@ -1,0 +1,1 @@
+bench/common.ml: Bench_grammars Fmt Hashtbl String Unix

@@ -1,0 +1,1 @@
+bench/comparisons.ml: Array Baselines Bench_grammars Buffer Common Fmt Grammar List Llstar Option Printf Runtime String Workload

@@ -1,0 +1,1 @@
+bench/figures.ml: Array Atn Common Fmt Grammar List Llstar Printf Runtime String

@@ -1,0 +1,1 @@
+bench/main.ml: Array Common Comparisons Figures Fmt List Micro Sys Tables Unix

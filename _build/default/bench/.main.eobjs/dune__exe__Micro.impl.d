@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Array Baselines Bechamel Bench_grammars Benchmark Common Fmt Grammar Hashtbl Instance List Llstar Measure Option Printf Runtime Staged Test Time Toolkit

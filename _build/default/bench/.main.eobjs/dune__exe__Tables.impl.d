@@ -1,0 +1,1 @@
+bench/tables.ml: Common Fmt Hashtbl List Llstar Runtime Workload

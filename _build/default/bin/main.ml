@@ -1,0 +1,227 @@
+(* antlrkit: command-line front end.
+
+     antlrkit analyze grammar.g            decision report (Table-1 style)
+     antlrkit dot grammar.g -d 0           lookahead DFA as Graphviz
+     antlrkit atn grammar.g -r expr        one rule's ATN as Graphviz
+     antlrkit parse grammar.g input.txt    lex + parse + print tree/profile
+     antlrkit gen grammar.g -n 5           generate random sentences
+
+   The lexer is the configurable engine from the runtime; flags map the
+   common token classes (identifier/int/float/string/char names, comment
+   styles).  Literal tokens always come from the grammar itself. *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let grammar_arg =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"GRAMMAR" ~doc:"Grammar file in the ANTLR-like metalanguage.")
+
+let compile_grammar path =
+  let src = read_file path in
+  match Llstar.Compiled.of_source src with
+  | Ok c -> c
+  | Error e ->
+      Fmt.epr "%s: %a@." path Llstar.Compiled.pp_error e;
+      exit 2
+
+(* --- lexer configuration flags ---------------------------------------- *)
+
+let lexer_config_term =
+  let open Term in
+  let ident = Arg.(value & opt string "ID" & info [ "ident" ] ~doc:"Identifier token name.") in
+  let int_ = Arg.(value & opt string "INT" & info [ "int" ] ~doc:"Integer token name.") in
+  let float_ = Arg.(value & opt (some string) None & info [ "float" ] ~doc:"Float token name.") in
+  let string_ = Arg.(value & opt (some string) None & info [ "string" ] ~doc:"String token name.") in
+  let char_ = Arg.(value & opt (some string) None & info [ "char" ] ~doc:"Char token name.") in
+  let nocase = Arg.(value & flag & info [ "nocase" ] ~doc:"Case-insensitive keywords.") in
+  const (fun ident int_ float_ string_ char_ nocase ->
+      {
+        Runtime.Lexer_engine.default_config with
+        ident_token = Some ident;
+        int_token = Some int_;
+        float_token = float_;
+        string_token = string_;
+        char_token = char_;
+        case_insensitive_keywords = nocase;
+      })
+  $ ident $ int_ $ float_ $ string_ $ char_ $ nocase
+
+(* --- analyze ----------------------------------------------------------- *)
+
+let analyze_cmd =
+  let run grammar verbose minimize =
+    let c =
+      if not minimize then compile_grammar grammar
+      else begin
+        let src = read_file grammar in
+        match Grammar.Meta_parser.parse_result src with
+        | Error msg ->
+            Fmt.epr "%s: %s@." grammar msg;
+            exit 2
+        | Ok surface -> (
+            let opts =
+              {
+                (Llstar.Analysis.options_of_grammar surface) with
+                Llstar.Analysis.minimize = true;
+              }
+            in
+            match
+              Llstar.Compiled.compile ~analysis_opts:opts ~grammar_source:src
+                surface
+            with
+            | Ok c -> c
+            | Error e ->
+                Fmt.epr "%s: %a@." grammar Llstar.Compiled.pp_error e;
+                exit 2)
+      end
+    in
+    Fmt.pr "%a" Llstar.Report.pp c.Llstar.Compiled.report;
+    Fmt.pr "%a"
+      (Llstar.Report.pp_decisions ~only_interesting:(not verbose)
+         c.Llstar.Compiled.atn)
+      c.Llstar.Compiled.report;
+    if verbose then
+      Fmt.pr "prepared grammar:@.%s@."
+        (Grammar.Pretty.to_string c.Llstar.Compiled.grammar)
+  in
+  let verbose =
+    Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Show every decision.")
+  in
+  let minimize =
+    Arg.(value & flag & info [ "minimize" ] ~doc:"Minimize the lookahead DFAs.")
+  in
+  Cmd.v
+    (Cmd.info "analyze" ~doc:"Run the LL(*) analysis and print the decision report.")
+    Term.(const run $ grammar_arg $ verbose $ minimize)
+
+(* --- dot --------------------------------------------------------------- *)
+
+let dot_cmd =
+  let run grammar decision =
+    let c = compile_grammar grammar in
+    if decision >= Array.length c.Llstar.Compiled.results then begin
+      Fmt.epr "decision %d out of range (grammar has %d)@." decision
+        (Array.length c.Llstar.Compiled.results);
+      exit 2
+    end;
+    print_string
+      (Llstar.Dfa_dot.to_dot
+         (Llstar.Compiled.sym c)
+         (Llstar.Compiled.dfa c decision))
+  in
+  let decision =
+    Arg.(value & opt int 0 & info [ "d"; "decision" ] ~doc:"Decision number.")
+  in
+  Cmd.v
+    (Cmd.info "dot" ~doc:"Export a decision's lookahead DFA as Graphviz.")
+    Term.(const run $ grammar_arg $ decision)
+
+let atn_cmd =
+  let run grammar rule =
+    let c = compile_grammar grammar in
+    let atn = c.Llstar.Compiled.atn in
+    let rule_id =
+      match rule with
+      | None -> None
+      | Some name -> (
+          match Atn.rule_by_name atn name with
+          | Some r -> Some r
+          | None ->
+              Fmt.epr "no rule '%s'@." name;
+              exit 2)
+    in
+    print_string (Atn.Dot.to_dot ?rule:rule_id atn)
+  in
+  let rule =
+    Arg.(value & opt (some string) None & info [ "r"; "rule" ] ~doc:"Rule name.")
+  in
+  Cmd.v
+    (Cmd.info "atn" ~doc:"Export the ATN (or one rule's submachine) as Graphviz.")
+    Term.(const run $ grammar_arg $ rule)
+
+(* --- parse ------------------------------------------------------------- *)
+
+let parse_cmd =
+  let run grammar input config start show_tree profile_flag recover =
+    let c = compile_grammar grammar in
+    let sym = Llstar.Compiled.sym c in
+    let text = read_file input in
+    match Runtime.Lexer_engine.tokenize config sym text with
+    | Error e ->
+        Fmt.epr "%s: lex error: %a@." input Runtime.Lexer_engine.pp_error e;
+        exit 1
+    | Ok toks -> (
+        let profile = Runtime.Profile.create () in
+        match Runtime.Interp.parse ~profile ~recover ?start c toks with
+        | Ok tree ->
+            Fmt.pr "parsed %d tokens@." (Array.length toks);
+            if show_tree then
+              Fmt.pr "%s@." (Runtime.Tree.to_string sym tree);
+            if profile_flag then Fmt.pr "%a@." Runtime.Profile.pp profile
+        | Error errors ->
+            List.iter
+              (fun e -> Fmt.epr "%a@." (Runtime.Parse_error.pp sym) e)
+              errors;
+            exit 1)
+  in
+  let input =
+    Arg.(required & pos 1 (some file) None & info [] ~docv:"INPUT" ~doc:"Input file.")
+  in
+  let start =
+    Arg.(value & opt (some string) None & info [ "s"; "start" ] ~doc:"Start rule.")
+  in
+  let tree = Arg.(value & flag & info [ "t"; "tree" ] ~doc:"Print the parse tree.") in
+  let profile = Arg.(value & flag & info [ "p"; "profile" ] ~doc:"Print the decision profile.") in
+  let recover = Arg.(value & flag & info [ "recover" ] ~doc:"Recover from syntax errors.") in
+  Cmd.v
+    (Cmd.info "parse" ~doc:"Parse an input file with an LL(*) parser for the grammar.")
+    Term.(
+      const run $ grammar_arg $ input $ lexer_config_term $ start $ tree
+      $ profile $ recover)
+
+(* --- gen --------------------------------------------------------------- *)
+
+let gen_cmd =
+  let run grammar n size seed =
+    let src = read_file grammar in
+    let g =
+      match Grammar.Meta_parser.parse_result src with
+      | Ok g -> g
+      | Error msg ->
+          Fmt.epr "%s: %s@." grammar msg;
+          exit 2
+    in
+    let sg = Grammar.Sentence_gen.prepare g in
+    let rng = Random.State.make [| seed |] in
+    for i = 1 to n do
+      let terms = Grammar.Sentence_gen.generate sg ~rng ~size in
+      let text =
+        Grammar.Sentence_gen.render
+          ~sample:(fun name -> Printf.sprintf "<%s%d>" name i)
+          terms
+      in
+      print_endline (String.trim text)
+    done
+  in
+  let n = Arg.(value & opt int 5 & info [ "n" ] ~doc:"Number of sentences.") in
+  let size = Arg.(value & opt int 20 & info [ "size" ] ~doc:"Approximate token budget.") in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.") in
+  Cmd.v
+    (Cmd.info "gen" ~doc:"Generate random sentences from the grammar.")
+    Term.(const run $ grammar_arg $ n $ size $ seed)
+
+let () =
+  let doc = "LL(*) grammar analysis and parsing (Parr & Fisher, PLDI 2011)" in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "antlrkit" ~version:"1.0.0" ~doc)
+          [ analyze_cmd; dot_cmd; atn_cmd; parse_cmd; gen_cmd ]))

@@ -1,0 +1,1 @@
+examples/calculator.ml: Array Fmt Grammar Llstar Option Runtime Sys

@@ -1,0 +1,1 @@
+examples/cdecl.ml: Array Fmt Llstar Runtime

@@ -1,0 +1,1 @@
+examples/islands.ml: Fmt Hashtbl List Llstar Option Runtime

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Fmt Llstar Runtime Sys

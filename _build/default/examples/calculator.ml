@@ -1,0 +1,73 @@
+(* Calculator: immediate left recursion and embedded actions.
+
+     dune exec examples/calculator.exe -- "2 * (3 + 4) - 5"
+
+   The expression rule is written with natural left recursion; the
+   left-recursion rewrite (paper section 1.1) turns it into a
+   precedence-climbing loop gated by {p <= n}? predicates, so the parser is
+   a plain deterministic LL decision at every operator.  Embedded actions
+   evaluate the expression on a value stack as the parse proceeds -- the
+   kind of side-effecting action that speculating parsers cannot run
+   (section 1), which LL-star mostly avoids. *)
+
+let grammar_source =
+  {|
+grammar Calc;
+input : e EOF ;
+e : e '*' e {mul}
+  | e '/' e {div}
+  | e '+' e {add}
+  | e '-' e {sub}
+  | '(' e ')'
+  | INT {push}
+  ;
+|}
+
+let () =
+  let input = if Array.length Sys.argv > 1 then Sys.argv.(1) else "1 + 2 * 3" in
+  let c = Llstar.Compiled.of_source_exn grammar_source in
+  let sym = Llstar.Compiled.sym c in
+
+  Fmt.pr "rewritten grammar (precedence climbing, section 1.1):@.%s@."
+    (Grammar.Pretty.to_string c.Llstar.Compiled.grammar);
+
+  (* evaluation state: a value stack manipulated by the actions *)
+  let stack = ref [] in
+  let push v = stack := v :: !stack in
+  let pop () =
+    match !stack with
+    | v :: rest ->
+        stack := rest;
+        v
+    | [] -> failwith "stack underflow"
+  in
+  let binop f () =
+    let b = pop () in
+    let a = pop () in
+    push (f a b)
+  in
+  let env =
+    Runtime.Interp.env_of_tables
+      ~actions:
+        [
+          ( "push",
+            fun prev ->
+              push (int_of_string (Option.get prev).Runtime.Token.text) );
+          ("add", fun _ -> binop ( + ) ());
+          ("sub", fun _ -> binop ( - ) ());
+          ("mul", fun _ -> binop ( * ) ());
+          ("div", fun _ -> binop ( / ) ());
+        ]
+      ()
+  in
+  let tokens =
+    Runtime.Lexer_engine.tokenize_exn Runtime.Lexer_engine.default_config sym
+      input
+  in
+  match Runtime.Interp.parse ~env c tokens with
+  | Ok tree ->
+      Fmt.pr "tree:   %s@." (Runtime.Tree.to_string sym tree);
+      Fmt.pr "%s = %d@." input (pop ())
+  | Error errors ->
+      Fmt.pr "%a@." Fmt.(list (Runtime.Parse_error.pp sym)) errors;
+      exit 1

@@ -1,0 +1,82 @@
+(* islands: context-sensitive parsing with semantic predicates and
+   symbol-table actions (paper sections 4.2-4.3).
+
+     dune exec examples/islands.exe
+
+   The statement [a * b ;] is ambiguous in C: a declaration of pointer [b]
+   when [a] is a typedef name, a multiplication expression otherwise.  No
+   amount of syntax resolves it -- the paper's point that predicated LL-star
+   reaches into the context-sensitive languages beyond GLR and PEGs.  The
+   grammar consults {isType()}? (which checks the symbol table built by the
+   {define} action as typedefs are parsed), so the same token string parses
+   differently depending on what was declared before it. *)
+
+let grammar_source =
+  {|
+grammar Islands;
+prog : stmt* ;
+stmt
+  : 'typedef' base ID {define} ';'
+  | {isType()}? ID '*' ID ';'
+  | expr ';'
+  ;
+base : 'int' | 'char' ;
+expr : ID ('*' ID)* ;
+|}
+
+let program = {|
+x * y ;
+typedef int x ;
+x * y ;
+|}
+
+let () =
+  let c = Llstar.Compiled.of_source_exn grammar_source in
+  let sym = Llstar.Compiled.sym c in
+  (* the symbol table: names declared as types so far *)
+  let types : (string, unit) Hashtbl.t = Hashtbl.create 8 in
+  let env =
+    Runtime.Interp.env_of_tables
+      ~preds:
+        [
+          ( "isType()",
+            fun (la1 : Runtime.Token.t) ->
+              Hashtbl.mem types la1.Runtime.Token.text );
+        ]
+      ~actions:
+        [
+          ( "define",
+            fun prev ->
+              let name = (Option.get prev).Runtime.Token.text in
+              Fmt.pr "  [symbol table] typedef %s@." name;
+              Hashtbl.replace types name () );
+        ]
+      ()
+  in
+  let tokens =
+    Runtime.Lexer_engine.tokenize_exn Runtime.Lexer_engine.default_config sym
+      program
+  in
+  Fmt.pr "program:@.%s@." program;
+  match Runtime.Interp.parse ~env c tokens with
+  | Ok tree ->
+      let sts =
+        match tree with
+        | Runtime.Tree.Node { children; _ } -> children
+        | _ -> []
+      in
+      List.iter
+        (fun st ->
+          match st with
+          | Runtime.Tree.Node { alt; _ } ->
+              Fmt.pr "%-20s parsed as %s@."
+                (Runtime.Tree.yield st)
+                (match alt with
+                | 1 -> "a typedef"
+                | 2 -> "a pointer declaration (x is a type here!)"
+                | _ -> "a multiplication expression")
+          | _ -> ())
+        sts
+  | Error errors ->
+      Fmt.pr "%a@." Fmt.(list (Runtime.Parse_error.pp sym)) errors;
+      exit 1

@@ -1,0 +1,1 @@
+lib/atn/atn.ml: Atn_dot Build Machine

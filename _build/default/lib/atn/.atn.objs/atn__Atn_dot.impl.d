@@ -1,0 +1,1 @@
+lib/atn/atn_dot.ml: Array Buffer Fmt Grammar Machine Printf String

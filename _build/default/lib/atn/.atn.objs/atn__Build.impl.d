@@ -1,0 +1,1 @@
+lib/atn/build.ml: Array Grammar Hashtbl List Machine Printf

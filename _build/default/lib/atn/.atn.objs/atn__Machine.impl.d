@@ -1,0 +1,1 @@
+lib/atn/machine.ml: Array Fmt Grammar

@@ -1,0 +1,7 @@
+(* Facade for the ATN library: [Atn.t] is the machine; [Atn.Build.build]
+   constructs it from a prepared grammar; [Atn.Dot.to_dot] exports
+   Graphviz. *)
+
+include Machine
+module Build = Build
+module Dot = Atn_dot

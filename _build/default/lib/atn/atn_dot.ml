@@ -1,0 +1,52 @@
+(* Graphviz export of ATN submachines, for debugging and the CLI. *)
+
+module Sym = Grammar.Sym
+
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let edge_label (t : Machine.t) e = escape (Fmt.str "%a" (Machine.pp_edge t.sym) e)
+
+(* Emit one rule's submachine (or the whole ATN when [rule] is [None]). *)
+let to_dot ?rule (t : Machine.t) : string =
+  let buf = Buffer.create 1024 in
+  let states_in s =
+    match rule with None -> true | Some r -> t.state_rule.(s) = r
+  in
+  Buffer.add_string buf "digraph ATN {\n  rankdir=LR;\n  node [shape=circle fontsize=11];\n";
+  Array.iter
+    (fun (ri : Machine.rule_info) ->
+      if states_in ri.r_entry then begin
+        Buffer.add_string buf
+          (Printf.sprintf "  %d [label=\"p_%s\" shape=box];\n" ri.r_entry
+             (escape ri.r_name));
+        Buffer.add_string buf
+          (Printf.sprintf "  %d [label=\"p_%s'\" shape=doublecircle];\n"
+             ri.r_stop (escape ri.r_name))
+      end)
+    t.rules;
+  for s = 0 to t.nstates - 1 do
+    if states_in s then
+      Array.iter
+        (fun (e, tgt) ->
+          let style =
+            match e with
+            | Machine.Eps -> " style=dashed"
+            | Machine.Pred _ -> " color=blue"
+            | Machine.Rule _ -> " color=darkgreen"
+            | _ -> ""
+          in
+          Buffer.add_string buf
+            (Printf.sprintf "  %d -> %d [label=\"%s\"%s];\n" s tgt
+               (edge_label t e) style))
+        t.trans.(s)
+  done;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

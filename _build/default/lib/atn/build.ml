@@ -1,0 +1,334 @@
+(* Grammar -> ATN construction (paper Figure 7, extended with EBNF cycles
+   per section 5.5).
+
+   Expects a *prepared* grammar (Grammar.Transform.prepare): left recursion
+   rewritten, PEG-mode predicates inserted, syntactic predicates lifted to
+   [__synpredN] pseudo-rules.  Raises [Invalid_argument] on un-lifted
+   syntactic predicates.
+
+   The construction also synthesizes an augmented start: a state that calls
+   the start rule and then matches EOF.  It is registered as a call site, so
+   closure at the start rule's stop state with an empty stack naturally
+   discovers EOF as follow context. *)
+
+open Grammar.Ast
+module Sym = Grammar.Sym
+module Transform = Grammar.Transform
+
+type builder = {
+  sym : Sym.t;
+  mutable trans_tbl : (edge_i * int) list array; (* reversed per state *)
+  mutable nstates : int;
+  mutable cap : int;
+  mutable state_rule_tbl : int array;
+  mutable decisions_rev : Machine.decision list;
+  mutable ndecisions : int;
+  mutable actions_rev : (string * bool) list;
+  mutable nactions : int;
+  callers_tbl : (int, (int * int option) list) Hashtbl.t;
+}
+
+and edge_i = Machine.edge
+
+let new_state b rule =
+  let s = b.nstates in
+  if s >= b.cap then begin
+    let cap' = b.cap * 2 in
+    let t' = Array.make cap' [] in
+    Array.blit b.trans_tbl 0 t' 0 b.nstates;
+    b.trans_tbl <- t';
+    let r' = Array.make cap' (-1) in
+    Array.blit b.state_rule_tbl 0 r' 0 b.nstates;
+    b.state_rule_tbl <- r';
+    b.cap <- cap'
+  end;
+  b.nstates <- s + 1;
+  b.state_rule_tbl.(s) <- rule;
+  s
+
+let add_edge b src edge tgt = b.trans_tbl.(src) <- (edge, tgt) :: b.trans_tbl.(src)
+
+let new_decision b ~state ~rule ~nalts ~kind ~exit_alt ~label =
+  let d =
+    Machine.
+      {
+        d_id = b.ndecisions;
+        d_state = state;
+        d_rule = rule;
+        d_nalts = nalts;
+        d_kind = kind;
+        d_exit_alt = exit_alt;
+        d_label = label;
+      }
+  in
+  b.ndecisions <- b.ndecisions + 1;
+  b.decisions_rev <- d :: b.decisions_rev;
+  d
+
+let new_action b code always =
+  let id = b.nactions in
+  b.nactions <- id + 1;
+  b.actions_rev <- (code, always) :: b.actions_rev;
+  id
+
+let register_call b rule follow arg =
+  let cur =
+    match Hashtbl.find_opt b.callers_tbl rule with Some l -> l | None -> []
+  in
+  Hashtbl.replace b.callers_tbl rule ((follow, arg) :: cur)
+
+let build (g : Grammar.Ast.t) : Machine.t =
+  let sym = Sym.create () in
+  (* Intern every terminal and rule up front so ids are stable and dense. *)
+  let rule_ids = Hashtbl.create 16 in
+  List.iteri
+    (fun i r ->
+      let id = Sym.intern_nonterm sym r.name in
+      assert (id = i);
+      Hashtbl.replace rule_ids r.name id)
+    g.rules;
+  List.iter (fun t -> ignore (Sym.intern_term sym t)) (terminals g);
+  let rule_id name =
+    match Hashtbl.find_opt rule_ids name with
+    | Some id -> id
+    | None -> invalid_arg (Printf.sprintf "Atn.Build: undefined rule '%s'" name)
+  in
+  let b =
+    {
+      sym;
+      trans_tbl = Array.make 256 [];
+      nstates = 0;
+      cap = 256;
+      state_rule_tbl = Array.make 256 (-1);
+      decisions_rev = [];
+      ndecisions = 0;
+      actions_rev = [];
+      nactions = 0;
+      callers_tbl = Hashtbl.create 16;
+    }
+  in
+  (* Pre-create entry/stop states for every rule so forward references
+     resolve. *)
+  let nrules = List.length g.rules in
+  let entries = Array.make nrules 0 in
+  let stops = Array.make nrules 0 in
+  List.iteri
+    (fun i _ ->
+      entries.(i) <- new_state b i;
+      stops.(i) <- new_state b i)
+    g.rules;
+
+  (* Compile one element starting at state [cur]; returns the state after the
+     element. *)
+  let rec compile_elem rid (cur : int) (e : element) : int =
+    match e with
+    | Term name ->
+        let t = Sym.intern_term sym name in
+        let nxt = new_state b rid in
+        add_edge b cur (Machine.Term t) nxt;
+        nxt
+    | Wild ->
+        let nxt = new_state b rid in
+        add_edge b cur (Machine.Term Sym.wildcard) nxt;
+        nxt
+    | Nonterm { name; arg } ->
+        let callee = rule_id name in
+        let follow = new_state b rid in
+        add_edge b cur (Machine.Rule { rule = callee; arg }) follow;
+        register_call b callee follow arg;
+        follow
+    | Sem_pred code ->
+        let nxt = new_state b rid in
+        add_edge b cur (Machine.Pred (Machine.Sem code)) nxt;
+        nxt
+    | Prec_pred n ->
+        let nxt = new_state b rid in
+        add_edge b cur (Machine.Pred (Machine.Prec n)) nxt;
+        nxt
+    | Syn_pred _ -> (
+        match Transform.canonical_synpred_rule e with
+        | Some name ->
+            let nxt = new_state b rid in
+            add_edge b cur (Machine.Pred (Machine.Syn (rule_id name))) nxt;
+            nxt
+        | None ->
+            invalid_arg
+              "Atn.Build: syntactic predicate not lifted (run \
+               Grammar.Transform.prepare first)")
+    | Action { code; always } ->
+        let id = new_action b code always in
+        let nxt = new_state b rid in
+        add_edge b cur (Machine.Act { id; always }) nxt;
+        nxt
+    | Block { alts; suffix } -> compile_block rid cur alts suffix
+
+  and compile_seq rid cur elems =
+    List.fold_left (compile_elem rid) cur elems
+
+  and compile_block rid cur alts suffix : int =
+    let rname = Sym.nonterm_name sym rid in
+    match (suffix, alts) with
+    | One, [ a ] -> compile_seq rid cur a.elems (* inline single-alt block *)
+    | One, _ ->
+        let d = new_state b rid in
+        add_edge b cur Machine.Eps d;
+        let e = new_state b rid in
+        ignore
+          (new_decision b ~state:d ~rule:rid ~nalts:(List.length alts)
+             ~kind:Machine.Block_decision ~exit_alt:None
+             ~label:(Printf.sprintf "%s: ( .. | .. )" rname));
+        List.iter
+          (fun a ->
+            let s = new_state b rid in
+            add_edge b d Machine.Eps s;
+            let last = compile_seq rid s a.elems in
+            add_edge b last Machine.Eps e)
+          alts;
+        e
+    | Opt, _ ->
+        let d = new_state b rid in
+        add_edge b cur Machine.Eps d;
+        let e = new_state b rid in
+        let n = List.length alts in
+        ignore
+          (new_decision b ~state:d ~rule:rid ~nalts:(n + 1)
+             ~kind:Machine.Opt_decision ~exit_alt:(Some (n + 1))
+             ~label:(Printf.sprintf "%s: ( .. )?" rname));
+        List.iter
+          (fun a ->
+            let s = new_state b rid in
+            add_edge b d Machine.Eps s;
+            let last = compile_seq rid s a.elems in
+            add_edge b last Machine.Eps e)
+          alts;
+        add_edge b d Machine.Eps e;
+        (* exit = last alternative *)
+        e
+    | Star, _ ->
+        let d = new_state b rid in
+        add_edge b cur Machine.Eps d;
+        let e = new_state b rid in
+        let n = List.length alts in
+        ignore
+          (new_decision b ~state:d ~rule:rid ~nalts:(n + 1)
+             ~kind:Machine.Star_loop ~exit_alt:(Some (n + 1))
+             ~label:(Printf.sprintf "%s: ( .. )*" rname));
+        List.iter
+          (fun a ->
+            let s = new_state b rid in
+            add_edge b d Machine.Eps s;
+            let last = compile_seq rid s a.elems in
+            add_edge b last Machine.Eps d (* loop back: re-test the decision *))
+          alts;
+        add_edge b d Machine.Eps e;
+        e
+    | Plus, _ ->
+        (* body entry; body (a decision itself when multi-alt); loop decision
+           with continue/exit alternatives *)
+        let be = new_state b rid in
+        add_edge b cur Machine.Eps be;
+        let b_end =
+          match alts with
+          | [ a ] -> compile_seq rid be a.elems
+          | _ ->
+              let e' = new_state b rid in
+              ignore
+                (new_decision b ~state:be ~rule:rid ~nalts:(List.length alts)
+                   ~kind:Machine.Block_decision ~exit_alt:None
+                   ~label:(Printf.sprintf "%s: ( .. | .. ) in ( )+" rname));
+              List.iter
+                (fun a ->
+                  let s = new_state b rid in
+                  add_edge b be Machine.Eps s;
+                  let last = compile_seq rid s a.elems in
+                  add_edge b last Machine.Eps e')
+                alts;
+              e'
+        in
+        let l = new_state b rid in
+        add_edge b b_end Machine.Eps l;
+        let e = new_state b rid in
+        ignore
+          (new_decision b ~state:l ~rule:rid ~nalts:2 ~kind:Machine.Plus_loop
+             ~exit_alt:(Some 2)
+             ~label:(Printf.sprintf "%s: ( .. )+ continue" rname));
+        add_edge b l Machine.Eps be;
+        (* continue = alternative 1 *)
+        add_edge b l Machine.Eps e;
+        (* exit = alternative 2 *)
+        e
+  in
+
+  (* Compile each rule body. *)
+  List.iteri
+    (fun rid (r : rule) ->
+      let entry = entries.(rid) and stop = stops.(rid) in
+      match r.rule_alts with
+      | [ a ] ->
+          let last = compile_seq rid entry a.elems in
+          add_edge b last Machine.Eps stop
+      | alts ->
+          ignore
+            (new_decision b ~state:entry ~rule:rid ~nalts:(List.length alts)
+               ~kind:Machine.Rule_decision ~exit_alt:None
+               ~label:(Printf.sprintf "rule %s" r.name));
+          List.iter
+            (fun a ->
+              let s = new_state b rid in
+              add_edge b entry Machine.Eps s;
+              let last = compile_seq rid s a.elems in
+              add_edge b last Machine.Eps stop)
+            alts)
+    g.rules;
+
+  (* Augmented start: call the start rule, then EOF. *)
+  let start_rule = rule_id g.start in
+  let aug0 = new_state b (-1) in
+  let aug1 = new_state b (-1) in
+  let aug2 = new_state b (-1) in
+  add_edge b aug0 (Machine.Rule { rule = start_rule; arg = None }) aug1;
+  add_edge b aug1 (Machine.Term Sym.eof) aug2;
+  register_call b start_rule aug1 None;
+
+  (* Freeze. *)
+  let trans =
+    Array.init b.nstates (fun s -> Array.of_list (List.rev b.trans_tbl.(s)))
+  in
+  let decisions = Array.of_list (List.rev b.decisions_rev) in
+  let decision_of_state = Array.make b.nstates (-1) in
+  Array.iter (fun (d : Machine.decision) -> decision_of_state.(d.d_state) <- d.d_id) decisions;
+  let callers = Array.make nrules [] in
+  Hashtbl.iter
+    (fun rule sites -> if rule < nrules then callers.(rule) <- List.rev sites)
+    b.callers_tbl;
+  let rules =
+    Array.of_list
+      (List.mapi
+         (fun i (r : rule) ->
+           Machine.
+             {
+               r_id = i;
+               r_name = r.name;
+               r_entry = entries.(i);
+               r_stop = stops.(i);
+               r_nalts = List.length r.rule_alts;
+               r_parameterized = r.parameterized;
+               r_is_synpred = Transform.is_synpred_rule r.name;
+             })
+         g.rules)
+  in
+  Machine.
+    {
+      sym;
+      grammar = g;
+      nstates = b.nstates;
+      trans;
+      state_rule = Array.sub b.state_rule_tbl 0 b.nstates;
+      rules;
+      start_rule;
+      decisions;
+      decision_of_state;
+      callers;
+      actions = Array.of_list (List.rev b.actions_rev);
+      augmented_start = aug0;
+    }

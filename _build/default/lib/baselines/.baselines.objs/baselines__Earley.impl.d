@@ -1,0 +1,1 @@
+lib/baselines/earley.ml: Array Grammar Hashtbl List Queue Runtime

@@ -1,0 +1,1 @@
+lib/baselines/ll1.ml: Array Fmt Grammar Hashtbl List Runtime

@@ -1,0 +1,1 @@
+lib/baselines/llk.ml: Array Fmt Grammar List

@@ -1,0 +1,1 @@
+lib/baselines/packrat.ml: Array Grammar Hashtbl List Runtime

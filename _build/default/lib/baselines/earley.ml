@@ -1,0 +1,118 @@
+(* Earley recognizer over the BNF skeleton: the general-CFG baseline standing
+   in for GLR in the complexity comparison (DESIGN.md, Substitution 4).
+   O(n^3) worst case, O(n^2) for unambiguous grammars, ~O(n) for
+   near-deterministic ones -- the same profile the paper quotes for GLR.
+
+   Standard chart parser with the Aycock-Horspool treatment of nullable
+   nonterminals (the completer is re-run to a fixpoint per chart set, which
+   is simpler than precomputing nullability and adequate for our sizes). *)
+
+type item = {
+  prod : int; (* index into prods *)
+  dot : int;
+  origin : int;
+}
+
+type t = {
+  bnf : Grammar.Bnf.t;
+  prods : Grammar.Bnf.prod array;
+  by_lhs : (string, int list) Hashtbl.t;
+  mutable items_processed : int; (* work measure for complexity benches *)
+}
+
+let create (bnf : Grammar.Bnf.t) : t =
+  let prods = Array.of_list bnf.prods in
+  let by_lhs = Hashtbl.create 16 in
+  Array.iteri
+    (fun i (p : Grammar.Bnf.prod) ->
+      let cur =
+        match Hashtbl.find_opt by_lhs p.lhs with Some l -> l | None -> []
+      in
+      Hashtbl.replace by_lhs p.lhs (i :: cur))
+    prods;
+  { bnf; prods; by_lhs; items_processed = 0 }
+
+let of_grammar (g : Grammar.Ast.t) : t = create (Grammar.Bnf.convert g)
+
+(* Recognize a sentence given as terminal names. *)
+let recognize ?(start : string option) (t : t) (input : string array) : bool =
+  t.items_processed <- 0;
+  let n = Array.length input in
+  let start = match start with Some s -> s | None -> t.bnf.start in
+  let sets : (item, unit) Hashtbl.t array =
+    Array.init (n + 1) (fun _ -> Hashtbl.create 64)
+  in
+  let queue : item Queue.t = Queue.create () in
+  let add i item =
+    if not (Hashtbl.mem sets.(i) item) then begin
+      Hashtbl.add sets.(i) item ();
+      Queue.add item queue
+    end
+  in
+  let prods_of lhs =
+    match Hashtbl.find_opt t.by_lhs lhs with Some l -> l | None -> []
+  in
+  (* seed *)
+  List.iter (fun p -> add 0 { prod = p; dot = 0; origin = 0 }) (prods_of start);
+  for i = 0 to n do
+    (* re-seed queue with this set's items (scanner additions land in i+1) *)
+    Queue.clear queue;
+    Hashtbl.iter (fun item () -> Queue.add item queue) sets.(i);
+    while not (Queue.is_empty queue) do
+      let item = Queue.pop queue in
+      t.items_processed <- t.items_processed + 1;
+      let p = t.prods.(item.prod) in
+      let rhs = Array.of_list p.rhs in
+      if item.dot >= Array.length rhs then
+        (* completer: advance every item waiting on p.lhs at item.origin *)
+        Hashtbl.iter
+          (fun (w : item) () ->
+            let wp = t.prods.(w.prod) in
+            let wrhs = Array.of_list wp.rhs in
+            if
+              w.dot < Array.length wrhs
+              &&
+              match wrhs.(w.dot) with
+              | Grammar.Bnf.N x -> x = p.lhs
+              | Grammar.Bnf.T _ -> false
+            then add i { w with dot = w.dot + 1 })
+          sets.(item.origin)
+      else
+        match rhs.(item.dot) with
+        | Grammar.Bnf.N x ->
+            List.iter (fun pi -> add i { prod = pi; dot = 0; origin = i }) (prods_of x);
+            (* nullable shortcut: if some completed x item already sits in
+               this set, advance immediately (Aycock-Horspool) *)
+            Hashtbl.iter
+              (fun (c : item) () ->
+                let cp = t.prods.(c.prod) in
+                if
+                  cp.lhs = x
+                  && c.origin = i
+                  && c.dot >= List.length cp.rhs
+                then add i { item with dot = item.dot + 1 })
+              sets.(i)
+        | Grammar.Bnf.T a ->
+            if i < n && (input.(i) = a || a = ".") then
+              add (i + 1) { item with dot = item.dot + 1 }
+    done
+  done;
+  (* accept: a completed start production spanning the whole input *)
+  let ok = ref false in
+  Hashtbl.iter
+    (fun (item : item) () ->
+      let p = t.prods.(item.prod) in
+      if p.lhs = start && item.origin = 0 && item.dot >= List.length p.rhs then
+        ok := true)
+    sets.(n);
+  !ok
+
+let items_processed t = t.items_processed
+
+(* Convenience: recognize a token array lexed against [sym]. *)
+let recognize_tokens ?start (t : t) (sym : Grammar.Sym.t)
+    (toks : Runtime.Token.t array) : bool =
+  let names =
+    Array.map (fun (tok : Runtime.Token.t) -> Grammar.Sym.term_name sym tok.Runtime.Token.ttype) toks
+  in
+  recognize ?start t names

@@ -1,0 +1,73 @@
+(* Table-driven LL(1) baseline over the BNF skeleton.
+
+   Classic FIRST/FOLLOW-driven table construction with conflict detection.
+   Serves two purposes: a correctness oracle for LL(1) grammars (agreement
+   with the LL-star interpreter is property-tested) and a speed baseline
+   showing LL-star decisions that are LL(1) cost about the same as a plain
+   LL(1) parser. *)
+
+module SS = Grammar.First_follow.SS
+
+type conflict = { nonterm : string; term : string; prods : int list }
+
+type t = {
+  bnf : Grammar.Bnf.t;
+  prods : Grammar.Bnf.prod array;
+  table : (string * string, int) Hashtbl.t;
+  conflicts : conflict list;
+}
+
+let build (bnf : Grammar.Bnf.t) : t =
+  let ff = Grammar.First_follow.compute bnf in
+  let prods = Array.of_list bnf.prods in
+  let table = Hashtbl.create 256 in
+  let conflicts = ref [] in
+  let add nonterm term prod =
+    let key = (nonterm, term) in
+    match Hashtbl.find_opt table key with
+    | Some other when other <> prod ->
+        conflicts := { nonterm; term; prods = [ other; prod ] } :: !conflicts
+    | Some _ -> ()
+    | None -> Hashtbl.add table key prod
+  in
+  Array.iteri
+    (fun i (p : Grammar.Bnf.prod) ->
+      let first, nullable = Grammar.First_follow.first_seq ff p.rhs in
+      SS.iter (fun a -> add p.lhs a i) first;
+      if nullable then
+        SS.iter (fun a -> add p.lhs a i) (Grammar.First_follow.follow_of ff p.lhs))
+    prods;
+  { bnf; prods; table; conflicts = List.rev !conflicts }
+
+let of_grammar (g : Grammar.Ast.t) : t = build (Grammar.Bnf.convert g)
+
+let is_ll1 t = t.conflicts = []
+
+(* Recognize a sentence of terminal names with the predictive stack machine. *)
+let recognize ?(start : string option) (t : t) (input : string array) : bool =
+  let n = Array.length input in
+  let la i = if i < n then input.(i) else Grammar.First_follow.eof_name in
+  let start = match start with Some s -> s | None -> t.bnf.start in
+  let rec go stack i =
+    match stack with
+    | [] -> i = n
+    | Grammar.Bnf.T a :: rest ->
+        if la i = a || (a = "." && i < n) then go rest (i + 1) else false
+    | Grammar.Bnf.N x :: rest -> (
+        match Hashtbl.find_opt t.table (x, la i) with
+        | None -> false
+        | Some pi -> go (t.prods.(pi).rhs @ rest) i)
+  in
+  go [ Grammar.Bnf.N start ] 0
+
+let recognize_tokens ?start (t : t) (sym : Grammar.Sym.t)
+    (toks : Runtime.Token.t array) : bool =
+  let names =
+    Array.map (fun (tok : Runtime.Token.t) -> Grammar.Sym.term_name sym tok.Runtime.Token.ttype) toks
+  in
+  recognize ?start t names
+
+let pp_conflict ppf c =
+  Fmt.pf ppf "LL(1) conflict at (%s, %s): productions %a" c.nonterm c.term
+    Fmt.(list ~sep:(any ", ") int)
+    c.prods

@@ -1,0 +1,81 @@
+(* Fixed-k LL(k) lookahead analysis: the strategy LL-star supersedes.
+
+   For a rule with multiple productions, computes FIRST_k sequence sets per
+   production and reports the smallest k at which they become pairwise
+   distinguishable.  The representation is the naive set of k-tuples, whose
+   O(|T|^k) growth is precisely the exponential blow-up that made fixed
+   super-linear lookahead impractical (paper sections 2 and 7: LPG core
+   dumps at large k on the [a : b A+ X | c A+ Y] grammar, while LL-star
+   builds a small cyclic DFA).  The [Blowup] escape hatch reproduces that
+   failure mode deterministically. *)
+
+module SeqSet = Grammar.First_follow.SeqSet
+
+type verdict =
+  | Distinguishable of int (* minimal k; the decision is LL(k) *)
+  | Not_within of int (* still ambiguous at the given k cap *)
+  | Blowup of { k : int; size : int } (* tuple sets exceeded the budget *)
+
+type step = { k : int; set_sizes : int list (* per production *) }
+
+type report = { rule : string; verdict : verdict; steps : step list }
+
+(* Two truncated-sequence sets conflict if some member of one is a prefix of
+   (or equal to) a member of the other: with only k tokens of lookahead the
+   parser cannot tell them apart. *)
+let sets_conflict s1 s2 =
+  let rec is_prefix a b =
+    match (a, b) with
+    | [], _ -> true
+    | x :: xs, y :: ys -> x = y && is_prefix xs ys
+    | _ :: _, [] -> false
+  in
+  SeqSet.exists
+    (fun x -> SeqSet.exists (fun y -> is_prefix x y || is_prefix y x) s2)
+    s1
+
+let analyze_rule ?(k_max = 8) ?(max_set_size = 100_000) (g : Grammar.Ast.t)
+    (rule_name : string) : report =
+  let bnf = Grammar.Bnf.convert g in
+  let ff = Grammar.First_follow.compute bnf in
+  let prods = Grammar.Bnf.prods_of bnf rule_name in
+  let steps = ref [] in
+  let rec try_k k =
+    if k > k_max then Not_within k_max
+    else
+      match
+        List.map
+          (fun (p : Grammar.Bnf.prod) ->
+            Grammar.First_follow.first_k ~max_set_size ff k p.rhs)
+          prods
+      with
+      | exception Grammar.First_follow.Blowup size -> Blowup { k; size }
+      | sets ->
+          steps :=
+            { k; set_sizes = List.map SeqSet.cardinal sets } :: !steps;
+          let arr = Array.of_list sets in
+          let ok = ref true in
+          for i = 0 to Array.length arr - 1 do
+            for j = i + 1 to Array.length arr - 1 do
+              if sets_conflict arr.(i) arr.(j) then ok := false
+            done
+          done;
+          if !ok then Distinguishable k else try_k (k + 1)
+  in
+  let verdict = try_k 1 in
+  { rule = rule_name; verdict; steps = List.rev !steps }
+
+let pp_verdict ppf = function
+  | Distinguishable k -> Fmt.pf ppf "LL(%d)" k
+  | Not_within k -> Fmt.pf ppf "not LL(k) for k <= %d" k
+  | Blowup { k; size } ->
+      Fmt.pf ppf "tuple-set blow-up at k=%d (%d sequences)" k size
+
+let pp_report ppf r =
+  Fmt.pf ppf "rule %s: %a@." r.rule pp_verdict r.verdict;
+  List.iter
+    (fun s ->
+      Fmt.pf ppf "  k=%d: tuple set sizes %a@." s.k
+        Fmt.(list ~sep:(any ", ") int)
+        s.set_sizes)
+    r.steps

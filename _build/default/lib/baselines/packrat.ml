@@ -1,0 +1,158 @@
+(* Packrat / PEG baseline: an ordered-choice backtracking interpreter over
+   the surface grammar with full memoization (Ford's packrat parsing).
+
+   This is the comparator the paper positions LL-star against: it speculates
+   at *every* choice point, so its memoization table covers every (rule,
+   position) pair it touches, whereas the LL-star parser memoizes only
+   while evaluating syntactic predicates (section 6.2).  With [memoize:
+   false] it exhibits the exponential worst case the paper mentions for
+   ANTLR v2-style backtracking.
+
+   PEG semantics implemented: ordered alternatives; greedy ?/*/+ with no
+   backtracking into a loop once it exits (standard PEG desugaring);
+   syntactic predicates as PEG and-predicates; semantic predicates consult
+   the environment; actions are skipped (a packrat parser is always
+   speculating, so only {{...}} always-actions run). *)
+
+open Grammar.Ast
+
+type stats = {
+  mutable steps : int; (* element-match attempts: work measure *)
+  mutable memo_hits : int;
+  mutable memo_entries : int;
+  mutable max_pos : int; (* deepest token reached (error reporting) *)
+}
+
+type t = {
+  grammar : Grammar.Ast.t;
+  rules : (string, rule) Hashtbl.t;
+  memoize : bool;
+  memo : (string * int, int option) Hashtbl.t; (* None = fail, Some p = end *)
+  stats : stats;
+  sem_pred : string -> bool;
+  action : string -> unit;
+}
+
+let create ?(memoize = true) ?(sem_pred = fun _ -> true)
+    ?(action = fun _ -> ()) (grammar : Grammar.Ast.t) : t =
+  let rules = Hashtbl.create 16 in
+  List.iter (fun r -> Hashtbl.replace rules r.name r) grammar.rules;
+  {
+    grammar;
+    rules;
+    memoize;
+    memo = Hashtbl.create 4096;
+    stats = { steps = 0; memo_hits = 0; memo_entries = 0; max_pos = 0 };
+    sem_pred;
+    action;
+  }
+
+let reset t =
+  Hashtbl.reset t.memo;
+  t.stats.steps <- 0;
+  t.stats.memo_hits <- 0;
+  t.stats.memo_entries <- 0;
+  t.stats.max_pos <- 0
+
+exception Give_up
+(* raised when a step budget is exceeded (exponential blow-up demos) *)
+
+(* Parse [toks] starting at rule [start]; the tokens must be lexed against
+   [sym], the compiled grammar's vocabulary, so terminal ids line up.
+   [Some p] means a prefix ending at position [p] matched. *)
+let parse ?(budget = max_int) (t : t) (sym : Grammar.Sym.t)
+    (toks : Runtime.Token.t array) ?(start : string option) () : int option =
+  let n = Array.length toks in
+  let ttype pos = if pos < n then toks.(pos).Runtime.Token.ttype else Grammar.Sym.eof in
+  let touch pos = if pos > t.stats.max_pos then t.stats.max_pos <- pos in
+  let term_cache : (string, int) Hashtbl.t = Hashtbl.create 64 in
+  let term_id name =
+    match Hashtbl.find_opt term_cache name with
+    | Some id -> id
+    | None ->
+        let id =
+          match Grammar.Sym.find_term sym name with Some id -> id | None -> -1
+        in
+        Hashtbl.add term_cache name id;
+        id
+  in
+  let step () =
+    t.stats.steps <- t.stats.steps + 1;
+    if t.stats.steps > budget then raise Give_up
+  in
+  let rec parse_rule name pos : int option =
+    let key = (name, pos) in
+    if t.memoize then
+      match Hashtbl.find_opt t.memo key with
+      | Some res ->
+          t.stats.memo_hits <- t.stats.memo_hits + 1;
+          res
+      | None ->
+          let res = parse_rule_raw name pos in
+          Hashtbl.replace t.memo key res;
+          t.stats.memo_entries <- t.stats.memo_entries + 1;
+          res
+    else parse_rule_raw name pos
+  and parse_rule_raw name pos =
+    match Hashtbl.find_opt t.rules name with
+    | None -> None
+    | Some r -> parse_alts r.rule_alts pos
+  and parse_alts alts pos =
+    (* ordered choice *)
+    List.find_map (fun a -> parse_seq a.elems pos) alts
+  and parse_seq elems pos =
+    match elems with
+    | [] -> Some pos
+    | e :: rest -> (
+        match parse_elem e pos with
+        | Some pos' -> parse_seq rest pos'
+        | None -> None)
+  and parse_elem e pos : int option =
+    step ();
+    touch pos;
+    match e with
+    | Term name ->
+        if ttype pos = term_id name then Some (pos + 1) else None
+    | Wild -> if ttype pos <> Grammar.Sym.eof then Some (pos + 1) else None
+    | Nonterm { name; _ } -> parse_rule name pos
+    | Sem_pred code -> if t.sem_pred code then Some pos else None
+    | Prec_pred _ -> Some pos (* packrat runs on surface grammars *)
+    | Syn_pred alts ->
+        (* and-predicate: match without consuming *)
+        if parse_alts alts pos <> None then Some pos else None
+    | Action { code; always } ->
+        if always then t.action code;
+        Some pos
+    | Block { alts; suffix } -> (
+        match suffix with
+        | One -> parse_alts alts pos
+        | Opt -> ( match parse_alts alts pos with Some p -> Some p | None -> Some pos)
+        | Star ->
+            let rec loop pos =
+              match parse_alts alts pos with
+              | Some p when p > pos -> loop p
+              | Some _ | None -> Some pos
+            in
+            loop pos
+        | Plus -> (
+            match parse_alts alts pos with
+            | None -> None
+            | Some p ->
+                let rec loop pos =
+                  match parse_alts alts pos with
+                  | Some p when p > pos -> loop p
+                  | Some _ | None -> Some pos
+                in
+                loop p))
+  in
+  let start = match start with Some s -> s | None -> t.grammar.start in
+  parse_rule start 0
+
+(* Recognize the full input (must consume every token). *)
+let recognize ?budget t sym toks ?start () : bool =
+  reset t;
+  match parse ?budget t sym toks ?start () with
+  | Some p -> p = Array.length toks
+  | None -> false
+
+let stats t = t.stats

@@ -1,0 +1,1 @@
+lib/core/analysis.ml: Array Atn Config Fmt Grammar Hashtbl Int List Look_dfa Minimize Queue Set

@@ -1,0 +1,1 @@
+lib/core/compiled.ml: Analysis Array Atn Fmt Grammar List Report Unix

@@ -1,0 +1,1 @@
+lib/core/compiled.mli: Analysis Atn Format Grammar Look_dfa Report

@@ -1,0 +1,1 @@
+lib/core/dfa_dot.ml: Array Buffer Fmt Grammar Look_dfa Printf String

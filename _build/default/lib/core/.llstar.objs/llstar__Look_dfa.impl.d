@@ -1,0 +1,1 @@
+lib/core/look_dfa.ml: Array Atn Fmt Grammar Printf

@@ -1,0 +1,1 @@
+lib/core/report.ml: Analysis Array Atn Fmt Hashtbl List Option Printf String

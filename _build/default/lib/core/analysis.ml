@@ -1,0 +1,763 @@
+(* LL-star grammar analysis: the modified subset construction that builds a
+   lookahead DFA for every parsing decision (paper section 5, Algorithms
+   8-11).
+
+   For each decision the algorithm simulates the ATN from the alternatives'
+   left-edge states.  DFA states are sets of ATN configurations; [move]
+   advances over a terminal, [closure] chases every non-terminal edge,
+   simulating rule invocation push/pop with the configuration stack.  A
+   newly discovered state that uniquely predicts an alternative becomes an
+   accept state and is not expanded further -- this is what makes the DFA
+   match minimal lookahead sets LA_i rather than whole regular partitions
+   (Definition 5).
+
+   Termination (section 5.3): the LL-regular condition is undecidable, so
+   closure bounds recursion with the constant [m]; hitting the bound marks
+   the DFA state as overflowed, and the state is then resolved like an
+   ambiguous one.  Recursion appearing in more than one alternative aborts
+   construction ([Non_ll_regular], section 5.4) and the decision falls back
+   to a depth-1 (LL(1)) DFA, resolved with predicates/backtracking when
+   available.  A configurable state budget guards against the exponential
+   "land mines" the paper mentions; exceeding it also falls back. *)
+
+module IntSet = Set.Make (Int)
+
+type warning =
+  | Ambiguity of { decision : int; alts : int list; path : int list }
+    (* conflicting alternatives resolved in favour of the lowest-numbered
+       one; [path] is a sample terminal sequence reaching the conflict *)
+  | Overflow of { decision : int; path : int list }
+    (* recursion bound hit; potential ambiguity resolved by order *)
+  | Non_ll_regular of { decision : int }
+    (* recursion in more than one alternative: gave up on the full DFA *)
+  | Dfa_too_big of { decision : int; limit : int }
+  | Dead_alternative of { decision : int; alt : int }
+
+type decision_class =
+  | Fixed of int (* pure LL(k) decision: acyclic DFA, max lookahead k *)
+  | Cyclic (* cyclic DFA: arbitrary (regular) lookahead *)
+  | Backtrack (* at least one syntactic-predicate edge: may speculate *)
+
+type result = {
+  dfa : Look_dfa.t;
+  klass : decision_class;
+  warnings : warning list;
+  fallback : bool;
+}
+
+type fallback_strategy =
+  | Bounded
+    (* retry the full construction with the recursion bound as the only
+       governor; strictly stronger than LL(1), still terminating *)
+  | Ll1 (* the paper's section-5.4 fallback: a depth-1 DFA *)
+
+type options = {
+  m : int; (* closure recursion bound *)
+  max_states : int; (* DFA state budget per decision *)
+  k_cap : int option; (* optional user cap on DFA depth *)
+  fallback : fallback_strategy;
+    (* what to do when recursion appears in more than one alternative *)
+  minimize : bool; (* run Moore minimization over each lookahead DFA *)
+}
+
+let default_options =
+  { m = 1; max_states = 2000; k_cap = None; fallback = Bounded; minimize = false }
+
+let options_of_grammar (g : Grammar.Ast.t) =
+  { default_options with m = g.options.m; k_cap = g.options.k }
+
+exception Non_ll_regular_exn
+exception Too_big
+
+(* ------------------------------------------------------------------ *)
+(* Mutable DFA states during construction *)
+
+type wstate = {
+  id : int;
+  mutable configs : Config.t list; (* canonical; resolve may prune *)
+  mutable term_edges : (int * int) list; (* reversed *)
+  mutable accept : int;
+  mutable pred_edges : Look_dfa.pred_edge list;
+  mutable overflow : bool;
+  depth : int; (* terminal distance from D0, for k-cap enforcement *)
+  path : int list; (* sample terminal path from D0, reversed *)
+}
+
+type builder = {
+  atn : Atn.t;
+  opts : options;
+  decision : Atn.decision;
+  mutable states : wstate list; (* reversed *)
+  mutable nstates : int;
+  dedup : (Config.t list, int) Hashtbl.t;
+  mutable recursive_alts : IntSet.t;
+  mutable warnings : warning list;
+  mutable uses_synpred : bool;
+  allow_multi_recursion : bool; (* true in LL(1)-fallback mode *)
+}
+
+let warn b w = b.warnings <- w :: b.warnings
+
+(* ------------------------------------------------------------------ *)
+(* Closure (Algorithm 9) *)
+
+(* Compute the closure of [seed] configurations.  [overflowed] is set when
+   the recursion bound is reached.  The busy set prevents infinite loops
+   through epsilon cycles (EBNF loops) and redundant work. *)
+let closure ?(collect_preds = false) (b : builder) (seed : Config.t list) :
+    Config.t list * bool =
+  let busy : (Config.t, unit) Hashtbl.t = Hashtbl.create 64 in
+  let acc = ref [] in
+  let overflowed = ref false in
+  let atn = b.atn in
+  (* Predicate hoisting discipline (section 5.5): see the [free] and
+     [crossed] flags on configurations.  Semantic predicates are hoisted
+     from arbitrarily deep in the derivation chain (that is what makes C's
+     isTypeName work); syntactic predicates gate exactly the nested
+     alternative they were written on, so they are only collected before
+     closure passes a nested decision state.  Neither is collected after a
+     configuration escapes its alternative's derivation through an
+     empty-stack pop. *)
+  let rec go (c : Config.t) =
+    if not (Hashtbl.mem busy c) then begin
+      Hashtbl.add busy c ();
+      (* Only configurations at *significant* states -- stop states and
+         states with outgoing terminal edges -- enter the DFA state's set.
+         Pass-through configurations (epsilon, action, predicate and
+         rule-call positions) carry no information their successors do not,
+         and recording them creates spurious Definition-7 conflicts, e.g. a
+         configuration sitting just before its own predicate edge with its
+         semantic context not yet collected. *)
+      let significant =
+        Atn.is_stop_state atn c.state
+        || Array.length atn.trans.(c.state) = 0 (* terminal sink, e.g. the
+                                                   augmented post-EOF state *)
+        || Array.exists
+             (fun (edge, _) ->
+               match edge with Atn.Term _ -> true | _ -> false)
+             atn.trans.(c.state)
+      in
+      if significant then acc := c :: !acc;
+      let c =
+        if (not c.crossed) && Atn.decision_of atn c.state >= 0 then
+          { c with crossed = true }
+        else c
+      in
+      if Atn.is_stop_state atn c.state then
+        (* Submachine stop: pop the return state, or -- with an empty stack,
+           the wildcard context -- chase every call site of this rule. *)
+        match c.stack with
+        | f :: rest -> go { c with state = f; stack = rest }
+        | [] ->
+            let rule = atn.state_rule.(c.state) in
+            List.iter
+              (fun (follow, _arg) ->
+                go { c with state = follow; stack = []; free = true })
+              atn.callers.(rule)
+      else
+        Array.iter
+          (fun (edge, tgt) ->
+            match edge with
+            | Atn.Term _ -> () (* left for move *)
+            | Atn.Eps | Atn.Act _ -> go { c with state = tgt }
+            | Atn.Pred p ->
+                (* Hoisting is restricted to predicates *visible at the left
+                   edge* of the decision (section 5.5): only the start
+                   state's closure collects them ([collect_preds]), because
+                   a predicate first reached after k tokens of lookahead
+                   would be evaluated at the decision point, k tokens too
+                   early.  Configurations carry already-collected contexts
+                   across moves unchanged. *)
+                let collectable =
+                  collect_preds
+                  &&
+                  match p with
+                  | Atn.Sem _ | Atn.Prec _ -> not c.free
+                  | Atn.Syn _ -> (not c.free) && not c.crossed
+                in
+                let sem =
+                  match c.sem with
+                  | None when collectable -> Some p
+                  | s -> s
+                in
+                go { c with state = tgt; sem }
+            | Atn.Rule { rule; arg = _ } ->
+                let follow = tgt in
+                let depth =
+                  List.fold_left
+                    (fun n f -> if f = follow then n + 1 else n)
+                    0 c.stack
+                in
+                if depth >= 1 then begin
+                  b.recursive_alts <- IntSet.add c.alt b.recursive_alts;
+                  if
+                    IntSet.cardinal b.recursive_alts > 1
+                    && not b.allow_multi_recursion
+                  then raise Non_ll_regular_exn
+                end;
+                if depth >= b.opts.m then begin
+                  overflowed := true;
+                  (* Keep the cut configuration itself even though its state
+                     is a pass-through: it is the only evidence that this
+                     alternative remains viable beyond the bound. *)
+                  acc := c :: !acc
+                end
+                else
+                  go
+                    {
+                      c with
+                      state = atn.rules.(rule).r_entry;
+                      stack = follow :: c.stack;
+                    })
+          atn.trans.(c.state)
+    end
+  in
+  List.iter go seed;
+  (Config.canonicalize !acc, !overflowed)
+
+(* ------------------------------------------------------------------ *)
+(* Move: configurations reachable on terminal [a] (Algorithm 8's move). *)
+
+let move (atn : Atn.t) (configs : Config.t list) (a : int) : Config.t list =
+  List.concat_map
+    (fun (c : Config.t) ->
+      Array.to_list atn.trans.(c.state)
+      |> List.filter_map (fun (edge, tgt) ->
+             match edge with
+             | Atn.Term t
+               when t = a
+                    || (t = Grammar.Sym.wildcard && a <> Grammar.Sym.eof
+                       && a <> Grammar.Sym.wildcard) ->
+                 Some { c with state = tgt }
+             | _ -> None))
+    configs
+
+(* Terminals with outgoing edges from any configuration of [configs]. *)
+let outgoing_terminals (atn : Atn.t) (configs : Config.t list) : int list =
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun (c : Config.t) ->
+      Array.iter
+        (fun (edge, _) ->
+          match edge with
+          | Atn.Term t -> if not (Hashtbl.mem seen t) then Hashtbl.add seen t ()
+          | _ -> ())
+        atn.trans.(c.state))
+    configs;
+  Hashtbl.fold (fun t () acc -> t :: acc) seen [] |> List.sort compare
+
+(* ------------------------------------------------------------------ *)
+(* Resolve (Algorithms 10 and 11) *)
+
+let viable_alts (configs : Config.t list) : IntSet.t =
+  List.fold_left (fun s (c : Config.t) -> IntSet.add c.alt s) IntSet.empty
+    configs
+
+(* The conflict set of a configuration set (Definition 7), together with the
+   configurations that participate in a conflicting pair. *)
+let conflict_info (configs : Config.t list) : IntSet.t * (Config.t, unit) Hashtbl.t =
+  (* Group by state; within a group, quadratic scan (groups are small). *)
+  let by_state = Hashtbl.create 16 in
+  List.iter
+    (fun (c : Config.t) ->
+      let cur =
+        match Hashtbl.find_opt by_state c.state with Some l -> l | None -> []
+      in
+      Hashtbl.replace by_state c.state (c :: cur))
+    configs;
+  let participants = Hashtbl.create 16 in
+  let alts =
+    Hashtbl.fold
+      (fun _ group acc ->
+        let rec pairs acc = function
+          | [] -> acc
+          | c :: rest ->
+              let acc =
+                List.fold_left
+                  (fun acc c' ->
+                    if Config.conflicts c c' then begin
+                      Hashtbl.replace participants c ();
+                      Hashtbl.replace participants c' ();
+                      IntSet.add c.Config.alt (IntSet.add c'.Config.alt acc)
+                    end
+                    else acc)
+                  acc rest
+              in
+              pairs acc rest
+        in
+        pairs acc group)
+      by_state IntSet.empty
+  in
+  (alts, participants)
+
+let conflict_set configs = fst (conflict_info configs)
+
+(* Try to resolve the alternatives in [alts] with predicates
+   (Algorithm 11, resolveWithPreds).  Each alternative needs a
+   representative configuration carrying a predicate.  Two refinements over
+   the paper's pseudocode, both matching the hoisting behaviour sketched in
+   section 5.5 and required by the precedence-climbing loops of the
+   left-recursion rewrite:
+
+   - gated default: if exactly one conflicting alternative lacks a predicate
+     and it is the highest-numbered one (e.g. a loop's implicit exit
+     branch), it becomes the default, tested after every real predicate;
+   - lookahead gating: each predicate edge carries the set of terminals its
+     alternative can actually start with at this state, so a predicate is
+     only consulted for inputs on which its alternative is viable (hoisted
+     predicates are conjoined with lookahead-membership tests). *)
+let debug_resolve = ref false
+
+let resolve_with_preds (b : builder) (d : wstate)
+    ?(participants : (Config.t, unit) Hashtbl.t = Hashtbl.create 0)
+    (alts : IntSet.t) : bool =
+  if !debug_resolve then begin
+    Fmt.epr "[resolve] decision %d state %d alts {%a}@." b.decision.d_id d.id
+      Fmt.(list ~sep:(any ", ") int) (IntSet.elements alts);
+    List.iter
+      (fun (c : Config.t) ->
+        Fmt.epr "  cfg %a@." (Config.pp b.atn.sym) c)
+      d.configs
+  end;
+  (* A predicate covers an alternative only when every configuration of that
+     alternative that participates in a conflict carries it: a predicate
+     hoisted from one derivation branch must not gate inputs that reach the
+     alternative through unpredicated branches.  Without conflict pairs
+     (recursion overflow), every configuration of the alternative counts. *)
+  let pred_for alt =
+    let relevant =
+      let parts =
+        List.filter
+          (fun (c : Config.t) -> c.alt = alt && Hashtbl.mem participants c)
+          d.configs
+      in
+      if parts <> [] then parts
+      else List.filter (fun (c : Config.t) -> c.alt = alt) d.configs
+    in
+    match relevant with
+    | [] -> None
+    | first :: rest -> (
+        match first.sem with
+        | None -> None
+        | Some p ->
+            if List.for_all (fun (c : Config.t) -> c.sem = Some p) rest then
+              Some p
+            else None)
+  in
+  (* Terminals on which alternative [alt] is viable at this state.  On an
+     overflowed state the closure was truncated by the recursion bound, so
+     the computed set under-approximates and the gate must be dropped
+     (matching the paper's Figure 2, whose backtracking state carries
+     unguarded predicate edges). *)
+  let guard_for alt =
+    if d.overflow then []
+    else begin
+      let set = Hashtbl.create 8 in
+      List.iter
+        (fun (c : Config.t) ->
+          if c.alt = alt then
+            Array.iter
+              (fun (edge, _) ->
+                match edge with
+                | Atn.Term t -> Hashtbl.replace set t ()
+                | _ -> ())
+              b.atn.trans.(c.state))
+        d.configs;
+      Hashtbl.fold (fun t () acc -> t :: acc) set [] |> List.sort compare
+    end
+  in
+  let alt_list = IntSet.elements alts in
+  let with_preds, without =
+    List.partition (fun a -> pred_for a <> None) alt_list
+  in
+  let edge a : Look_dfa.pred_edge =
+    { guard = guard_for a; pred = pred_for a; alt = a }
+  in
+  match without with
+  | [] ->
+      d.pred_edges <- List.map edge alt_list;
+      true
+  | [ dflt ] when dflt = IntSet.max_elt alts && with_preds <> [] ->
+      d.pred_edges <-
+        List.map edge with_preds @ [ { guard = []; pred = None; alt = dflt } ];
+      true
+  | _ -> false
+
+(* Resolve ambiguities and overflow in a freshly discovered state
+   (Algorithm 10).  Mutates the state: either installs predicate edges or
+   prunes configurations of losing alternatives. *)
+let resolve (b : builder) (d : wstate) : unit =
+  let conflicts, participants = conflict_info d.configs in
+  let needs_resolution = (not (IntSet.is_empty conflicts)) || d.overflow in
+  if needs_resolution then begin
+    let target_alts =
+      if IntSet.is_empty conflicts then viable_alts d.configs else conflicts
+    in
+    if IntSet.cardinal target_alts <= 1 then ()
+    else if resolve_with_preds b d ~participants target_alts then
+      List.iter
+        (fun (e : Look_dfa.pred_edge) ->
+          match e.pred with
+          | Some (Atn.Syn _) -> b.uses_synpred <- true
+          | _ -> ())
+        d.pred_edges
+    else begin
+      (* Resolve statically in favour of the lowest-numbered alternative.
+         Refinement of Algorithm 10: only the configurations that actually
+         participate in a conflict are removed (the pseudocode removes every
+         configuration of the losing alternatives, which would also destroy
+         their unambiguous lookahead paths -- e.g. a loop exit's distinct
+         follow terminals when only its wrap-around path conflicts).  On
+         recursion overflow there are no conflict pairs, so the losing
+         alternatives are pruned wholesale as in the paper. *)
+      let keep = IntSet.min_elt target_alts in
+      let doomed (c : Config.t) =
+        c.alt <> keep
+        && IntSet.mem c.alt target_alts
+        && (Hashtbl.mem participants c || IntSet.is_empty conflicts)
+      in
+      d.configs <- List.filter (fun c -> not (doomed c)) d.configs;
+      if d.overflow then
+        warn b (Overflow { decision = b.decision.d_id; path = List.rev d.path })
+      else
+        warn b
+          (Ambiguity
+             {
+               decision = b.decision.d_id;
+               alts = IntSet.elements target_alts;
+               path = List.rev d.path;
+             })
+    end
+  end
+
+(* Alternatives that have run off the end of a syntactic-predicate fragment:
+   a configuration at the stop state of a rule with no callers and an empty
+   stack.  A syntactic predicate only checks a *prefix* of the remaining
+   input (section 4.1), so reaching the fragment's end means the predicate
+   holds regardless of what follows; such alternatives become a gated
+   default tried after the state's terminal edges. *)
+let fragment_end_alts (atn : Atn.t) (configs : Config.t list) : IntSet.t =
+  List.fold_left
+    (fun acc (c : Config.t) ->
+      if c.stack = [] && Atn.is_stop_state atn c.state then
+        let rule = atn.state_rule.(c.state) in
+        if atn.callers.(rule) = [] then IntSet.add c.alt acc else acc
+      else acc)
+    IntSet.empty configs
+
+(* Install the fragment-end default on a state that is not otherwise
+   resolved; the state keeps expanding its terminal edges. *)
+let attach_fragment_end (b : builder) (d : wstate) : unit =
+  if d.accept = 0 && d.pred_edges = [] then
+    match IntSet.min_elt_opt (fragment_end_alts b.atn d.configs) with
+    | Some alt ->
+        let others = IntSet.remove alt (viable_alts d.configs) in
+        if not (IntSet.is_empty others) then
+          d.pred_edges <- [ { Look_dfa.guard = []; pred = None; alt } ]
+    | None -> ()
+
+(* ------------------------------------------------------------------ *)
+(* createDFA (Algorithm 8) *)
+
+let new_wstate (b : builder) ~depth ~path configs overflow : wstate * bool =
+  match Hashtbl.find_opt b.dedup configs with
+  | Some id -> (List.nth b.states (b.nstates - 1 - id), false)
+  | None ->
+      if b.nstates >= b.opts.max_states then raise Too_big;
+      let d =
+        {
+          id = b.nstates;
+          configs;
+          term_edges = [];
+          accept = 0;
+          pred_edges = [];
+          overflow;
+          depth;
+          path;
+        }
+      in
+      Hashtbl.add b.dedup configs d.id;
+      b.states <- d :: b.states;
+      b.nstates <- b.nstates + 1;
+      (d, true)
+
+let freeze (b : builder) ~fallback : Look_dfa.t =
+  let states = Array.of_list (List.rev b.states) in
+  let n = Array.length states in
+  let edges =
+    Array.map
+      (fun d ->
+        let arr = Array.of_list (List.rev d.term_edges) in
+        Array.sort compare arr;
+        arr)
+      states
+  in
+  let accept = Array.map (fun d -> d.accept) states in
+  let preds = Array.map (fun d -> Array.of_list d.pred_edges) states in
+  let overflowed = Array.map (fun d -> d.overflow) states in
+  let t : Look_dfa.t =
+    {
+      decision = b.decision.d_id;
+      start = 0;
+      nstates = n;
+      edges;
+      accept;
+      preds;
+      overflowed;
+      cyclic = false;
+      max_k = None;
+      uses_synpred = b.uses_synpred;
+      fallback;
+    }
+  in
+  let max_k = Look_dfa.compute_max_k t in
+  { t with cyclic = max_k = None; max_k }
+
+(* Build the start state D0: the closure of each alternative's left edge. *)
+let build_d0 (b : builder) : wstate =
+  let targets = Atn.decision_alt_targets b.atn b.decision in
+  let seeds =
+    Array.to_list
+      (Array.mapi (fun i tgt -> Config.make tgt (i + 1)) targets)
+  in
+  let configs, overflow = closure ~collect_preds:true b seeds in
+  let d, _fresh = new_wstate b ~depth:0 ~path:[] configs overflow in
+  resolve b d;
+  d
+
+(* A state with only the fragment-end default keeps expanding; predicate
+   resolution and accepts make a state terminal. *)
+let is_fragment_default (d : wstate) =
+  match d.pred_edges with
+  | [ { Look_dfa.guard = []; pred = None; _ } ] -> true
+  | _ -> false
+
+let should_expand (d : wstate) =
+  d.accept = 0 && (d.pred_edges = [] || is_fragment_default d)
+
+let create_dfa_exn (b : builder) : Look_dfa.t =
+  let d0 = build_d0 b in
+  (match IntSet.elements (viable_alts d0.configs) with
+  | [ j ] when d0.pred_edges = [] -> d0.accept <- j
+  | _ -> ());
+  attach_fragment_end b d0;
+  let work = Queue.create () in
+  if should_expand d0 then Queue.add d0 work;
+  while not (Queue.is_empty work) do
+    let d = Queue.pop work in
+    let beyond_cap =
+      match b.opts.k_cap with Some k -> d.depth >= k | None -> false
+    in
+    if beyond_cap then begin
+      (* User-capped depth: force a resolution at this state. *)
+      let alts = viable_alts d.configs in
+      if not (resolve_with_preds b d alts) then begin
+        d.accept <- IntSet.min_elt alts;
+        warn b
+          (Ambiguity
+             {
+               decision = b.decision.d_id;
+               alts = IntSet.elements alts;
+               path = List.rev d.path;
+             })
+      end
+    end
+    else
+      List.iter
+        (fun a ->
+          let mv = move b.atn d.configs a in
+          if mv <> [] then begin
+            let configs, overflow = closure b mv in
+            let d', fresh =
+              new_wstate b ~depth:(d.depth + 1) ~path:(a :: d.path) configs
+                overflow
+            in
+            if fresh then begin
+              resolve b d';
+              (match IntSet.elements (viable_alts d'.configs) with
+              | [ j ] when d'.pred_edges = [] -> d'.accept <- j
+              | _ -> ());
+              attach_fragment_end b d';
+              if should_expand d' then Queue.add d' work
+            end;
+            d.term_edges <- (a, d'.id) :: d.term_edges
+          end)
+        (outgoing_terminals b.atn d.configs)
+  done;
+  freeze b ~fallback:false
+
+(* ------------------------------------------------------------------ *)
+(* LL(1) fallback (section 5.4): a depth-1 DFA where every successor of D0
+   is forced to a resolution -- by predicates (including the backtracking
+   syntactic predicates of PEG mode) when available, by production order
+   otherwise. *)
+
+let create_fallback (b : builder) : Look_dfa.t =
+  let d0 = build_d0 b in
+  (match IntSet.elements (viable_alts d0.configs) with
+  | [ j ] when d0.pred_edges = [] -> d0.accept <- j
+  | _ -> ());
+  if d0.accept = 0 && d0.pred_edges = [] then
+    List.iter
+      (fun a ->
+        let mv = move b.atn d0.configs a in
+        if mv <> [] then begin
+          let configs, overflow = closure b mv in
+          let d', fresh =
+            new_wstate b ~depth:1 ~path:[ a ] configs overflow
+          in
+          if fresh then begin
+            let alts = viable_alts d'.configs in
+            if IntSet.cardinal alts = 1 then d'.accept <- IntSet.min_elt alts
+            else if resolve_with_preds b d' alts then
+              List.iter
+                (fun (e : Look_dfa.pred_edge) ->
+                  match e.pred with
+                  | Some (Atn.Syn _) -> b.uses_synpred <- true
+                  | _ -> ())
+                d'.pred_edges
+            else begin
+              d'.accept <- IntSet.min_elt alts;
+              warn b
+                (Ambiguity
+                   {
+                     decision = b.decision.d_id;
+                     alts = IntSet.elements alts;
+                     path = [ a ];
+                   })
+            end
+          end;
+          d0.term_edges <- (a, d'.id) :: d0.term_edges
+        end)
+      (outgoing_terminals b.atn d0.configs);
+  freeze b ~fallback:true
+
+(* ------------------------------------------------------------------ *)
+
+let make_builder atn opts decision ~allow_multi_recursion =
+  {
+    atn;
+    opts;
+    decision;
+    states = [];
+    nstates = 0;
+    dedup = Hashtbl.create 64;
+    recursive_alts = IntSet.empty;
+    warnings = [];
+    uses_synpred = false;
+    allow_multi_recursion;
+  }
+
+(* Alternatives that no accept state or predicate edge ever predicts can
+   never be chosen: dead productions (section 1.1). *)
+let find_dead_alts (b : builder) (dfa : Look_dfa.t) (d : Atn.decision) :
+    warning list =
+  ignore b;
+  let predicted = Array.make (d.d_nalts + 1) false in
+  Array.iter (fun a -> if a > 0 && a <= d.d_nalts then predicted.(a) <- true) dfa.accept;
+  Array.iter
+    (Array.iter (fun (e : Look_dfa.pred_edge) ->
+         if e.alt > 0 && e.alt <= d.d_nalts then predicted.(e.alt) <- true))
+    dfa.preds;
+  let dead = ref [] in
+  for alt = d.d_nalts downto 1 do
+    if not predicted.(alt) then
+      dead := Dead_alternative { decision = d.d_id; alt } :: !dead
+  done;
+  !dead
+
+let classify (dfa : Look_dfa.t) : decision_class =
+  if dfa.uses_synpred then Backtrack
+  else if dfa.cyclic then Cyclic
+  else Fixed (match dfa.max_k with Some k -> k | None -> 1)
+
+let analyze_decision ?(opts = default_options) (atn : Atn.t)
+    (decision : Atn.decision) : result =
+  let post dfa = if opts.minimize then Minimize.minimize dfa else dfa in
+  let b = make_builder atn opts decision ~allow_multi_recursion:false in
+  let fall_back_ll1 reason =
+    (* the depth-1 DFA is bounded by the alphabet; don't let a tiny state
+       budget (the thing that may have sent us here) starve it *)
+    let fb_opts = { opts with max_states = max opts.max_states 10_000 } in
+    let fb = make_builder atn fb_opts decision ~allow_multi_recursion:true in
+    let dfa = post (create_fallback fb) in
+    let warnings =
+      (reason :: List.rev fb.warnings) @ find_dead_alts fb dfa decision
+    in
+    { dfa; klass = classify dfa; warnings; fallback = true }
+  in
+  (* Recursion in more than one alternative: the decision is extremely
+     unlikely to be LL-regular (section 5.4).  The [Bounded] strategy
+     retries the full construction with only the recursion bound [m] as
+     governor -- the resulting DFA resolves everything fixed lookahead can
+     and falls to predicates/order where it cannot; [Ll1] is the paper's
+     depth-1 fallback. *)
+  let fall_back_bounded reason =
+    let fb = make_builder atn opts decision ~allow_multi_recursion:true in
+    match post (create_dfa_exn fb) with
+    | dfa ->
+        let warnings =
+          (reason :: List.rev fb.warnings) @ find_dead_alts fb dfa decision
+        in
+        { dfa; klass = classify dfa; warnings; fallback = true }
+    | exception Too_big ->
+        fall_back_ll1
+          (Dfa_too_big { decision = decision.d_id; limit = opts.max_states })
+  in
+  match post (create_dfa_exn b) with
+  | dfa ->
+      let warnings = List.rev b.warnings @ find_dead_alts b dfa decision in
+      { dfa; klass = classify dfa; warnings; fallback = false }
+  | exception Non_ll_regular_exn -> (
+      let reason = Non_ll_regular { decision = decision.d_id } in
+      match opts.fallback with
+      | Bounded -> fall_back_bounded reason
+      | Ll1 -> fall_back_ll1 reason)
+  | exception Too_big ->
+      fall_back_ll1
+        (Dfa_too_big { decision = decision.d_id; limit = opts.max_states })
+
+(* Analyze every decision of an ATN. *)
+let analyze_all ?opts (atn : Atn.t) : result array =
+  let opts =
+    match opts with
+    | Some o -> o
+    | None -> options_of_grammar atn.grammar
+  in
+  Array.map (fun d -> analyze_decision ~opts atn d) atn.decisions
+
+(* ------------------------------------------------------------------ *)
+
+let pp_warning sym atn ppf w =
+  let dlabel d = (Array.get atn.Atn.decisions d).Atn.d_label in
+  let pp_path ppf path =
+    Fmt.(list ~sep:sp (fun ppf t -> Fmt.string ppf (Grammar.Sym.term_name sym t)))
+      ppf path
+  in
+  match w with
+  | Ambiguity { decision; alts; path } ->
+      Fmt.pf ppf
+        "decision %d (%s): alternatives %a are ambiguous upon \"%a\"; \
+         resolving in favour of alternative %d"
+        decision (dlabel decision)
+        Fmt.(list ~sep:(any ", ") int)
+        alts pp_path path (List.hd alts)
+  | Overflow { decision; path } ->
+      Fmt.pf ppf
+        "decision %d (%s): recursion overflow while computing lookahead upon \
+         \"%a\"; resolving potential ambiguity by production order"
+        decision (dlabel decision) pp_path path
+  | Non_ll_regular { decision } ->
+      Fmt.pf ppf
+        "decision %d (%s): recursion in more than one alternative; falling \
+         back to LL(1)%s"
+        decision (dlabel decision)
+        " (with backtracking if predicates are available)"
+  | Dfa_too_big { decision; limit } ->
+      Fmt.pf ppf
+        "decision %d (%s): lookahead DFA exceeded %d states; falling back to \
+         LL(1)"
+        decision (dlabel decision) limit
+  | Dead_alternative { decision; alt } ->
+      Fmt.pf ppf "decision %d (%s): alternative %d can never be matched"
+        decision (dlabel decision) alt

@@ -1,0 +1,83 @@
+(* End-to-end grammar compilation pipeline:
+
+     validate -> left-recursion rewrite -> PEG mode (if backtrack=true)
+       -> syntactic-predicate lifting -> ATN construction
+       -> lookahead-DFA analysis for every decision -> report
+
+   The result bundles everything the runtime interpreter needs. *)
+
+type error =
+  | Validation of Grammar.Validate.issue list
+  | Message of string
+
+let pp_error ppf = function
+  | Validation issues ->
+      Fmt.pf ppf "invalid grammar:@.%a"
+        Fmt.(list ~sep:cut Grammar.Validate.pp_issue)
+        issues
+  | Message m -> Fmt.string ppf m
+
+type t = {
+  surface : Grammar.Ast.t; (* grammar as written *)
+  grammar : Grammar.Ast.t; (* prepared grammar the ATN was built from *)
+  atn : Atn.t;
+  results : Analysis.result array; (* per decision *)
+  report : Report.t;
+}
+
+let sym t = t.atn.Atn.sym
+let options t = t.surface.Grammar.Ast.options
+
+let dfa t decision = t.results.(decision).Analysis.dfa
+
+let compile ?analysis_opts ?grammar_source (surface : Grammar.Ast.t) :
+    (t, error) result =
+  (* The left-recursion rewrite runs before validation so that immediate
+     left recursion -- which the rewrite eliminates -- is not rejected;
+     everything it cannot handle still surfaces as a validation error. *)
+  let rewritten =
+    try Grammar.Leftrec.rewrite surface
+    with Invalid_argument _ -> surface
+  in
+  match Grammar.Validate.errors rewritten with
+  | _ :: _ as issues -> Error (Validation issues)
+  | [] -> (
+      match Grammar.Transform.prepare rewritten with
+      | exception Invalid_argument m -> Error (Message m)
+      | prepared -> (
+          match Atn.Build.build prepared with
+          | exception Invalid_argument m -> Error (Message m)
+          | atn ->
+              let t0 = Unix.gettimeofday () in
+              let results = Analysis.analyze_all ?opts:analysis_opts atn in
+              let dt = Unix.gettimeofday () -. t0 in
+              let grammar_lines =
+                match grammar_source with
+                | Some src -> Report.count_lines src
+                | None -> 0
+              in
+              let report =
+                Report.build ~grammar_lines ~analysis_time:dt atn results
+              in
+              Ok { surface; grammar = prepared; atn; results; report }))
+
+let compile_exn ?analysis_opts ?grammar_source surface =
+  match compile ?analysis_opts ?grammar_source surface with
+  | Ok t -> t
+  | Error e -> failwith (Fmt.str "%a" pp_error e)
+
+(* Parse a grammar written in the metalanguage and compile it. *)
+let of_source ?analysis_opts (src : string) : (t, error) result =
+  match Grammar.Meta_parser.parse_result src with
+  | Error msg -> Error (Message msg)
+  | Ok surface -> compile ?analysis_opts ~grammar_source:src surface
+
+let of_source_exn ?analysis_opts src =
+  match of_source ?analysis_opts src with
+  | Ok t -> t
+  | Error e -> failwith (Fmt.str "%a" pp_error e)
+
+(* All analysis warnings across decisions, with their decision ids. *)
+let all_warnings t : Analysis.warning list =
+  Array.to_list t.results
+  |> List.concat_map (fun (r : Analysis.result) -> r.warnings)

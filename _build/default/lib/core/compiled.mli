@@ -1,0 +1,50 @@
+(** End-to-end grammar compilation: validation, transforms, ATN
+    construction and lookahead-DFA analysis for every decision.
+
+    This is the main entry point of the core library:
+
+    {[
+      let c = Llstar.Compiled.of_source_exn "grammar T; s : A | B ;" in
+      Fmt.pr "%a" Llstar.Report.pp c.report
+    ]} *)
+
+type error =
+  | Validation of Grammar.Validate.issue list
+  | Message of string
+
+val pp_error : Format.formatter -> error -> unit
+
+type t = {
+  surface : Grammar.Ast.t;  (** the grammar as written *)
+  grammar : Grammar.Ast.t;  (** prepared grammar the ATN was built from *)
+  atn : Atn.t;
+  results : Analysis.result array;  (** indexed by decision number *)
+  report : Report.t;
+}
+
+val sym : t -> Grammar.Sym.t
+(** The vocabulary: terminal and rule ids shared by the ATN, the DFAs, the
+    lexer engine and the parser. *)
+
+val options : t -> Grammar.Ast.options
+val dfa : t -> int -> Look_dfa.t
+
+val compile :
+  ?analysis_opts:Analysis.options ->
+  ?grammar_source:string ->
+  Grammar.Ast.t ->
+  (t, error) result
+(** Compile a grammar.  [grammar_source] is only used to record the line
+    count in the report.  The left-recursion rewrite runs before
+    validation, so immediately left-recursive rules are accepted. *)
+
+val compile_exn :
+  ?analysis_opts:Analysis.options -> ?grammar_source:string -> Grammar.Ast.t -> t
+
+val of_source :
+  ?analysis_opts:Analysis.options -> string -> (t, error) result
+(** Parse metalanguage source and compile it. *)
+
+val of_source_exn : ?analysis_opts:Analysis.options -> string -> t
+
+val all_warnings : t -> Analysis.warning list

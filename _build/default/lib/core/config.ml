@@ -1,0 +1,78 @@
+(* ATN configurations (paper section 5.1): a tuple (p, i, gamma, pi) of ATN
+   state, predicted alternative, ATN call stack and optional predicate
+   context collected from the alternative's left edge.
+
+   The stack is a list of follow states, most recent call first.  Stack
+   equivalence (Definition 6) treats an empty stack as a wildcard: analysis
+   reached the state without static knowledge of the caller, so it stands
+   for every possible context. *)
+
+type sem_ctx = Atn.pred option
+
+type t = {
+  state : int;
+  alt : int; (* 1-based alternative number *)
+  stack : int list; (* follow states, innermost first *)
+  sem : sem_ctx;
+  free : bool;
+    (* the configuration escaped the decision's own derivation through an
+       empty-stack pop (wildcard follow context); predicates found past this
+       point belong to other alternatives and are never collected.  The flag
+       persists across moves, unlike a value threaded through one closure. *)
+  crossed : bool;
+    (* the configuration passed through a nested decision state; syntactic
+       predicates found past this point gate only that nested alternative
+       and are not hoisted *)
+}
+
+let make ?sem ?(stack = []) state alt =
+  { state; alt; stack; sem; free = false; crossed = false }
+
+let compare (a : t) (b : t) =
+  let c = compare a.state b.state in
+  if c <> 0 then c
+  else
+    let c = compare a.alt b.alt in
+    if c <> 0 then c
+    else
+      let c = compare a.stack b.stack in
+      if c <> 0 then c
+      else
+        let c = compare a.sem b.sem in
+        if c <> 0 then c else compare (a.free, a.crossed) (b.free, b.crossed)
+
+let equal a b = compare a b = 0
+
+let rec is_prefix short long =
+  match (short, long) with
+  | [], _ -> true
+  | x :: xs, y :: ys -> x = y && is_prefix xs ys
+  | _ :: _, [] -> false
+
+(* Definition 6: stacks are equivalent if equal, if at least one is empty, or
+   if one is a suffix of the other (with the stack written top-first, the
+   shared recent context is a common prefix). *)
+let stacks_equivalent g1 g2 =
+  match (g1, g2) with
+  | [], _ | _, [] -> true
+  | _ -> is_prefix g1 g2 || is_prefix g2 g1
+
+(* Definition 7: two configurations conflict when they share the ATN state,
+   have equivalent stacks, and predict different alternatives. *)
+let conflicts (a : t) (b : t) =
+  a.state = b.state && a.alt <> b.alt && stacks_equivalent a.stack b.stack
+
+let pp sym ppf (c : t) =
+  let pp_sem ppf = function
+    | None -> ()
+    | Some p -> Fmt.pf ppf ",%a" (Atn.pp_pred sym) p
+  in
+  Fmt.pf ppf "(%d,%d,[%a]%a)" c.state c.alt
+    Fmt.(list ~sep:(any " ") int)
+    c.stack pp_sem c.sem
+
+(* Canonical form of a configuration set: sorted, deduplicated.  Used as the
+   DFA-state identity for subset-construction dedup (Definition 6 state
+   equivalence). *)
+let canonicalize (configs : t list) : t list =
+  List.sort_uniq compare configs

@@ -1,0 +1,51 @@
+(* Graphviz export of lookahead DFAs, mirroring the paper's Figure 1/2
+   renderings: accept states are double circles labelled "=> i"; predicate
+   edges are dashed and lead to the predicted alternative. *)
+
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_dot ?(name = "lookahead") (sym : Grammar.Sym.t) (dfa : Look_dfa.t) :
+    string =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "digraph %s {\n  rankdir=LR;\n  node [fontsize=11];\n"
+       name);
+  for s = 0 to dfa.nstates - 1 do
+    let label, shape =
+      match dfa.accept.(s) with
+      | 0 -> (Printf.sprintf "s%d" s, "circle")
+      | alt -> (Printf.sprintf "s%d\\n=> %d" s alt, "doublecircle")
+    in
+    Buffer.add_string buf
+      (Printf.sprintf "  %d [label=\"%s\" shape=%s];\n" s label shape)
+  done;
+  let pred_node = ref dfa.nstates in
+  for s = 0 to dfa.nstates - 1 do
+    Array.iter
+      (fun (t, tgt) ->
+        Buffer.add_string buf
+          (Printf.sprintf "  %d -> %d [label=\"%s\"];\n" s tgt
+             (escape (Grammar.Sym.term_name sym t))))
+      dfa.edges.(s);
+    Array.iter
+      (fun (e : Look_dfa.pred_edge) ->
+        let lbl = escape (Fmt.str "%a" (Look_dfa.pp_pred_edge sym) e) in
+        let n = !pred_node in
+        incr pred_node;
+        Buffer.add_string buf
+          (Printf.sprintf
+             "  f%d [label=\"=> %d\" shape=doublecircle];\n  %d -> f%d \
+              [label=\"%s\" style=dashed];\n"
+             n e.alt s n lbl))
+      dfa.preds.(s)
+  done;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

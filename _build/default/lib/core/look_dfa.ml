@@ -1,0 +1,118 @@
+(* Lookahead DFA (paper Definition 4): a DFA over the token alphabet,
+   augmented with predicate transitions into accept states, whose accept
+   states yield predicted production numbers.
+
+   Frozen representation produced by the analysis; interpretation happens in
+   the runtime's prediction engine.  [preds] transitions are ordered; an
+   entry with [None] predicate is the gated default ("else") alternative,
+   tested after all real predicates fail. *)
+
+type pred_edge = {
+  guard : int list;
+    (* lookahead gate: terminals the alternative can actually start with at
+       this state (the section-5.5 hoisting combines hoisted predicates with
+       lookahead membership tests); [] means no gate *)
+  pred : Atn.pred option; (* [None] on the gated default ("else") edge *)
+  alt : int;
+}
+
+type t = {
+  decision : int;
+  start : int;
+  nstates : int;
+  edges : (int * int) array array;
+    (* per state: (terminal, target), sorted by terminal for binary search *)
+  accept : int array; (* per state: predicted alt, or 0 *)
+  preds : pred_edge array array; (* per state: ordered predicate edges *)
+  overflowed : bool array; (* per state: closure hit the recursion bound *)
+  cyclic : bool;
+  max_k : int option; (* longest terminal path to an accept; None if cyclic *)
+  uses_synpred : bool; (* some predicate edge launches a speculative parse *)
+  fallback : bool; (* produced by the LL(1) fallback, not full analysis *)
+}
+
+let lookup_edge (t : t) (state : int) (term : int) : int option =
+  let row = t.edges.(state) in
+  (* rows are tiny (a handful of outgoing terminals); linear scan wins *)
+  let n = Array.length row in
+  let rec go i wild =
+    if i >= n then wild
+    else
+      let sym, tgt = row.(i) in
+      if sym = term then Some tgt
+      else if sym = Grammar.Sym.wildcard && term <> Grammar.Sym.eof then
+        go (i + 1) (Some tgt)
+      else go (i + 1) wild
+  in
+  go 0 None
+
+let accept_of t state = if t.accept.(state) = 0 then None else Some t.accept.(state)
+let pred_edges_of t state = t.preds.(state)
+
+let num_edges t =
+  Array.fold_left (fun acc row -> acc + Array.length row) 0 t.edges
+
+(* Longest terminal-edge path from [start] to any accepting or predicated
+   state; [None] when the reachable graph is cyclic. *)
+let compute_max_k (t : t) : int option =
+  let visiting = Array.make t.nstates false in
+  let memo = Array.make t.nstates (-1) in
+  let exception Cyclic in
+  let rec go s =
+    if visiting.(s) then raise Cyclic;
+    if memo.(s) >= 0 then memo.(s)
+    else begin
+      visiting.(s) <- true;
+      let best = ref 0 in
+      Array.iter
+        (fun (_, tgt) -> best := max !best (1 + go tgt))
+        t.edges.(s);
+      visiting.(s) <- false;
+      memo.(s) <- !best;
+      !best
+    end
+  in
+  match go t.start with
+  | k -> Some (max 1 k)
+  | exception Cyclic -> None
+
+let pp_pred_edge sym ppf (e : pred_edge) =
+  (match e.guard with
+  | [] -> ()
+  | g ->
+      Fmt.pf ppf "LA in {%a} & "
+        Fmt.(
+          list ~sep:(any ", ") (fun ppf t ->
+              Fmt.string ppf (Grammar.Sym.term_name sym t)))
+        g);
+  match e.pred with
+  | None -> Fmt.string ppf "else"
+  | Some p -> Atn.pp_pred sym ppf p
+
+let pp ?(sym : Grammar.Sym.t option) ppf (t : t) =
+  let term_name id =
+    match sym with
+    | Some s -> Grammar.Sym.term_name s id
+    | None -> string_of_int id
+  in
+  Fmt.pf ppf "DFA d%d: %d states%s%s@." t.decision t.nstates
+    (if t.cyclic then " (cyclic)" else "")
+    (if t.fallback then " (LL(1) fallback)" else "");
+  for s = 0 to t.nstates - 1 do
+    let acc =
+      if t.accept.(s) <> 0 then Printf.sprintf " => %d" t.accept.(s) else ""
+    in
+    Fmt.pf ppf "  s%d%s:@." s acc;
+    Array.iter
+      (fun (sym_id, tgt) ->
+        Fmt.pf ppf "    --%s--> s%d@." (term_name sym_id) tgt)
+      t.edges.(s);
+    Array.iter
+      (fun (e : pred_edge) ->
+        match sym with
+        | Some sy -> Fmt.pf ppf "    --%a--> :%d@." (pp_pred_edge sy) e e.alt
+        | None -> Fmt.pf ppf "    --pred--> :%d@." e.alt)
+      t.preds.(s)
+  done
+
+let to_string ?sym t = Fmt.str "%a" (pp ?sym) t

@@ -1,0 +1,123 @@
+(* Analysis report: per-decision classification plus the aggregates that the
+   paper's Table 1 (Fixed / Cyclic / Backtrack counts, analysis time) and
+   Table 2 (lookahead-depth histogram of fixed decisions) summarize.
+
+   Decisions inside [__synpredN] pseudo-rules execute only during
+   speculation; like ANTLR we exclude them from the per-grammar counts
+   ([counted] = false) while still analyzing them. *)
+
+type decision_report = {
+  decision : int;
+  rule : string;
+  label : string;
+  klass : Analysis.decision_class;
+  dfa_states : int;
+  fallback : bool;
+  counted : bool;
+  warnings : Analysis.warning list;
+}
+
+type t = {
+  grammar_name : string;
+  grammar_lines : int;
+  n : int; (* counted parsing decisions *)
+  fixed : int;
+  cyclic : int;
+  backtrack : int;
+  fixed_by_k : (int * int) list; (* lookahead depth -> #decisions *)
+  analysis_time : float; (* seconds, filled by Compiled *)
+  decisions : decision_report array;
+}
+
+let count_lines text =
+  String.fold_left (fun n c -> if c = '\n' then n + 1 else n) 1 text
+
+let build ?(grammar_lines = 0) ?(analysis_time = 0.0) (atn : Atn.t)
+    (results : Analysis.result array) : t =
+  let decisions =
+    Array.mapi
+      (fun i (r : Analysis.result) ->
+        let d = atn.decisions.(i) in
+        let rule = atn.rules.(d.d_rule) in
+        {
+          decision = i;
+          rule = rule.r_name;
+          label = d.d_label;
+          klass = r.klass;
+          dfa_states = r.dfa.nstates;
+          fallback = r.fallback;
+          counted = not rule.r_is_synpred;
+          warnings = r.warnings;
+        })
+      results
+  in
+  let n = ref 0 and fixed = ref 0 and cyclic = ref 0 and backtrack = ref 0 in
+  let by_k = Hashtbl.create 8 in
+  Array.iter
+    (fun dr ->
+      if dr.counted then begin
+        incr n;
+        match dr.klass with
+        | Analysis.Fixed k ->
+            incr fixed;
+            Hashtbl.replace by_k k
+              (1 + Option.value ~default:0 (Hashtbl.find_opt by_k k))
+        | Analysis.Cyclic -> incr cyclic
+        | Analysis.Backtrack -> incr backtrack
+      end)
+    decisions;
+  let fixed_by_k =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) by_k [] |> List.sort compare
+  in
+  {
+    grammar_name = atn.grammar.gname;
+    grammar_lines;
+    n = !n;
+    fixed = !fixed;
+    cyclic = !cyclic;
+    backtrack = !backtrack;
+    fixed_by_k;
+    analysis_time;
+    decisions;
+  }
+
+let pct a b = if b = 0 then 0.0 else 100.0 *. float_of_int a /. float_of_int b
+
+(* Percentage of counted decisions that are LL(k) for some fixed k, and
+   LL(1) specifically (Table 2's first two columns). *)
+let pct_fixed t = pct t.fixed t.n
+
+let pct_ll1 t =
+  pct (Option.value ~default:0 (List.assoc_opt 1 t.fixed_by_k)) t.n
+
+let pp ppf (t : t) =
+  Fmt.pf ppf "grammar %s: %d decisions: %d fixed, %d cyclic, %d backtrack@."
+    t.grammar_name t.n t.fixed t.cyclic t.backtrack;
+  Fmt.pf ppf "  fixed lookahead depths:";
+  List.iter (fun (k, c) -> Fmt.pf ppf " k=%d:%d" k c) t.fixed_by_k;
+  Fmt.pf ppf "@."
+
+let pp_decisions ?(only_interesting = false) (atn : Atn.t) ppf t =
+  Array.iter
+    (fun dr ->
+      let interesting =
+        dr.klass <> Analysis.Fixed 1 || dr.warnings <> [] || dr.fallback
+      in
+      if dr.counted && ((not only_interesting) || interesting) then begin
+        let klass_str =
+          match dr.klass with
+          | Analysis.Fixed k -> Printf.sprintf "LL(%d)" k
+          | Analysis.Cyclic -> "cyclic"
+          | Analysis.Backtrack -> "backtrack"
+        in
+        Fmt.pf ppf "  d%d %-30s %-10s %d DFA states%s@." dr.decision dr.label
+          klass_str dr.dfa_states
+          (if dr.fallback then " (fallback)" else "");
+        List.iter
+          (fun w ->
+            Fmt.pf ppf "    warning: %a@."
+              (Analysis.pp_warning atn.sym atn)
+              w)
+          dr.warnings
+      end)
+    t.decisions

@@ -1,0 +1,1 @@
+lib/grammar/ast.ml: Hashtbl List

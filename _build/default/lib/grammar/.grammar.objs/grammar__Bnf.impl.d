@@ -1,0 +1,1 @@
+lib/grammar/bnf.ml: Ast Fmt Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/grammar/first_follow.ml: Bnf Hashtbl List Set String

@@ -1,0 +1,1 @@
+lib/grammar/first_follow.mli: Bnf Set

@@ -1,0 +1,1 @@
+lib/grammar/leftrec.ml: Ast List Printf

@@ -1,0 +1,1 @@
+lib/grammar/meta_lexer.ml: Array Buffer Fmt List Printf String

@@ -1,0 +1,1 @@
+lib/grammar/meta_parser.ml: Array Ast Fmt List Meta_lexer Printf String

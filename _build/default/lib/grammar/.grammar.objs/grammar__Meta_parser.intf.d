@@ -1,0 +1,1 @@
+lib/grammar/meta_parser.mli: Ast

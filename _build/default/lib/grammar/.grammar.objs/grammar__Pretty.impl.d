@@ -1,0 +1,1 @@
+lib/grammar/pretty.ml: Ast Buffer Fmt List String Sym

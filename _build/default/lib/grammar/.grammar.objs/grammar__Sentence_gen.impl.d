@@ -1,0 +1,1 @@
+lib/grammar/sentence_gen.ml: Array Ast Buffer Hashtbl List Random Sym

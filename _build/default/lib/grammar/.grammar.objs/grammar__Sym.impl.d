@@ -1,0 +1,1 @@
+lib/grammar/sym.ml: Array Fmt Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/grammar/transform.ml: Ast Leftrec List Pretty Printf String

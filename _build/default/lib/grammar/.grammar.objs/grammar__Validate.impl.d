@@ -1,0 +1,1 @@
+lib/grammar/validate.ml: Array Ast Fmt Hashtbl List String

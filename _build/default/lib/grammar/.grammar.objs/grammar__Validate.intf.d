@@ -1,0 +1,1 @@
+lib/grammar/validate.mli: Ast Format Hashtbl

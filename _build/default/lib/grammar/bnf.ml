@@ -1,0 +1,114 @@
+(* Conversion of EBNF grammars to plain BNF productions.
+
+   Sub-blocks become fresh nonterminals (named [_<rule>_bN]); EBNF suffixes
+   expand to right-recursive helper rules.  Predicates, actions and
+   syntactic predicates are erased: the result is the underlying context-free
+   skeleton, which the Earley / LL(1) / LL(k) baselines and the FIRST/FOLLOW
+   machinery consume. *)
+
+open Ast
+
+type symbol = T of string | N of string
+
+type prod = { lhs : string; rhs : symbol list }
+
+type t = {
+  start : string;
+  prods : prod list;
+  nonterms : string list; (* in definition order *)
+  terms : string list;
+}
+
+let fresh_counter = ref 0
+
+let convert (g : Ast.t) : t =
+  fresh_counter := 0;
+  let prods = ref [] in
+  let emit lhs rhs = prods := { lhs; rhs } :: !prods in
+  let fresh base =
+    incr fresh_counter;
+    Printf.sprintf "_%s_b%d" base !fresh_counter
+  in
+  (* Convert an element into a symbol sequence, emitting helper rules. *)
+  let rec conv_elems rule elems : symbol list =
+    List.concat_map (conv_elem rule) elems
+  and conv_elem rule (e : element) : symbol list =
+    match e with
+    | Term name -> [ T name ]
+    | Wild -> [ T "." ]
+    | Nonterm { name; _ } -> [ N name ]
+    | Sem_pred _ | Prec_pred _ | Action _ -> []
+    | Syn_pred _ -> [] (* matches no input *)
+    | Block { alts; suffix } -> (
+        match suffix with
+        | One when List.length alts = 1 ->
+            conv_elems rule (List.hd alts).elems
+        | One ->
+            let b = fresh rule in
+            List.iter (fun a -> emit b (conv_elems rule a.elems)) alts;
+            [ N b ]
+        | Opt ->
+            let b = fresh rule in
+            List.iter (fun a -> emit b (conv_elems rule a.elems)) alts;
+            emit b [];
+            [ N b ]
+        | Star ->
+            let b = fresh rule in
+            List.iter
+              (fun a -> emit b (conv_elems rule a.elems @ [ N b ]))
+              alts;
+            emit b [];
+            [ N b ]
+        | Plus ->
+            let body = fresh rule in
+            let tail = fresh rule in
+            List.iter
+              (fun a -> emit body (conv_elems rule a.elems @ [ N tail ]))
+              alts;
+            List.iter
+              (fun a -> emit tail (conv_elems rule a.elems @ [ N tail ]))
+              alts;
+            emit tail [];
+            [ N body ])
+  in
+  List.iter
+    (fun r ->
+      List.iter (fun a -> emit r.name (conv_elems r.name a.elems)) r.rule_alts)
+    g.rules;
+  let prods = List.rev !prods in
+  let nonterms =
+    let seen = Hashtbl.create 16 in
+    List.filter_map
+      (fun p ->
+        if Hashtbl.mem seen p.lhs then None
+        else begin
+          Hashtbl.add seen p.lhs ();
+          Some p.lhs
+        end)
+      prods
+  in
+  let terms =
+    let seen = Hashtbl.create 16 in
+    List.concat_map
+      (fun p ->
+        List.filter_map
+          (function
+            | T name when not (Hashtbl.mem seen name) ->
+                Hashtbl.add seen name ();
+                Some name
+            | _ -> None)
+          p.rhs)
+      prods
+  in
+  { start = g.start; prods; nonterms; terms }
+
+let prods_of t lhs = List.filter (fun p -> p.lhs = lhs) t.prods
+
+let pp_symbol ppf = function
+  | T name -> Fmt.string ppf name
+  | N name -> Fmt.string ppf name
+
+let pp_prod ppf p =
+  Fmt.pf ppf "%s -> %a" p.lhs Fmt.(list ~sep:sp pp_symbol) p.rhs
+
+let pp ppf t = Fmt.(list ~sep:cut pp_prod) ppf t.prods

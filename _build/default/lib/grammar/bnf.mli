@@ -1,0 +1,23 @@
+(** Conversion of EBNF grammars to plain BNF productions.
+
+    Sub-blocks become fresh nonterminals ([_<rule>_bN]); EBNF suffixes
+    expand to right-recursive helpers; predicates, actions and syntactic
+    predicates are erased.  The result is the context-free skeleton consumed
+    by the Earley / LL(1) / LL(k) baselines and FIRST/FOLLOW machinery. *)
+
+type symbol = T of string | N of string
+
+type prod = { lhs : string; rhs : symbol list }
+
+type t = {
+  start : string;
+  prods : prod list;
+  nonterms : string list;  (** in definition order *)
+  terms : string list;
+}
+
+val convert : Ast.t -> t
+val prods_of : t -> string -> prod list
+val pp_symbol : Format.formatter -> symbol -> unit
+val pp_prod : Format.formatter -> prod -> unit
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,35 @@
+(** FIRST / FOLLOW / FIRST_k over the BNF skeleton.
+
+    FIRST_k works with sets of terminal sequences of length <= k under
+    truncating concatenation; it is the substrate of the fixed-k LL(k)
+    baseline and of the LPG blow-up demonstration (paper section 2). *)
+
+module SS : Set.S with type elt = string
+
+module SeqSet : Set.S with type elt = string list
+
+type t
+
+val eof_name : string
+
+val compute : Bnf.t -> t
+
+val is_nullable : t -> string -> bool
+val first_of : t -> string -> SS.t
+val follow_of : t -> string -> SS.t
+
+val first_seq : t -> Bnf.symbol list -> SS.t * bool
+(** FIRST of a symbol sequence, plus whether the whole sequence is
+    nullable. *)
+
+exception Blowup of int
+(** Raised by {!first_k} when an intermediate sequence set exceeds
+    [max_set_size]; carries the size reached. *)
+
+val concat_k : int -> SeqSet.t -> SeqSet.t -> SeqSet.t
+(** Truncating concatenation of sequence sets. *)
+
+val first_k : ?max_set_size:int -> t -> int -> Bnf.symbol list -> SeqSet.t
+(** All terminal sequences of length <= k that can begin a derivation of the
+    given symbols.  O(|T|^k) in the worst case, by design: the blow-up is
+    the phenomenon under study. *)

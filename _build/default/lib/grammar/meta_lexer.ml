@@ -1,0 +1,268 @@
+(* Lexer for the grammar metalanguage (an ANTLR-3-like notation):
+
+     grammar T;
+     options { backtrack=true; m=1; }
+     s : ID | ID '=' expr | ('unsigned')* 'int' ID ;
+     t : {isTypeName()}? ID | (expr)=> expr | {action();} x ;
+
+   Action/predicate bodies are brace-balanced opaque text; [{{...}}] marks an
+   always-executed action (paper section 4.3); a trailing [?] marks a
+   semantic predicate. *)
+
+type token =
+  | NAME of string (* lowercase-initial identifier: rule name *)
+  | TOKEN_REF of string (* uppercase-initial identifier: token type *)
+  | LITERAL of string (* 'text', quoted spelling preserved *)
+  | INT of int
+  | ACTION of { code : string; always : bool }
+  | PRED of string (* {code}? *)
+  | COLON
+  | SEMI
+  | PIPE
+  | LPAREN
+  | RPAREN
+  | LBRACK
+  | RBRACK
+  | STAR
+  | PLUS
+  | QUEST
+  | ARROW (* => *)
+  | EQ
+  | DOT
+  | EOF_TOK
+
+type spanned = { tok : token; line : int; col : int }
+
+exception Lex_error of string * int * int
+
+let error line col fmt =
+  Fmt.kstr (fun msg -> raise (Lex_error (msg, line, col))) fmt
+
+let token_to_string = function
+  | NAME s -> Printf.sprintf "NAME(%s)" s
+  | TOKEN_REF s -> Printf.sprintf "TOKEN(%s)" s
+  | LITERAL s -> Printf.sprintf "LITERAL(%s)" s
+  | INT n -> Printf.sprintf "INT(%d)" n
+  | ACTION { code; always } ->
+      Printf.sprintf "ACTION(%s%s)" code (if always then "!!" else "")
+  | PRED s -> Printf.sprintf "PRED(%s)" s
+  | COLON -> ":"
+  | SEMI -> ";"
+  | PIPE -> "|"
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | LBRACK -> "["
+  | RBRACK -> "]"
+  | STAR -> "*"
+  | PLUS -> "+"
+  | QUEST -> "?"
+  | ARROW -> "=>"
+  | EQ -> "="
+  | DOT -> "."
+  | EOF_TOK -> "<EOF>"
+
+type cursor = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable col : int;
+}
+
+let peek c = if c.pos < String.length c.src then Some c.src.[c.pos] else None
+
+let peek2 c =
+  if c.pos + 1 < String.length c.src then Some c.src.[c.pos + 1] else None
+
+let advance c =
+  (match peek c with
+  | Some '\n' ->
+      c.line <- c.line + 1;
+      c.col <- 1
+  | Some _ -> c.col <- c.col + 1
+  | None -> ());
+  c.pos <- c.pos + 1
+
+let is_ident_start ch = (ch >= 'a' && ch <= 'z') || (ch >= 'A' && ch <= 'Z') || ch = '_'
+let is_ident ch = is_ident_start ch || (ch >= '0' && ch <= '9')
+let is_digit ch = ch >= '0' && ch <= '9'
+
+let rec skip_trivia c =
+  match peek c with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+      advance c;
+      skip_trivia c
+  | Some '/' when peek2 c = Some '/' ->
+      while peek c <> None && peek c <> Some '\n' do
+        advance c
+      done;
+      skip_trivia c
+  | Some '/' when peek2 c = Some '*' ->
+      let l, co = (c.line, c.col) in
+      advance c;
+      advance c;
+      let rec go () =
+        match peek c with
+        | None -> error l co "unterminated block comment"
+        | Some '*' when peek2 c = Some '/' ->
+            advance c;
+            advance c
+        | Some _ ->
+            advance c;
+            go ()
+      in
+      go ();
+      skip_trivia c
+  | _ -> ()
+
+let read_ident c =
+  let start = c.pos in
+  while match peek c with Some ch -> is_ident ch | None -> false do
+    advance c
+  done;
+  String.sub c.src start (c.pos - start)
+
+let read_int c =
+  let start = c.pos in
+  while match peek c with Some ch -> is_digit ch | None -> false do
+    advance c
+  done;
+  int_of_string (String.sub c.src start (c.pos - start))
+
+(* Read 'literal' with \' and \\ escapes; returns the quoted spelling with
+   escapes resolved, i.e. ['a\'b'] lexes to the spelling ['a'b'] internally
+   being ' a ' b '. We keep the raw content and re-quote it. *)
+let read_literal c =
+  let l, co = (c.line, c.col) in
+  advance c (* opening quote *);
+  let buf = Buffer.create 8 in
+  let rec go () =
+    match peek c with
+    | None -> error l co "unterminated literal"
+    | Some '\'' -> advance c
+    | Some '\\' -> (
+        advance c;
+        match peek c with
+        | Some 'n' -> Buffer.add_char buf '\n'; advance c; go ()
+        | Some 't' -> Buffer.add_char buf '\t'; advance c; go ()
+        | Some ch -> Buffer.add_char buf ch; advance c; go ()
+        | None -> error l co "unterminated escape in literal")
+    | Some ch ->
+        Buffer.add_char buf ch;
+        advance c;
+        go ()
+  in
+  go ();
+  if Buffer.length buf = 0 then error l co "empty literal token";
+  "'" ^ Buffer.contents buf ^ "'"
+
+(* Read a brace-balanced action body.  Handles nested braces and quoted
+   strings/chars inside the body so host-language snippets survive. *)
+let read_action c =
+  let l, co = (c.line, c.col) in
+  advance c (* opening brace *);
+  let always = peek c = Some '{' in
+  if always then advance c;
+  let buf = Buffer.create 16 in
+  let depth = ref 0 in
+  let rec go () =
+    match peek c with
+    | None -> error l co "unterminated action"
+    | Some '{' ->
+        incr depth;
+        Buffer.add_char buf '{';
+        advance c;
+        go ()
+    | Some '}' when !depth > 0 ->
+        decr depth;
+        Buffer.add_char buf '}';
+        advance c;
+        go ()
+    | Some '}' ->
+        advance c;
+        if always then begin
+          match peek c with
+          | Some '}' -> advance c
+          | _ -> error l co "expected '}}' to close always-action"
+        end
+    | Some ('"' as q) | Some ('\'' as q) ->
+        Buffer.add_char buf q;
+        advance c;
+        let rec str () =
+          match peek c with
+          | None -> error l co "unterminated string in action"
+          | Some '\\' ->
+              Buffer.add_char buf '\\';
+              advance c;
+              (match peek c with
+              | Some ch ->
+                  Buffer.add_char buf ch;
+                  advance c
+              | None -> ());
+              str ()
+          | Some ch ->
+              Buffer.add_char buf ch;
+              advance c;
+              if ch <> q then str ()
+        in
+        str ();
+        go ()
+    | Some ch ->
+        Buffer.add_char buf ch;
+        advance c;
+        go ()
+  in
+  go ();
+  let code = String.trim (Buffer.contents buf) in
+  let is_pred = (not always) && peek c = Some '?' in
+  if is_pred then begin
+    advance c;
+    PRED code
+  end
+  else ACTION { code; always }
+
+let tokenize src =
+  let c = { src; pos = 0; line = 1; col = 1 } in
+  let out = ref [] in
+  let emit tok line col = out := { tok; line; col } :: !out in
+  let rec go () =
+    skip_trivia c;
+    let l, co = (c.line, c.col) in
+    match peek c with
+    | None -> emit EOF_TOK l co
+    | Some ch when is_ident_start ch ->
+        let id = read_ident c in
+        let tok =
+          if ch >= 'A' && ch <= 'Z' then TOKEN_REF id else NAME id
+        in
+        emit tok l co;
+        go ()
+    | Some ch when is_digit ch ->
+        emit (INT (read_int c)) l co;
+        go ()
+    | Some '\'' ->
+        emit (LITERAL (read_literal c)) l co;
+        go ()
+    | Some '{' ->
+        emit (read_action c) l co;
+        go ()
+    | Some ':' -> advance c; emit COLON l co; go ()
+    | Some ';' -> advance c; emit SEMI l co; go ()
+    | Some '|' -> advance c; emit PIPE l co; go ()
+    | Some '(' -> advance c; emit LPAREN l co; go ()
+    | Some ')' -> advance c; emit RPAREN l co; go ()
+    | Some '[' -> advance c; emit LBRACK l co; go ()
+    | Some ']' -> advance c; emit RBRACK l co; go ()
+    | Some '*' -> advance c; emit STAR l co; go ()
+    | Some '+' -> advance c; emit PLUS l co; go ()
+    | Some '?' -> advance c; emit QUEST l co; go ()
+    | Some '.' -> advance c; emit DOT l co; go ()
+    | Some '=' when peek2 c = Some '>' ->
+        advance c;
+        advance c;
+        emit ARROW l co;
+        go ()
+    | Some '=' -> advance c; emit EQ l co; go ()
+    | Some ch -> error l co "unexpected character %C" ch
+  in
+  go ();
+  Array.of_list (List.rev !out)

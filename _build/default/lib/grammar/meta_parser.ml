@@ -1,0 +1,246 @@
+(* Recursive-descent parser for the grammar metalanguage.
+
+     file     := 'grammar' NAME ';' options? rule+
+     options  := 'options' '{' (NAME '=' value ';')* '}'
+     rule     := NAME param? ':' alts ';'
+     param    := '[' 'p' ']'
+     alts     := alt ('|' alt)*
+     alt      := element*
+     element  := atom ('*' | '+' | '?')?
+     atom     := TOKEN_REF | LITERAL | NAME ('[' INT ']')?
+               | '(' alts ')' ('=>' | suffix)?
+               | ACTION | PRED | '.'
+
+   A parenthesised block followed by [=>] is a syntactic predicate over the
+   fragment.  A predicate whose text is exactly [p <= n] is recognised as a
+   precedence predicate so that pretty-printed rewritten grammars round-trip. *)
+
+open Ast
+open Meta_lexer
+
+exception Parse_error of string * int * int
+
+type st = { toks : spanned array; mutable pos : int }
+
+let cur st = st.toks.(st.pos)
+let peek st = (cur st).tok
+
+let error st fmt =
+  let sp = cur st in
+  Fmt.kstr (fun msg -> raise (Parse_error (msg, sp.line, sp.col))) fmt
+
+let advance st = if st.pos < Array.length st.toks - 1 then st.pos <- st.pos + 1
+
+let expect st tok what =
+  if peek st = tok then advance st
+  else error st "expected %s, found %s" what (token_to_string (peek st))
+
+let expect_name st what =
+  match peek st with
+  | NAME n ->
+      advance st;
+      n
+  | t -> error st "expected %s, found %s" what (token_to_string t)
+
+(* Recognise [p <= n] (any whitespace) as a precedence predicate. *)
+let prec_pred_of_code code =
+  let n = String.length code in
+  let i = ref 0 in
+  let skip () =
+    while !i < n && (code.[!i] = ' ' || code.[!i] = '\t') do
+      incr i
+    done
+  in
+  skip ();
+  if !i < n && code.[!i] = 'p' then begin
+    incr i;
+    skip ();
+    if !i + 1 < n && code.[!i] = '<' && code.[!i + 1] = '=' then begin
+      i := !i + 2;
+      skip ();
+      let start = !i in
+      while !i < n && code.[!i] >= '0' && code.[!i] <= '9' do
+        incr i
+      done;
+      if !i > start && (skip (); !i = n) then
+        Some (int_of_string (String.sub code start (!i - start)))
+      else None
+    end
+    else None
+  end
+  else None
+
+let rec parse_alts st =
+  let first = parse_alt st in
+  let rec go acc =
+    if peek st = PIPE then begin
+      advance st;
+      go (parse_alt st :: acc)
+    end
+    else List.rev acc
+  in
+  go [ first ]
+
+and parse_alt st =
+  let rec go acc =
+    match peek st with
+    | SEMI | PIPE | RPAREN | EOF_TOK -> { elems = List.rev acc }
+    | _ -> go (parse_element st :: acc)
+  in
+  go []
+
+and parse_element st =
+  let atom = parse_atom st in
+  match (atom, peek st) with
+  | Some a, STAR ->
+      advance st;
+      wrap_suffix a Star
+  | Some a, PLUS ->
+      advance st;
+      wrap_suffix a Plus
+  | Some a, QUEST ->
+      advance st;
+      wrap_suffix a Opt
+  | Some a, _ -> a
+  | None, t -> error st "unexpected %s in alternative" (token_to_string t)
+
+(* Apply an EBNF suffix to an atom; non-block atoms get wrapped into a
+   single-alternative block. *)
+and wrap_suffix a suffix =
+  match a with
+  | Block { alts; suffix = One } -> Block { alts; suffix }
+  | other -> Block { alts = [ { elems = [ other ] } ]; suffix }
+
+and parse_atom st =
+  match peek st with
+  | TOKEN_REF name ->
+      advance st;
+      Some (Term name)
+  | LITERAL spelling ->
+      advance st;
+      Some (Term spelling)
+  | NAME name ->
+      advance st;
+      if peek st = LBRACK then begin
+        advance st;
+        match peek st with
+        | INT n ->
+            advance st;
+            expect st RBRACK "']'";
+            Some (Nonterm { name; arg = Some n })
+        | t -> error st "expected precedence argument, found %s" (token_to_string t)
+      end
+      else Some (Nonterm { name; arg = None })
+  | LPAREN ->
+      advance st;
+      let alts = parse_alts st in
+      expect st RPAREN "')'";
+      if peek st = ARROW then begin
+        advance st;
+        Some (Syn_pred alts)
+      end
+      else Some (Block { alts; suffix = One })
+  | ACTION { code; always } ->
+      advance st;
+      Some (Action { code; always })
+  | PRED code ->
+      advance st;
+      (match prec_pred_of_code code with
+      | Some n -> Some (Prec_pred n)
+      | None -> Some (Sem_pred code))
+  | DOT ->
+      advance st;
+      Some Wild
+  | _ -> None
+
+let parse_rule st =
+  let line = (cur st).line in
+  let name = expect_name st "rule name" in
+  let parameterized =
+    if peek st = LBRACK then begin
+      advance st;
+      (match peek st with
+      | NAME _ -> advance st
+      | t -> error st "expected parameter name, found %s" (token_to_string t));
+      expect st RBRACK "']'";
+      true
+    end
+    else false
+  in
+  expect st COLON "':'";
+  let rule_alts = parse_alts st in
+  expect st SEMI "';' at end of rule";
+  { name; rule_alts; parameterized; source_line = line }
+
+(* [options { a=b; ... }] lexes its body as one ACTION token because of the
+   brace-balanced action lexing; parse the body text here. *)
+let parse_options_body code =
+  let opts = ref default_options in
+  let entries = String.split_on_char ';' code in
+  List.iter
+    (fun entry ->
+      let entry = String.trim entry in
+      if entry <> "" then
+        match String.index_opt entry '=' with
+        | None -> ()
+        | Some i ->
+            let key = String.trim (String.sub entry 0 i) in
+            let v =
+              String.trim (String.sub entry (i + 1) (String.length entry - i - 1))
+            in
+            let o = !opts in
+            opts :=
+              (match key with
+              | "backtrack" -> { o with backtrack = v = "true" }
+              | "memoize" -> { o with memoize = v = "true" }
+              | "k" -> { o with k = int_of_string_opt v }
+              | "m" -> (
+                  match int_of_string_opt v with
+                  | Some m -> { o with m }
+                  | None -> o)
+              | _ -> o))
+    entries;
+  !opts
+
+let parse src =
+  let toks = Meta_lexer.tokenize src in
+  let st = { toks; pos = 0 } in
+  (match peek st with
+  | NAME "grammar" -> advance st
+  | _ -> error st "grammar file must start with 'grammar <name>;'");
+  let gname =
+    match peek st with
+    | NAME n | TOKEN_REF n ->
+        advance st;
+        n
+    | t -> error st "expected grammar name, found %s" (token_to_string t)
+  in
+  expect st SEMI "';'";
+  let options =
+    match peek st with
+    | NAME "options" -> (
+        advance st;
+        match peek st with
+        | ACTION { code; _ } ->
+            advance st;
+            parse_options_body code
+        | _ -> error st "expected '{...}' after options")
+    | _ -> default_options
+  in
+  let rules = ref [] in
+  while peek st <> EOF_TOK do
+    rules := parse_rule st :: !rules
+  done;
+  let rules = List.rev !rules in
+  if rules = [] then error st "grammar has no rules";
+  Ast.make ~options gname rules
+
+let parse_exn = parse
+
+let parse_result src =
+  match parse src with
+  | g -> Ok g
+  | exception Parse_error (msg, l, c) ->
+      Error (Printf.sprintf "%d:%d: %s" l c msg)
+  | exception Meta_lexer.Lex_error (msg, l, c) ->
+      Error (Printf.sprintf "%d:%d: %s" l c msg)

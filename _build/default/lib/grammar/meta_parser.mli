@@ -1,0 +1,33 @@
+(** Parser for the grammar metalanguage (an ANTLR-3-like notation).
+
+    {[
+      grammar T;
+      options { backtrack=true; memoize=true; m=1; k=2; }
+      s : ID | ID '=' e | ('unsigned')* 'int' ID ;
+      e : {isType()}? ID | (x)=> x {act();} ;
+      x : INT ;
+    ]}
+
+    Token types are uppercase-initial, rules lowercase-initial, literal
+    tokens single-quoted.  [{code}] is an action, [{{code}}] an
+    always-executed action, [{code}?] a semantic predicate ([{p <= n}?] is
+    recognised as a precedence predicate so rewritten grammars round-trip),
+    and [(fragment)=>] a syntactic predicate. *)
+
+exception Parse_error of string * int * int
+(** [(message, line, column)] *)
+
+val parse : string -> Ast.t
+(** Parse a grammar from source.
+    @raise Parse_error on syntax errors
+    @raise Meta_lexer.Lex_error on lexical errors *)
+
+val parse_exn : string -> Ast.t
+(** Alias of {!parse}. *)
+
+val parse_result : string -> (Ast.t, string) result
+(** Like {!parse}, with errors rendered as ["line:col: message"]. *)
+
+val prec_pred_of_code : string -> int option
+(** [prec_pred_of_code "p <= 3"] is [Some 3]; [None] for any other
+    predicate text.  Exposed for the pretty-printer round-trip. *)

@@ -1,0 +1,67 @@
+(* Pretty-printer for grammars, producing text the metalanguage parser
+   accepts again (round-trip property tested in the suite). *)
+
+open Ast
+
+let suffix_str = function One -> "" | Opt -> "?" | Star -> "*" | Plus -> "+"
+
+(* Literal spellings are stored with their escapes resolved; re-escape
+   backslashes and quotes so printed grammars re-lex. *)
+let quote_literal name =
+  let body = String.sub name 1 (String.length name - 2) in
+  let buf = Buffer.create (String.length body + 2) in
+  Buffer.add_char buf '\'';
+  String.iter
+    (function
+      | '\'' -> Buffer.add_string buf "\\'"
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c -> Buffer.add_char buf c)
+    body;
+  Buffer.add_char buf '\'';
+  Buffer.contents buf
+
+let rec pp_element ppf (e : element) =
+  match e with
+  | Term name ->
+      if Sym.is_literal_name name then Fmt.string ppf (quote_literal name)
+      else Fmt.string ppf name
+  | Nonterm { name; arg = None } -> Fmt.string ppf name
+  | Nonterm { name; arg = Some p } -> Fmt.pf ppf "%s[%d]" name p
+  | Block { alts; suffix } ->
+      Fmt.pf ppf "(%a)%s" pp_alts alts (suffix_str suffix)
+  | Sem_pred code -> Fmt.pf ppf "{%s}?" code
+  | Prec_pred n -> Fmt.pf ppf "{p <= %d}?" n
+  | Syn_pred alts -> Fmt.pf ppf "(%a)=>" pp_alts alts
+  | Action { code; always = false } -> Fmt.pf ppf "{%s}" code
+  | Action { code; always = true } -> Fmt.pf ppf "{{%s}}" code
+  | Wild -> Fmt.string ppf "."
+
+and pp_alt ppf (a : alt) =
+  match a.elems with
+  | [] -> Fmt.string ppf "/* epsilon */"
+  | elems -> Fmt.(list ~sep:sp pp_element) ppf elems
+
+and pp_alts ppf alts = Fmt.(list ~sep:(any " | ") pp_alt) ppf alts
+
+let pp_rule ppf (r : rule) =
+  Fmt.pf ppf "@[<hv 2>%s%s :@ %a@ ;@]" r.name
+    (if r.parameterized then "[p]" else "")
+    Fmt.(list ~sep:(any "@ | ") pp_alt)
+    r.rule_alts
+
+let pp_options ppf (o : options) =
+  Fmt.pf ppf "options { backtrack=%b; m=%d; memoize=%b;%a }" o.backtrack o.m
+    o.memoize
+    Fmt.(option (fun ppf k -> Fmt.pf ppf " k=%d;" k))
+    o.k
+
+let pp ppf (g : t) =
+  Fmt.pf ppf "grammar %s;@." g.gname;
+  if g.options <> default_options then Fmt.pf ppf "%a@." pp_options g.options;
+  List.iter (fun r -> Fmt.pf ppf "%a@." pp_rule r) g.rules
+
+let to_string g = Fmt.str "%a" pp g
+let element_to_string e = Fmt.str "%a" pp_element e
+let alt_to_string a = Fmt.str "%a" pp_alt a

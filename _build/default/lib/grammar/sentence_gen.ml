@@ -1,0 +1,151 @@
+(* Random sentence generation from a grammar: the workload substrate used in
+   place of the paper's proprietary corpora (DESIGN.md, Substitution 2).
+
+   Generation performs a random leftmost derivation.  A size budget steers
+   alternative choice: each rule/alternative has a precomputed minimal
+   terminal yield; while the budget lasts, alternatives are chosen uniformly
+   at random, and once it is exhausted the cheapest alternative is forced so
+   derivations terminate.  Semantic predicates are assumed true; syntactic
+   predicates generate nothing (they consume no input). *)
+
+open Ast
+
+type t = {
+  grammar : Ast.t;
+  min_cost : (string, int) Hashtbl.t; (* rule -> minimal terminal yield *)
+}
+
+let big = 1_000_000
+
+let prepare (grammar : Ast.t) : t =
+  let min_cost = Hashtbl.create 16 in
+  List.iter (fun r -> Hashtbl.replace min_cost r.name big) grammar.rules;
+  let rule_cost name =
+    match Hashtbl.find_opt min_cost name with Some c -> c | None -> big
+  in
+  let rec elem_cost = function
+    | Term _ | Wild -> 1
+    | Nonterm { name; _ } -> rule_cost name
+    | Sem_pred _ | Prec_pred _ | Syn_pred _ | Action _ -> 0
+    | Block { suffix = Opt | Star; _ } -> 0
+    | Block { alts; suffix = One | Plus } ->
+        List.fold_left (fun m a -> min m (alt_cost a)) big alts
+  and alt_cost a =
+    List.fold_left (fun acc e -> min big (acc + elem_cost e)) 0 a.elems
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun r ->
+        let c = List.fold_left (fun m a -> min m (alt_cost a)) big r.rule_alts in
+        if c < rule_cost r.name then begin
+          Hashtbl.replace min_cost r.name c;
+          changed := true
+        end)
+      grammar.rules
+  done;
+  { grammar; min_cost }
+
+let alt_cost t (a : alt) =
+  let rule_cost name =
+    match Hashtbl.find_opt t.min_cost name with Some c -> c | None -> big
+  in
+  let rec elem_cost = function
+    | Term _ | Wild -> 1
+    | Nonterm { name; _ } -> rule_cost name
+    | Sem_pred _ | Prec_pred _ | Syn_pred _ | Action _ -> 0
+    | Block { suffix = Opt | Star; _ } -> 0
+    | Block { alts; suffix = One | Plus } ->
+        List.fold_left (fun m a -> min m (alt_cost a)) big alts
+  and alt_cost a =
+    List.fold_left (fun acc e -> min big (acc + elem_cost e)) 0 a.elems
+  in
+  alt_cost a
+
+(* Pick an alternative: random while the budget lasts, cheapest otherwise. *)
+let choose_alt t rng budget (alts : alt list) : alt =
+  let arr = Array.of_list alts in
+  if budget > 0 then arr.(Random.State.int rng (Array.length arr))
+  else begin
+    let best = ref arr.(0) and best_c = ref (alt_cost t arr.(0)) in
+    Array.iter
+      (fun a ->
+        let c = alt_cost t a in
+        if c < !best_c then begin
+          best := a;
+          best_c := c
+        end)
+      arr;
+    !best
+  end
+
+exception Unproductive
+(* Raised when generation cannot terminate: every alternative of some rule
+   recurses with no finite-yield base case, so forcing the cheapest
+   alternative still diverges.  Callers treat the sentence as ungenerable. *)
+
+(* Generate a sentence as a list of terminal spellings.
+   @raise Unproductive on grammars with no finite derivation. *)
+let generate ?(start : string option) t ~rng ~size : string list =
+  let out = ref [] in
+  let budget = ref size in
+  let hard_floor = -((8 * size) + 64) in
+  let steps = ref 0 in
+  (* bounds both runaway emission and zero-yield recursion *)
+  let max_steps = (64 * size) + 4096 in
+  let emit name =
+    out := name :: !out;
+    decr budget;
+    if !budget < hard_floor then raise Unproductive
+  in
+  let rec gen_rule name =
+    incr steps;
+    if !steps > max_steps then raise Unproductive;
+    match find_rule t.grammar name with
+    | None -> ()
+    | Some r -> gen_alt (choose_alt t rng !budget r.rule_alts)
+  and gen_alt a = List.iter gen_elem a.elems
+  and gen_elem = function
+    | Term name -> emit name
+    | Wild -> emit "." (* callers substitute an arbitrary token *)
+    | Nonterm { name; _ } -> gen_rule name
+    | Sem_pred _ | Prec_pred _ | Syn_pred _ | Action _ -> ()
+    | Block { alts; suffix } -> (
+        match suffix with
+        | One -> gen_alt (choose_alt t rng !budget alts)
+        | Opt -> if !budget > 0 && Random.State.bool rng then
+              gen_alt (choose_alt t rng !budget alts)
+        | Star ->
+            while !budget > 0 && Random.State.int rng 3 > 0 do
+              gen_alt (choose_alt t rng !budget alts)
+            done
+        | Plus ->
+            gen_alt (choose_alt t rng !budget alts);
+            while !budget > 0 && Random.State.int rng 3 > 0 do
+              gen_alt (choose_alt t rng !budget alts)
+            done)
+  in
+  let start = match start with Some s -> s | None -> t.grammar.start in
+  gen_rule start;
+  List.rev !out
+
+(* Render terminal spellings to program text.  Literal terminals print their
+   raw text; other token types are produced by [sample] (e.g. a fresh
+   identifier for [ID]).  A newline is inserted after terminals in
+   [break_after] so generated programs have realistic line counts. *)
+let render ?(break_after = [ ";"; "{"; "}" ]) ~sample (terms : string list) :
+    string =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun name ->
+      if name <> Sym.eof_name then begin
+        let text =
+          if Sym.is_literal_name name then Sym.unquote name else sample name
+        in
+        Buffer.add_string buf text;
+        if List.mem text break_after then Buffer.add_char buf '\n'
+        else Buffer.add_char buf ' '
+      end)
+    terms;
+  Buffer.contents buf

@@ -1,0 +1,29 @@
+(** Random sentence generation from a grammar: the workload substrate used
+    in place of the paper's proprietary corpora (DESIGN.md, Substitution 2).
+
+    Generation performs a random leftmost derivation.  A size budget steers
+    alternative choice: while it lasts alternatives are uniform-random, and
+    once exhausted the cheapest (minimal terminal yield) alternative is
+    forced so derivations terminate.  Semantic predicates are assumed true;
+    syntactic predicates generate nothing. *)
+
+type t
+
+val prepare : Ast.t -> t
+(** Precompute minimal terminal yields per rule. *)
+
+exception Unproductive
+(** Raised when generation cannot terminate: some reachable rule has no
+    finite-yield derivation. *)
+
+val generate :
+  ?start:string -> t -> rng:Random.State.t -> size:int -> string list
+(** A sentence as a list of terminal spellings ([ID], ['int'], ...).
+    @raise Unproductive on grammars with no finite derivation *)
+
+val render :
+  ?break_after:string list -> sample:(string -> string) -> string list -> string
+(** Render terminal spellings to program text: literal terminals print
+    their raw text; other token classes are produced by [sample].  A
+    newline follows any text in [break_after] (default [";"], ["{"], ["}"])
+    so generated programs have realistic line counts. *)

@@ -1,0 +1,151 @@
+(* Grammar transformations applied before ATN construction:
+
+   - [peg_mode]: implements [options { backtrack=true; }] (paper section 2):
+     auto-inserts a syntactic predicate [(alpha)=> alpha] on every production
+     of every decision, mimicking PEG ordered choice.  The analysis then
+     statically strips the predicates from every decision it can resolve with
+     a pure lookahead DFA.
+   - [lift_synpreds]: replaces every syntactic predicate fragment with a
+     fresh pseudo-rule [__synpredN] so the ATN has a submachine to simulate
+     when the predicate is evaluated by speculative parse (section 4.1
+     reduces syntactic predicates to semantic predicates [synpred(A'_i)]).
+     After lifting, every [Syn_pred] in the grammar has the canonical shape
+     [( __synpredN )=>]. *)
+
+open Ast
+
+let synpred_prefix = "__synpred"
+
+let is_synpred_rule name =
+  String.length name > String.length synpred_prefix
+  && String.sub name 0 (String.length synpred_prefix) = synpred_prefix
+
+(* ------------------------------------------------------------------ *)
+(* PEG mode *)
+
+let starts_with_pred (a : alt) =
+  match a.elems with
+  | (Syn_pred _ | Sem_pred _) :: _ -> true
+  | _ -> false
+
+let is_epsilon_ish (a : alt) =
+  List.for_all
+    (function Action _ | Sem_pred _ | Prec_pred _ -> true | _ -> false)
+    a.elems
+
+(* Wrap alternative [a] with a syntactic predicate over its own content.
+   Skipped if it already starts with a predicate or matches only epsilon. *)
+let guard_alt (a : alt) =
+  if starts_with_pred a || is_epsilon_ish a then a
+  else { elems = Syn_pred [ a ] :: a.elems }
+
+let rec peg_alt ~last (a : alt) =
+  let a = { elems = List.map peg_element a.elems } in
+  if last then a else guard_alt a
+
+and peg_element (e : element) =
+  match e with
+  | Block { alts; suffix } ->
+      let n = List.length alts in
+      let alts =
+        List.mapi
+          (fun i a ->
+            (* In loops and optional blocks the implicit exit branch is the
+               "last alternative", so every body alternative gets a guard;
+               in plain blocks the final alternative is the default. *)
+            let last = (suffix = One || suffix = Plus) && i = n - 1 && n > 1 in
+            let last = last || (suffix = One && n = 1) in
+            peg_alt ~last a)
+          alts
+      in
+      Block { alts; suffix }
+  | Syn_pred alts -> Syn_pred alts (* do not guard inside explicit predicates *)
+  | other -> other
+
+let peg_mode (g : t) : t =
+  let rules =
+    List.map
+      (fun r ->
+        if is_synpred_rule r.name then r
+        else
+          let n = List.length r.rule_alts in
+          let rule_alts =
+            List.mapi (fun i a -> peg_alt ~last:(i = n - 1 || n = 1) a) r.rule_alts
+          in
+          { r with rule_alts })
+      g.rules
+  in
+  { g with rules }
+
+(* ------------------------------------------------------------------ *)
+(* Syntactic-predicate lifting *)
+
+let canonical_synpred_rule (e : element) : string option =
+  match e with
+  | Syn_pred [ { elems = [ Nonterm { name; _ } ] } ] when is_synpred_rule name
+    ->
+      Some name
+  | _ -> None
+
+let lift_synpreds (g : t) : t =
+  let counter = ref 0 in
+  let lifted = ref [] in
+  (* Structural memo so identical fragments share one pseudo-rule (PEG mode
+     produces many duplicates across a rule's productions). *)
+  let memo : (string * string) list ref = ref [] in
+  let rec lift_alt (a : alt) = { elems = List.map lift_element a.elems }
+  and lift_element (e : element) =
+    match e with
+    | Syn_pred _ when canonical_synpred_rule e <> None -> e
+    | Syn_pred alts ->
+        let alts = List.map lift_alt alts in
+        let key =
+          String.concat " | " (List.map Pretty.alt_to_string alts)
+        in
+        let name =
+          match List.assoc_opt key !memo with
+          | Some n -> n
+          | None ->
+              incr counter;
+              let name = Printf.sprintf "%s%d" synpred_prefix !counter in
+              memo := (key, name) :: !memo;
+              lifted :=
+                {
+                  name;
+                  rule_alts = alts;
+                  parameterized = false;
+                  source_line = 0;
+                }
+                :: !lifted;
+              name
+        in
+        Syn_pred [ { elems = [ Nonterm { name; arg = None } ] } ]
+    | Block { alts; suffix } -> Block { alts = List.map lift_alt alts; suffix }
+    | other -> other
+  in
+  let rules =
+    List.map (fun r -> { r with rule_alts = List.map lift_alt r.rule_alts }) g.rules
+  in
+  (* Lifted pseudo-rules may themselves contain syntactic predicates (nested
+     speculation); keep lifting until a fixpoint. *)
+  let rec drain acc =
+    match !lifted with
+    | [] -> acc
+    | pending ->
+        lifted := [];
+        let pending =
+          List.map
+            (fun r -> { r with rule_alts = List.map lift_alt r.rule_alts })
+            pending
+        in
+        drain (acc @ List.rev pending)
+  in
+  let pseudo = drain [] in
+  { g with rules = rules @ pseudo }
+
+(* Full pre-analysis pipeline: left-recursion rewrite, PEG mode if
+   requested, then predicate lifting. *)
+let prepare (g : t) : t =
+  let g = Leftrec.rewrite g in
+  let g = if g.options.backtrack then peg_mode g else g in
+  lift_synpreds g

@@ -1,0 +1,28 @@
+(** Grammar transformations applied before ATN construction. *)
+
+val synpred_prefix : string
+(** Name prefix (["__synpred"]) of lifted syntactic-predicate pseudo-rules. *)
+
+val is_synpred_rule : string -> bool
+
+val peg_mode : Ast.t -> Ast.t
+(** Implements [options { backtrack=true; }] (paper section 2): auto-insert
+    a syntactic predicate [(alpha)=>] on every production of every decision
+    except the default (last) alternative.  The analysis later strips the
+    predicates from every decision it can resolve with a pure lookahead
+    DFA. *)
+
+val lift_synpreds : Ast.t -> Ast.t
+(** Replace every syntactic-predicate fragment with a fresh [__synpredN]
+    pseudo-rule (shared between structurally identical fragments) so the
+    runtime can evaluate the predicate by speculatively invoking a rule
+    (section 4.1).  After lifting, every [Syn_pred] has the canonical shape
+    recognised by {!canonical_synpred_rule}. *)
+
+val canonical_synpred_rule : Ast.element -> string option
+(** The pseudo-rule name of a lifted syntactic predicate, if [element] is
+    one. *)
+
+val prepare : Ast.t -> Ast.t
+(** The full pre-analysis pipeline: {!Leftrec.rewrite}, then {!peg_mode} if
+    the grammar requests backtracking, then {!lift_synpreds}. *)

@@ -1,0 +1,1 @@
+lib/grammars/mini_csharp.ml: Array Printf Runtime Workload

@@ -1,0 +1,1 @@
+lib/grammars/mini_java.ml: Array Printf Runtime Workload

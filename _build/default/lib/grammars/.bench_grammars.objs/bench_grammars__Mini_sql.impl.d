@@ -1,0 +1,1 @@
+lib/grammars/mini_sql.ml: Array Printf Runtime Workload

@@ -1,0 +1,1 @@
+lib/grammars/mini_vb.ml: Array Printf Runtime Workload

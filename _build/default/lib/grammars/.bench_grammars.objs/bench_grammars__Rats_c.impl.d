@@ -1,0 +1,1 @@
+lib/grammars/rats_c.ml: Array List Printf Runtime Workload

@@ -1,0 +1,1 @@
+lib/grammars/rats_java.ml: Array Printf Runtime Workload

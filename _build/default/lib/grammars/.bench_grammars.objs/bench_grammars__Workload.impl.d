@@ -1,0 +1,1 @@
+lib/grammars/workload.ml: Array Fmt Grammar List Llstar Random Runtime String

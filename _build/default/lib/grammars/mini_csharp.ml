@@ -1,0 +1,367 @@
+(* MiniCSharp: the C# stand-in (paper Figure 12's commercial grammar).
+   Not in PEG mode; like the commercial grammar the author places syntactic
+   predicates manually where C# genuinely needs unbounded lookahead:
+
+   - class members: field vs. method vs. property vs. constructor all start
+     with [modifier* typeRef ID], and generic types make the type reference
+     arbitrarily long, so the member decision is predicated on scans like
+     [(modifier* typeRef ID '(')=>];
+   - statements: local variable declaration vs. expression statement
+     ([List<int> x = ...;] vs. [a < b ...;]), predicated with
+     [(localVarDecl)=>]. *)
+
+let name = "MiniCSharp"
+
+let grammar_text =
+  {|
+grammar MiniCSharp;
+options { memoize=true; }
+
+compilationUnit : usingDirective* namespaceMember* ;
+
+usingDirective : 'using' qname ';' ;
+
+qname : ID ('.' ID)* ;
+
+namespaceMember
+  : namespaceDecl
+  | typeDecl
+  ;
+
+namespaceDecl : 'namespace' qname '{' namespaceMember* '}' ;
+
+typeDecl
+  : modifier* ('class' | 'struct' | 'interface') ID typeParams?
+    baseList? '{' member* '}'
+  | modifier* 'enum' ID '{' enumBody? '}'
+  ;
+
+typeParams : '<' ID (',' ID)* '>' ;
+
+baseList : ':' typeRef (',' typeRef)* ;
+
+enumBody : ID ('=' expression)? (',' ID ('=' expression)?)* ;
+
+modifier
+  : 'public' | 'private' | 'protected' | 'internal' | 'static' | 'sealed'
+  | 'abstract' | 'virtual' | 'override' | 'readonly'
+  ;
+
+member
+  : (modifier* typeRef ID '(')=> methodDecl
+  | (modifier* typeRef ID '{')=> propertyDecl
+  | (modifier* ID '(')=> ctorDecl
+  | (modifier* typeRef ID)=> fieldDecl
+  | typeDecl
+  | ';'
+  ;
+
+methodDecl
+  : modifier* typeRef ID '(' formalParams? ')' (block | ';')
+  ;
+
+propertyDecl : modifier* typeRef ID '{' accessor+ '}' ;
+
+accessor
+  : 'get' (block | ';')
+  | 'set' (block | ';')
+  ;
+
+ctorDecl : modifier* ID '(' formalParams? ')' block ;
+
+fieldDecl : modifier* typeRef declarators ';' ;
+
+declarators : declarator (',' declarator)* ;
+
+declarator : ID ('=' variableInit)? ;
+
+variableInit : expression | arrayInit ;
+
+arrayInit : '{' (variableInit (',' variableInit)*)? '}' ;
+
+formalParams : formalParam (',' formalParam)* ;
+
+formalParam : ('ref' | 'out' | 'params')? typeRef ID ;
+
+typeRef
+  : ('void' | predefinedType | qname typeArgs?) rankSpecifier* ('?')?
+  ;
+
+typeArgs : '<' typeRef (',' typeRef)* '>' ;
+
+rankSpecifier : '[' ']' ;
+
+predefinedType
+  : 'int' | 'long' | 'bool' | 'double' | 'float' | 'string' | 'char'
+  | 'byte' | 'object' | 'decimal'
+  ;
+
+block : '{' statement* '}' ;
+
+statement
+  : block
+  | 'if' '(' expression ')' statement (('else')=> 'else' statement)?
+  | 'while' '(' expression ')' statement
+  | 'do' statement 'while' '(' expression ')' ';'
+  | 'for' '(' forInit? ';' expression? ';' expressionList? ')' statement
+  | 'foreach' '(' typeRef ID 'in' expression ')' statement
+  | 'switch' '(' expression ')' '{' switchSection* '}'
+  | 'try' block catchClause* ('finally' block)?
+  | 'return' expression? ';'
+  | 'break' ';'
+  | 'continue' ';'
+  | 'throw' expression? ';'
+  | 'using' '(' localVarDecl ')' statement
+  | (localVarDecl ';')=> localVarDecl ';'
+  | expression ';'
+  | ';'
+  ;
+
+catchClause : 'catch' ('(' typeRef ID? ')')? block ;
+
+switchSection : switchLabel+ statement* ;
+
+switchLabel : 'case' expression ':' | 'default' ':' ;
+
+forInit : (localVarDecl)=> localVarDecl | expressionList ;
+
+localVarDecl : ('var' | typeRef) declarators ;
+
+expressionList : expression (',' expression)* ;
+
+expression
+  : (unary assignOp)=> unary assignOp expression
+  | conditional
+  ;
+
+assignOp : '=' | '+=' | '-=' | '*=' | '/=' | '%=' | '|=' | '&=' ;
+
+conditional : nullCoalesce ('?' expression ':' expression)? ;
+
+nullCoalesce : orExpr ('??' orExpr)* ;
+
+orExpr : andExpr ('||' andExpr)* ;
+
+andExpr : bitOrExpr ('&&' bitOrExpr)* ;
+
+bitOrExpr : bitXorExpr ('|' bitXorExpr)* ;
+
+bitXorExpr : bitAndExpr ('^' bitAndExpr)* ;
+
+bitAndExpr : equality ('&' equality)* ;
+
+equality : relational (('==' | '!=') relational)* ;
+
+relational
+  : shift (('<=' | '>=' | '<' | '>') shift | ('is' | 'as') typeRef)*
+  ;
+
+shift : additive (('<<' | '>>') additive)* ;
+
+additive : multiplicative (('+' | '-') multiplicative)* ;
+
+multiplicative : unary (('*' | '/' | '%') unary)* ;
+
+unary
+  : ('+' | '-' | '!' | '~') unary
+  | '++' unary
+  | '--' unary
+  | ('(' predefinedType ')')=> '(' predefinedType ')' unary
+  | postfix
+  ;
+
+postfix : primary postfixOp* ('++' | '--')? ;
+
+postfixOp
+  : '.' ID ((typeArgs)=> typeArgs)? arguments?
+  | '[' expressionList ']'
+  ;
+
+primary
+  : '(' expression ')'
+  | literal
+  | 'this' arguments?
+  | 'base' '.' ID arguments?
+  | 'new' typeRef (arguments | arrayCreator)?
+  | 'typeof' '(' typeRef ')'
+  | ID ((typeArgs)=> typeArgs)? arguments?
+  ;
+
+arrayCreator : '[' expressionList ']' rankSpecifier* arrayInit? ;
+
+arguments : '(' argumentList? ')' ;
+
+argumentList : argument (',' argument)* ;
+
+argument : ('ref' | 'out')? expression ;
+
+literal
+  : INT | FLOAT | STRING | CHAR | 'true' | 'false' | 'null'
+  ;
+|}
+
+let lexer_config =
+  {
+    Runtime.Lexer_engine.default_config with
+    float_token = Some "FLOAT";
+    string_token = Some "STRING";
+    char_token = Some "CHAR";
+  }
+
+let samples =
+  [
+    {|
+using System;
+using System.Collections.Generic;
+
+namespace Demo.Core {
+
+  public enum Level { Low, Mid = 5, High }
+
+  public interface IStore {
+    int Count { get; }
+    void Put(string key, int value);
+  }
+
+  public class Store : IStore {
+    private Dictionary<string, int> cells = new Dictionary<string, int>();
+    private static readonly int Limit = 1000;
+    private int count;
+
+    public Store(int seed) {
+      count = seed;
+    }
+
+    public int Count {
+      get { return count; }
+      set { count = value; }
+    }
+
+    public void Put(string key, int value) {
+      if (key == null) {
+        throw new ArgumentException("key");
+      }
+      cells[key] = value;
+      count++;
+    }
+
+    public int Sum(List<int> xs) {
+      int total = 0;
+      foreach (int x in xs) {
+        total += x;
+      }
+      for (int i = 0; i < 3; i++) {
+        total = total * 2 % Limit;
+      }
+      return total;
+    }
+
+    public double Ratio(int a, int b) {
+      var denom = b == 0 ? 1 : b;
+      double r = (double) a / denom;
+      return r ?? 0.0;
+    }
+
+    public void Drain() {
+      while (count > 0) {
+        count--;
+      }
+      do {
+        Tick();
+      } while (Busy());
+      try {
+        Risky(out count);
+      } catch (Exception e) {
+        Log(e);
+      } finally {
+        count = 0;
+      }
+      switch (count) {
+        case 0:
+          break;
+        default:
+          count = Limit;
+          break;
+      }
+      using (Handle h = Open()) {
+        h.Touch();
+      }
+    }
+  }
+}
+|};
+    {|
+using System;
+
+namespace Demo.Pipeline {
+  public interface IStage {
+    string Name { get; }
+    int Run(int input);
+  }
+
+  public sealed class Doubler : IStage {
+    public string Name { get { return "doubler"; } }
+    private static int calls;
+
+    public int Run(int input) {
+      calls++;
+      return input << 1;
+    }
+  }
+
+  public class Pipeline {
+    private List<IStage> stages = new List<IStage>();
+    private Dictionary<string, int> scores;
+    public readonly int Limit = 16;
+
+    public Pipeline(int n) {
+      for (int i = 0; i < n; i++) {
+        stages[i] = new Doubler();
+      }
+    }
+
+    public int RunAll(int seed) {
+      int acc = seed;
+      foreach (IStage s in stages) {
+        acc = s.Run(acc) % Limit;
+        if (acc == 0) {
+          continue;
+        }
+        var label = acc > 8 ? "high" : "low";
+        scores[label] += acc;
+      }
+      do {
+        acc--;
+      } while (acc > 0 && !Busy());
+      return acc ?? 0;
+    }
+  }
+}
+|};
+  ]
+
+let idents =
+  [|
+    "agg"; "bus"; "ctx"; "dto"; "env"; "fld"; "gen"; "hub"; "imp"; "jwt";
+    "ker"; "lnk"; "mon"; "net"; "orm"; "pool"; "qry"; "repo"; "svc"; "tkn";
+    "uow"; "vm"; "wfl"; "xml"; "yld"; "zip";
+  |]
+
+let sample_lexeme i = function
+  | "ID" -> idents.(i mod Array.length idents)
+  | "INT" -> string_of_int (i mod 1000)
+  | "FLOAT" -> Printf.sprintf "%d.%d" (i mod 100) (i mod 10)
+  | "STRING" -> "\"s\""
+  | "CHAR" -> "'c'"
+  | other -> other
+
+let spec : Workload.spec =
+  {
+    name;
+    grammar_text;
+    lexer_config;
+    samples;
+    sample_lexeme;
+    sem_preds = [];
+    gen_start = None;
+  }

@@ -1,0 +1,336 @@
+(* MiniJava: the Java1.5 stand-in (paper Figure 12), written in PEG mode
+   ([backtrack=true]) like the paper's native ANTLR Java grammar.  Scaled
+   down but structurally faithful: the decision mix preserves the paper's
+   shape -- most decisions LL(1), a tail of LL(2+), and genuinely
+   backtracking decisions at the classic Java trouble spots (field vs.
+   method members, local-variable declaration vs. expression statement,
+   generic type arguments vs. relational operators). *)
+
+let name = "MiniJava"
+
+let grammar_text =
+  {|
+grammar MiniJava;
+options { backtrack=true; memoize=true; }
+
+compilationUnit : packageDecl? importDecl* typeDecl* ;
+
+packageDecl : 'package' qualifiedName ';' ;
+
+importDecl : 'import' ('static')? qualifiedName ('.' '*')? ';' ;
+
+qualifiedName : ID ('.' ID)* ;
+
+typeDecl
+  : classDecl
+  | interfaceDecl
+  | ';'
+  ;
+
+classDecl
+  : modifiers 'class' ID typeParams?
+    ('extends' typeRef)? ('implements' typeRefList)? classBody
+  ;
+
+interfaceDecl
+  : modifiers 'interface' ID typeParams? ('extends' typeRefList)? classBody
+  ;
+
+typeParams : '<' ID (',' ID)* '>' ;
+
+typeRefList : typeRef (',' typeRef)* ;
+
+classBody : '{' member* '}' ;
+
+member
+  : fieldDecl
+  | methodDecl
+  | ctorDecl
+  | classDecl
+  | ';'
+  ;
+
+fieldDecl : modifiers typeRef variableDeclarators ';' ;
+
+methodDecl
+  : modifiers typeParams? returnType ID '(' formalParams? ')'
+    ('throws' typeRefList)? (block | ';')
+  ;
+
+ctorDecl : modifiers ID '(' formalParams? ')' block ;
+
+returnType : 'void' | typeRef ;
+
+typeRef
+  : (primitiveType | qualifiedName typeArgs?) ('[' ']')*
+  ;
+
+typeArgs : '<' typeRef (',' typeRef)* '>' ;
+
+primitiveType
+  : 'int' | 'boolean' | 'char' | 'long' | 'double' | 'float' | 'byte' | 'short'
+  ;
+
+modifiers : modifier* ;
+
+modifier
+  : 'public' | 'private' | 'protected' | 'static' | 'final' | 'abstract'
+  | 'native' | 'synchronized' | 'transient' | 'volatile'
+  ;
+
+variableDeclarators : variableDeclarator (',' variableDeclarator)* ;
+
+variableDeclarator : ID ('[' ']')* ('=' variableInit)? ;
+
+variableInit : arrayInit | expression ;
+
+arrayInit : '{' (variableInit (',' variableInit)*)? '}' ;
+
+formalParams : formalParam (',' formalParam)* ;
+
+formalParam : ('final')? typeRef ID ('[' ']')* ;
+
+block : '{' statement* '}' ;
+
+statement
+  : block
+  | 'if' parExpr statement (('else')=> 'else' statement)?
+  | 'while' parExpr statement
+  | 'do' statement 'while' parExpr ';'
+  | 'for' '(' forInit? ';' expression? ';' expressionList? ')' statement
+  | 'try' block catchClause* ('finally' block)?
+  | 'switch' parExpr '{' switchGroup* '}'
+  | 'return' expression? ';'
+  | 'break' ID? ';'
+  | 'continue' ID? ';'
+  | 'throw' expression ';'
+  | localVarDecl ';'
+  | statementExpression ';'
+  | ';'
+  ;
+
+catchClause : 'catch' '(' formalParam ')' block ;
+
+switchGroup : switchLabel+ statement* ;
+
+switchLabel : 'case' expression ':' | 'default' ':' ;
+
+forInit : localVarDecl | expressionList ;
+
+parExpr : '(' expression ')' ;
+
+expressionList : expression (',' expression)* ;
+
+statementExpression : expression ;
+
+localVarDecl : ('final')? typeRef variableDeclarators ;
+
+expression : conditionalExpr (assignmentOp expression)? ;
+
+assignmentOp : '=' | '+=' | '-=' | '*=' | '/=' | '%=' | '&=' | '|=' | '^=' ;
+
+conditionalExpr : conditionalOrExpr ('?' expression ':' expression)? ;
+
+conditionalOrExpr : conditionalAndExpr ('||' conditionalAndExpr)* ;
+
+conditionalAndExpr : inclusiveOrExpr ('&&' inclusiveOrExpr)* ;
+
+inclusiveOrExpr : exclusiveOrExpr ('|' exclusiveOrExpr)* ;
+
+exclusiveOrExpr : andExpr ('^' andExpr)* ;
+
+andExpr : equalityExpr ('&' equalityExpr)* ;
+
+equalityExpr : instanceOfExpr (('==' | '!=') instanceOfExpr)* ;
+
+instanceOfExpr : relationalExpr ('instanceof' typeRef)? ;
+
+relationalExpr : shiftExpr (('<=' | '>=' | '<' | '>') shiftExpr)* ;
+
+shiftExpr : additiveExpr (('<<' | '>>') additiveExpr)* ;
+
+additiveExpr : multiplicativeExpr (('+' | '-') multiplicativeExpr)* ;
+
+multiplicativeExpr : unaryExpr (('*' | '/' | '%') unaryExpr)* ;
+
+unaryExpr
+  : ('+' | '-' | '!' | '~') unaryExpr
+  | '++' unaryExpr
+  | '--' unaryExpr
+  | castExpr
+  | postfixExpr
+  ;
+
+castExpr : '(' primitiveType ('[' ']')* ')' unaryExpr ;
+
+postfixExpr : primary postfixOp* ('++' | '--')? ;
+
+postfixOp
+  : '.' ID arguments?
+  | '[' expression ']'
+  ;
+
+primary
+  : parExpr
+  | literal
+  | 'this' arguments?
+  | 'super' '.' ID arguments?
+  | 'new' creator
+  | ID arguments?
+  ;
+
+creator : typeRef (arguments | arrayCreatorRest) ;
+
+arrayCreatorRest : '[' expression ']' ('[' ']')* ;
+
+arguments : '(' expressionList? ')' ;
+
+literal
+  : INT | FLOAT | STRING | CHAR | 'true' | 'false' | 'null'
+  ;
+|}
+
+let lexer_config =
+  {
+    Runtime.Lexer_engine.default_config with
+    float_token = Some "FLOAT";
+    string_token = Some "STRING";
+    char_token = Some "CHAR";
+  }
+
+let samples =
+  [
+    {|
+package com.example.app;
+
+import java.util.List;
+import static java.lang.Math.*;
+
+public class Greeter {
+  private static final int LIMIT = 100;
+  private List items;
+  protected char sep = 'c';
+
+  public Greeter(int limit) {
+    this.limit = limit;
+  }
+
+  public int sum(int[] xs, int n) {
+    int total = 0;
+    for (int i = 0; i < n; i = i + 1) {
+      total += xs[i];
+    }
+    return total;
+  }
+
+  public void greet(String who) {
+    if (who == null) {
+      who = "world";
+    } else {
+      log(who);
+    }
+    while (pending() && limit > 0) {
+      limit = limit - 1;
+    }
+  }
+
+  boolean pending() {
+    return items.size() > 0;
+  }
+}
+
+interface Shape {
+  double area();
+  void scale(double factor);
+}
+
+class Circle implements Shape {
+  double radius;
+  public double area() {
+    return 3.14 * radius * radius;
+  }
+  public void scale(double factor) {
+    radius = radius * factor;
+    int cached = (int) radius;
+    this.notify(cached, "scaled");
+  }
+}
+|};
+    {|
+class Algorithms {
+  static int fib(int n) {
+    if (n < 2) {
+      return n;
+    }
+    return fib(n - 1) + fib(n - 2);
+  }
+
+  static int[] copy(int[] src, int n) {
+    int[] dst = new int[n];
+    for (int i = 0; i < n; i++) {
+      dst[i] = src[i];
+    }
+    return dst;
+  }
+
+  static void sort(int[] a, int n) {
+    for (int i = 1; i < n; i++) {
+      int key = a[i];
+      int j = i - 1;
+      while (j >= 0 && a[j] > key) {
+        a[j + 1] = a[j];
+        j = j - 1;
+      }
+      a[j + 1] = key;
+    }
+  }
+
+  int dispatch(int kind) {
+    switch (kind) {
+      case 0:
+        return fib(10);
+      case 1:
+      default:
+        break;
+    }
+    try {
+      risky();
+    } catch (Exception e) {
+      handle(e);
+    } finally {
+      cleanup();
+    }
+    do {
+      tick();
+    } while (busy());
+    return done ? 1 : 0;
+  }
+}
+|};
+  ]
+
+let idents =
+  [|
+    "alpha"; "beta"; "counter"; "data"; "elem"; "flag"; "gamma"; "helper";
+    "index"; "job"; "kind"; "label"; "merge"; "node"; "obj"; "pivot"; "queue";
+    "result"; "state"; "total"; "user"; "value"; "worker"; "xs"; "ys"; "zeta";
+  |]
+
+let sample_lexeme i = function
+  | "ID" -> idents.(i mod Array.length idents)
+  | "INT" -> string_of_int (i mod 1000)
+  | "FLOAT" -> Printf.sprintf "%d.%d" (i mod 100) (i mod 10)
+  | "STRING" -> "\"s\""
+  | "CHAR" -> "'c'"
+  | other -> other
+
+let spec : Workload.spec =
+  {
+    name;
+    grammar_text;
+    lexer_config;
+    samples;
+    sample_lexeme;
+    sem_preds = [];
+    gen_start = None;
+  }

@@ -1,0 +1,344 @@
+(* MiniSQL: the TSQL stand-in (paper Figure 12's commercial T-SQL grammar).
+   Like the commercial grammar it is *not* in PEG mode: the author places
+   syntactic predicates manually at the few spots that need them, and the
+   rest of the grammar is LL(k).  The paper's TSQL profile -- 94% fixed
+   lookahead, a few cyclic decisions, a small set of backtracking
+   decisions -- is reproduced by:
+
+   - keyword-led statements (LL(1));
+   - [qname '.' '*'] select items, distinguishable from expressions only by
+     scanning over the dotted-name loop (cyclic DFA);
+   - arbitrarily nested derived tables [( ( SELECT ... ) ... )], where a
+     manual syntactic predicate performs the unbounded-lookahead check. *)
+
+let name = "MiniSQL"
+
+let grammar_text =
+  {|
+grammar MiniSQL;
+options { memoize=true; }
+
+batch : sqlStatement* ;
+
+sqlStatement
+  : queryExpression ';'
+  | insertStatement ';'
+  | updateStatement ';'
+  | deleteStatement ';'
+  | createTable ';'
+  | createIndex ';'
+  | dropStatement ';'
+  | declareStatement ';'
+  | setStatement ';'
+  | ifStatement
+  | whileStatement
+  | beginEndBlock
+  | ';'
+  ;
+
+queryExpression : queryTerm ('UNION' ('ALL')? queryTerm)* ;
+
+queryTerm
+  : selectStatement
+  | '(' queryExpression ')'
+  ;
+
+selectStatement
+  : 'SELECT' ('DISTINCT' | 'ALL')? ('TOP' INT)? selectList
+    fromClause? whereClause? groupByClause? havingClause? orderByClause?
+  ;
+
+selectList : selectItem (',' selectItem)* ;
+
+selectItem
+  : '*'
+  | qname '.' '*'
+  | expression (('AS')? ID)?
+  ;
+
+qname : ID ('.' ID)* ;
+
+fromClause : 'FROM' tableSource (',' tableSource)* ;
+
+tableSource : fromItem joinPart* ;
+
+fromItem
+  : ('(' queryExpression ')')=> '(' queryExpression ')' ('AS')? ID
+  | '(' tableSource ')'
+  | qname (('AS')? ID)?
+  ;
+
+joinPart
+  : ('INNER' | 'LEFT' ('OUTER')? | 'RIGHT' ('OUTER')? | 'FULL')? 'JOIN'
+    fromItem 'ON' expression
+  | 'CROSS' 'JOIN' fromItem
+  ;
+
+whereClause : 'WHERE' expression ;
+
+groupByClause : 'GROUP' 'BY' expression (',' expression)* ;
+
+havingClause : 'HAVING' expression ;
+
+orderByClause : 'ORDER' 'BY' orderItem (',' orderItem)* ;
+
+orderItem : expression ('ASC' | 'DESC')? ;
+
+insertStatement
+  : 'INSERT' ('INTO')? qname ('(' idList ')')?
+    ('VALUES' '(' expressionList ')' | queryExpression)
+  ;
+
+idList : ID (',' ID)* ;
+
+updateStatement
+  : 'UPDATE' qname 'SET' setItem (',' setItem)* whereClause?
+  ;
+
+setItem : qname '=' expression ;
+
+deleteStatement : 'DELETE' 'FROM' qname whereClause? ;
+
+createTable : 'CREATE' 'TABLE' qname '(' columnDef (',' columnDef)* ')' ;
+
+columnDef : ID typeName columnOption* ;
+
+typeName
+  : 'INTTYPE'
+  | 'BIGINT'
+  | 'FLOATTYPE'
+  | 'BIT'
+  | 'DATETIME'
+  | 'VARCHAR' '(' INT ')'
+  | 'CHARTYPE' '(' INT ')'
+  | 'DECIMAL' '(' INT ',' INT ')'
+  ;
+
+columnOption
+  : 'NOT' 'NULL'
+  | 'NULL'
+  | 'PRIMARY' 'KEY'
+  | 'UNIQUE'
+  | 'DEFAULT' literal
+  | 'IDENTITY'
+  ;
+
+createIndex
+  : 'CREATE' ('UNIQUE')? 'INDEX' ID 'ON' qname '(' idList ')'
+  ;
+
+dropStatement : 'DROP' ('TABLE' | 'INDEX') qname ;
+
+declareStatement : 'DECLARE' VAR typeName ('=' expression)? ;
+
+setStatement : 'SET' VAR '=' expression ;
+
+ifStatement
+  : 'IF' expression (beginEndBlock | sqlStatement)
+    (('ELSE')=> 'ELSE' (beginEndBlock | sqlStatement))?
+  ;
+
+whileStatement : 'WHILE' expression beginEndBlock ;
+
+beginEndBlock : 'BEGIN' sqlStatement* 'END' ;
+
+expression : orTerm ('OR' orTerm)* ;
+
+orTerm : andTerm ('AND' andTerm)* ;
+
+andTerm
+  : 'NOT' andTerm
+  | predicate
+  ;
+
+predicate
+  : addExpr
+    ( ('=' | '<>' | '!=' | '<=' | '>=' | '<' | '>') addExpr
+    | 'BETWEEN' addExpr 'AND' addExpr
+    | 'LIKE' addExpr
+    | 'IN' '(' inList ')'
+    | 'IS' ('NOT')? 'NULL'
+    )?
+  ;
+
+inList
+  : queryExpression
+  | expressionList
+  ;
+
+expressionList : expression (',' expression)* ;
+
+addExpr : mulExpr (('+' | '-') mulExpr)* ;
+
+mulExpr : unaryExpr (('*' | '/' | '%') unaryExpr)* ;
+
+unaryExpr
+  : '-' unaryExpr
+  | primary
+  ;
+
+primary
+  : literal
+  | VAR
+  | caseExpression
+  | functionCall
+  | qname
+  | ('(' queryExpression ')')=> '(' queryExpression ')'
+  | '(' expression ')'
+  ;
+
+functionCall
+  : ('COUNT' | 'SUM' | 'AVG' | 'MIN' | 'MAX') '(' ('*' | expression) ')'
+  | ID '(' expressionList? ')'
+  ;
+
+caseExpression
+  : 'CASE' whenClause+ ('ELSE' expression)? 'END'
+  | 'CASE' expression whenClause+ ('ELSE' expression)? 'END'
+  ;
+
+whenClause : 'WHEN' expression 'THEN' expression ;
+
+literal : INT | FLOAT | STRING | 'NULL' | 'TRUE' | 'FALSE' ;
+|}
+
+let lexer_config =
+  {
+    Runtime.Lexer_engine.default_config with
+    float_token = Some "FLOAT";
+    string_token = Some "STRING";
+    string_quote = '\''; (* SQL string literals are single-quoted *)
+    at_ident_token = Some "VAR"; (* T-SQL @variables *)
+    char_token = None;
+    line_comments = [ "--" ];
+    block_comments = [ ("/*", "*/") ];
+  }
+
+let samples =
+  [
+    {|
+CREATE TABLE dbo.users (
+  id INTTYPE NOT NULL PRIMARY KEY,
+  name VARCHAR ( 64 ) NOT NULL,
+  age INTTYPE NULL,
+  balance DECIMAL ( 10 , 2 ) DEFAULT 0,
+  active BIT
+) ;
+
+CREATE UNIQUE INDEX idx_users_name ON dbo.users ( name ) ;
+
+DECLARE @limit INTTYPE = 10 ;
+DECLARE @total FLOATTYPE ;
+SET @total = 0 ;
+
+INSERT INTO dbo.users ( id , name , age ) VALUES ( 1 , 'ann' , 34 ) ;
+INSERT dbo.users SELECT id , name , age FROM staging.users WHERE age > 18 ;
+
+SELECT DISTINCT TOP 10 u.id , u.name AS label , u.age * 2
+FROM dbo.users u
+WHERE u.age BETWEEN 18 AND 65 AND u.name LIKE 'a'
+ORDER BY u.age DESC , u.name ;
+
+SELECT t.* , COUNT ( * ) AS n
+FROM ( SELECT id , age FROM dbo.users WHERE active = 1 ) AS t
+GROUP BY t.age
+HAVING COUNT ( * ) > 1 ;
+
+SELECT u.name , o.total
+FROM dbo.users u INNER JOIN ( ( SELECT user_id , SUM ( amount ) AS total
+                               FROM dbo.orders GROUP BY user_id ) o )
+ON u.id = o.user_id ;
+
+UPDATE dbo.users SET balance = balance + 10 , age = age + 1 WHERE id IN ( 1 , 2 , 3 ) ;
+
+DELETE FROM dbo.users WHERE age IS NOT NULL AND NOT active = 1 ;
+
+IF @total > 100
+BEGIN
+  UPDATE dbo.users SET balance = 0 WHERE id = 1 ;
+END
+ELSE
+BEGIN
+  SET @total = @total + 1 ;
+END
+
+WHILE @limit > 0
+BEGIN
+  SET @limit = @limit - 1 ;
+  SELECT CASE WHEN @limit % 2 = 0 THEN 'even' ELSE 'odd' END ;
+END
+
+DROP INDEX idx_users_name ;
+DROP TABLE dbo.users ;
+
+SELECT id FROM dbo.users WHERE active = 1
+UNION ALL
+SELECT id FROM archive.users ;
+
+( SELECT name FROM dbo.users ) UNION ( SELECT name FROM archive.users ) ;
+
+SELECT x.id
+FROM ( ( SELECT id FROM dbo.users ) UNION ( SELECT id FROM archive.users ) ) AS x
+WHERE x.id IN ( SELECT id FROM allow_list ) AND x.id > ( SELECT MIN ( id ) FROM dbo.users ) ;
+|};
+    {|
+CREATE TABLE sales.orders (
+  order_id BIGINT NOT NULL PRIMARY KEY IDENTITY,
+  user_id INTTYPE NOT NULL,
+  placed_at DATETIME,
+  total DECIMAL ( 12 , 2 ) DEFAULT 0.0,
+  note VARCHAR ( 255 ) NULL
+) ;
+
+DECLARE @cutoff DATETIME ;
+DECLARE @bucket INTTYPE = 0 ;
+
+SELECT o.user_id , COUNT ( * ) AS orders , SUM ( o.total ) AS spent ,
+       CASE @bucket WHEN 0 THEN 'new' WHEN 1 THEN 'repeat' ELSE 'vip' END
+FROM sales.orders o
+    LEFT OUTER JOIN dbo.users u ON o.user_id = u.id
+    CROSS JOIN dbo.regions
+WHERE o.total >= 100 OR NOT o.note IS NULL
+GROUP BY o.user_id
+HAVING SUM ( o.total ) > 1000
+ORDER BY spent DESC ;
+
+IF ( SELECT COUNT ( * ) FROM sales.orders ) > 0
+  UPDATE sales.orders SET note = 'bulk' WHERE total BETWEEN 10 AND 20 ;
+ELSE
+  INSERT INTO sales.orders ( user_id , total ) VALUES ( 1 , 9.99 ) ;
+
+WHILE @bucket < 3
+BEGIN
+  SET @bucket = @bucket + 1 ;
+  DELETE FROM sales.orders WHERE user_id = @bucket AND total < 1 ;
+END
+|};
+  ]
+
+let idents =
+  [|
+    "accounts"; "batch_no"; "city"; "dept"; "emp"; "flagged"; "grp"; "hits";
+    "items"; "jrn"; "kpi"; "ledger"; "metric"; "notes"; "orders"; "price";
+    "qty"; "region"; "sales"; "tags"; "units"; "vendors"; "widgets"; "xact";
+    "yield_pct"; "zone";
+  |]
+
+let sample_lexeme i = function
+  | "ID" -> idents.(i mod Array.length idents)
+  | "VAR" -> "@" ^ idents.(i mod Array.length idents)
+  | "INT" -> string_of_int (i mod 1000)
+  | "FLOAT" -> Printf.sprintf "%d.%d" (i mod 100) (i mod 10)
+  | "STRING" -> "'s'"
+  | other -> other
+
+let spec : Workload.spec =
+  {
+    name;
+    grammar_text;
+    lexer_config;
+    samples;
+    sample_lexeme;
+    sem_preds = [];
+    gen_start = None;
+  }

@@ -1,0 +1,294 @@
+(* MiniVB: the VB.NET stand-in (paper Figure 12's commercial grammar).
+   VB's keyword-led, line-oriented syntax is why the paper's VB.NET grammar
+   is 95% fixed-lookahead with only a handful of backtracking decisions.
+   Faithfully line-oriented: the lexer emits an NL token per newline run and
+   every statement ends with one.
+
+   The one manually predicated decision mirrors the commercial grammar's
+   assignment-vs-call problem: [a.b(i).c = e] (assignment to an arbitrarily
+   long lvalue) versus [a.b(i).c] (call statement) requires scanning over
+   the lvalue, so the alternative is gated with [(lvalue '=')=>]. *)
+
+let name = "MiniVB"
+
+let grammar_text =
+  {|
+grammar MiniVB;
+options { memoize=true; }
+
+compilationUnit : NL? importsDecl* typeBlock* ;
+
+importsDecl : 'Imports' qname NL ;
+
+qname : ID ('.' ID)* ;
+
+typeBlock : moduleDecl | classDecl ;
+
+moduleDecl : 'Module' ID NL memberDecl* 'End' 'Module' NL ;
+
+classDecl
+  : modifier* 'Class' ID NL ('Inherits' qname NL)? memberDecl*
+    'End' 'Class' NL
+  ;
+
+memberDecl
+  : fieldDecl
+  | subDecl
+  | functionDecl
+  | propertyDecl
+  | classDecl
+  ;
+
+modifier
+  : 'Public' | 'Private' | 'Protected' | 'Friend' | 'Shared' | 'Overridable'
+  ;
+
+fieldDecl : modifier* ('Dim')? ID 'As' typeName ('=' expression)? NL ;
+
+subDecl
+  : modifier* 'Sub' ID '(' paramList? ')' NL statement* 'End' 'Sub' NL
+  ;
+
+functionDecl
+  : modifier* 'Function' ID '(' paramList? ')' 'As' typeName NL
+    statement* 'End' 'Function' NL
+  ;
+
+propertyDecl
+  : modifier* 'Property' ID 'As' typeName NL getAccessor setAccessor?
+    'End' 'Property' NL
+  ;
+
+getAccessor : 'Get' NL statement* 'End' 'Get' NL ;
+
+setAccessor : 'Set' '(' param ')' NL statement* 'End' 'Set' NL ;
+
+paramList : param (',' param)* ;
+
+param : ('ByVal' | 'ByRef')? ID 'As' typeName ;
+
+typeName
+  : ('Integer' | 'Long' | 'Double' | 'Boolean' | 'String' | 'Object' | qname)
+    ('(' ')')?
+  ;
+
+statement
+  : 'Dim' ID 'As' typeName ('=' expression)? NL
+  | 'If' expression 'Then' NL statement* elseIfPart* elsePart? 'End' 'If' NL
+  | 'While' expression NL statement* 'End' 'While' NL
+  | 'For' ID '=' expression 'To' expression ('Step' expression)? NL
+    statement* 'Next' NL
+  | 'For' 'Each' ID 'In' expression NL statement* 'Next' NL
+  | 'Do' NL statement* 'Loop' ('While' expression)? NL
+  | 'Select' 'Case' expression NL caseBlock* 'End' 'Select' NL
+  | 'Try' NL statement* catchPart* ('Finally' NL statement*)? 'End' 'Try' NL
+  | 'Return' expression? NL
+  | 'Exit' ('Sub' | 'Function' | 'While' | 'For' | 'Do') NL
+  | 'Throw' expression NL
+  | 'Call' postfix NL
+  | (lvalue '=')=> lvalue '=' expression NL
+  | postfix NL
+  ;
+
+elseIfPart : 'ElseIf' expression 'Then' NL statement* ;
+
+elsePart : 'Else' NL statement* ;
+
+caseBlock
+  : 'Case' ('Else' | expressionList) NL statement*
+  ;
+
+expressionList : expression (',' expression)* ;
+
+catchPart : 'Catch' ID 'As' typeName NL statement* ;
+
+lvalue : ID lvalueSuffix* ;
+
+lvalueSuffix : '.' ID | '(' expressionList? ')' ;
+
+expression : orElseExpr ;
+
+orElseExpr : andAlsoExpr (('OrElse' | 'Or') andAlsoExpr)* ;
+
+andAlsoExpr : notExpr (('AndAlso' | 'And') notExpr)* ;
+
+notExpr : 'Not' notExpr | comparison ;
+
+comparison
+  : concatExpr (('=' | '<>' | '<=' | '>=' | '<' | '>' | 'Is') concatExpr)*
+  ;
+
+concatExpr : addExpr ('&' addExpr)* ;
+
+addExpr : mulExpr (('+' | '-') mulExpr)* ;
+
+mulExpr : unaryExpr (('*' | '/' | 'Mod' | '\\') unaryExpr)* ;
+
+unaryExpr : '-' unaryExpr | postfix ;
+
+postfix : primary lvalueSuffix* ;
+
+primary
+  : INT
+  | FLOAT
+  | STRING
+  | 'True'
+  | 'False'
+  | 'Nothing'
+  | 'Me'
+  | 'New' typeName '(' expressionList? ')'
+  | ID
+  | '(' expression ')'
+  ;
+|}
+
+let lexer_config =
+  {
+    Runtime.Lexer_engine.default_config with
+    float_token = Some "FLOAT";
+    string_token = Some "STRING";
+    newline_token = Some "NL";
+    line_comments = [ "'" ];
+    block_comments = [];
+  }
+
+let samples =
+  [
+    {|
+Imports System.Collections
+
+Module MainModule
+  Dim counter As Integer = 0
+
+  Sub Main()
+    Dim total As Integer
+    Dim names As String()
+    total = 0
+    For i = 1 To 10 Step 2
+      total = total + i
+    Next
+    While total > 0
+      total = total - 3
+    End While
+    If total = 0 Then
+      Report("done", total)
+    ElseIf total < 0 Then
+      Report("under", total)
+    Else
+      counter = counter + 1
+    End If
+    Call Report("end", counter)
+  End Sub
+
+  Sub Report(ByVal tag As String, ByVal value As Integer)
+    Do
+      value = value - 1
+    Loop While value > 0
+  End Sub
+End Module
+
+Public Class Account
+  Private balance As Double
+  Private owner As String
+
+  Public Property Owner As String
+    Get
+      Return owner
+    End Get
+    Set(value As String)
+      owner = value
+    End Set
+  End Property
+
+  Public Function Deposit(ByVal amount As Double) As Double
+    If amount > 0 AndAlso Not amount > 10000 Then
+      balance = balance + amount
+    End If
+    Return balance
+  End Function
+
+  Public Sub Transfer(ByRef other As Account, ByVal amount As Double)
+    Dim taken As Double = Deposit(-amount)
+    other.Deposit(amount)
+    Select Case amount
+      Case 0
+        Exit Sub
+      Case Else
+        taken = taken + 1
+    End Select
+    Try
+      Validate(taken)
+    Catch ex As Exception
+      Throw ex
+    Finally
+      counter.log(taken)
+    End Try
+    For Each item In history
+      item.touch()
+    Next
+  End Sub
+End Class
+|};
+    {|
+Imports System.Text
+
+Module Formatter
+  Dim width As Integer = 72
+  Dim sep As String = ", "
+
+  Function Pad(ByVal text As String, ByVal count As Integer) As String
+    Dim result As String = text
+    While count > 0
+      result = result & " "
+      count = count - 1
+    End While
+    Return result
+  End Function
+
+  Function Mix(ByVal a As Integer, ByVal b As Integer) As Integer
+    If a > b OrElse a < 0 Then
+      Return a Mod b
+    ElseIf a = b AndAlso Not b = 0 Then
+      Return a \ 2
+    End If
+    Return b - a
+  End Function
+
+  Sub Emit(ByVal rows As Object)
+    Dim line As String = ""
+    For Each cell In rows
+      line = line & cell.render(width)
+      cells(0) = line
+    Next
+    table.rows(3).cells(0) = Pad(line, 4)
+    Call flush(line)
+  End Sub
+End Module
+|};
+  ]
+
+let idents =
+  [|
+    "acct"; "buf"; "cell"; "day"; "entry"; "form"; "gauge"; "host"; "iter";
+    "jobq"; "keys"; "list"; "mark"; "name"; "opts"; "page"; "quota"; "rate";
+    "seat"; "tier"; "upd"; "view"; "wire"; "xfer"; "year"; "zonev";
+  |]
+
+let sample_lexeme i = function
+  | "ID" -> idents.(i mod Array.length idents)
+  | "INT" -> string_of_int (i mod 1000)
+  | "FLOAT" -> Printf.sprintf "%d.%d" (i mod 100) (i mod 10)
+  | "STRING" -> "\"s\""
+  | "NL" -> "\n"
+  | other -> other
+
+let spec : Workload.spec =
+  {
+    name;
+    grammar_text;
+    lexer_config;
+    samples;
+    sample_lexeme;
+    sem_preds = [];
+    gen_start = None;
+  }

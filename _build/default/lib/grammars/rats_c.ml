@@ -1,0 +1,346 @@
+(* RatsC: the C-grammar stand-in (paper Figure 12's RatsC, a Rats! PEG
+   grammar converted to ANTLR syntax).  PEG mode throughout, preserving the
+   property the paper highlights: declarations and definitions look the same
+   from the left edge, so [externalDecl] backtracks across an entire
+   function definition before settling (the 7,968-token lookahead event of
+   Table 3).  Typedefs are structural here (no symbol table), as in the
+   Rats!-converted grammar. *)
+
+let name = "RatsC"
+
+let grammar_text =
+  {|
+grammar RatsC;
+options { backtrack=true; memoize=true; }
+
+translationUnit : externalDecl* ;
+
+externalDecl
+  : functionDefinition
+  | declaration
+  ;
+
+functionDefinition
+  : declSpecifiers declarator declaration* compoundStatement
+  ;
+
+declaration : declSpecifiers initDeclaratorList? ';' ;
+
+declSpecifiers : declSpecifier+ ;
+
+declSpecifier
+  : storageClassSpecifier
+  | typeQualifier
+  | typeSpecifier
+  ;
+
+storageClassSpecifier : 'typedef' | 'extern' | 'static' | 'auto' | 'register' ;
+
+typeQualifier : 'const' | 'volatile' ;
+
+typeSpecifier
+  : 'void' | 'char' | 'short' | 'int' | 'long' | 'float' | 'double'
+  | 'signed' | 'unsigned'
+  | structOrUnionSpecifier
+  | enumSpecifier
+  | {isTypeName()}? ID
+  ;
+
+structOrUnionSpecifier
+  : ('struct' | 'union') ID? ('{' structDeclaration+ '}')?
+  ;
+
+structDeclaration : specifierQualifierList structDeclaratorList ';' ;
+
+specifierQualifierList : (typeQualifier | typeSpecifier)+ ;
+
+structDeclaratorList : structDeclarator (',' structDeclarator)* ;
+
+structDeclarator : declarator (':' constantExpression)? | ':' constantExpression ;
+
+enumSpecifier : 'enum' ID? ('{' enumerator (',' enumerator)* '}')? ;
+
+enumerator : ID ('=' constantExpression)? ;
+
+initDeclaratorList : initDeclarator (',' initDeclarator)* ;
+
+initDeclarator : declarator ('=' initializer)? ;
+
+initializer : assignmentExpression | '{' initializer (',' initializer)* '}' ;
+
+declarator : pointer? directDeclarator ;
+
+pointer : ('*' typeQualifier*)+ ;
+
+directDeclarator
+  : (ID | '(' declarator ')') declaratorSuffix*
+  ;
+
+declaratorSuffix
+  : '[' constantExpression? ']'
+  | '(' parameterTypeList? ')'
+  ;
+
+parameterTypeList : parameterList (',' '...')? ;
+
+parameterList : parameterDeclaration (',' parameterDeclaration)* ;
+
+parameterDeclaration
+  : declSpecifiers (declarator | abstractDeclarator)?
+  ;
+
+abstractDeclarator
+  : pointer directAbstractDeclarator?
+  | directAbstractDeclarator
+  ;
+
+directAbstractDeclarator
+  : ('(' abstractDeclarator ')' | abstractDeclaratorSuffix) abstractDeclaratorSuffix*
+  ;
+
+abstractDeclaratorSuffix
+  : '[' constantExpression? ']'
+  | '(' parameterTypeList? ')'
+  ;
+
+typeName : specifierQualifierList abstractDeclarator? ;
+
+compoundStatement : '{' declaration* statement* '}' ;
+
+statement
+  : compoundStatement
+  | 'if' '(' expression ')' statement (('else')=> 'else' statement)?
+  | 'switch' '(' expression ')' statement
+  | 'while' '(' expression ')' statement
+  | 'do' statement 'while' '(' expression ')' ';'
+  | 'for' '(' expression? ';' expression? ';' expression? ')' statement
+  | 'goto' ID ';'
+  | 'continue' ';'
+  | 'break' ';'
+  | 'return' expression? ';'
+  | 'case' constantExpression ':' statement
+  | 'default' ':' statement
+  | ID ':' statement
+  | expression ';'
+  | ';'
+  ;
+
+expression : assignmentExpression (',' assignmentExpression)* ;
+
+constantExpression : conditionalExpression ;
+
+assignmentExpression
+  : unaryExpression assignmentOperator assignmentExpression
+  | conditionalExpression
+  ;
+
+assignmentOperator
+  : '=' | '*=' | '/=' | '%=' | '+=' | '-=' | '<<=' | '>>=' | '&=' | '^=' | '|='
+  ;
+
+conditionalExpression
+  : logicalOrExpression ('?' expression ':' conditionalExpression)?
+  ;
+
+logicalOrExpression : logicalAndExpression ('||' logicalAndExpression)* ;
+
+logicalAndExpression : inclusiveOrExpression ('&&' inclusiveOrExpression)* ;
+
+inclusiveOrExpression : exclusiveOrExpression ('|' exclusiveOrExpression)* ;
+
+exclusiveOrExpression : andExpression ('^' andExpression)* ;
+
+andExpression : equalityExpression ('&' equalityExpression)* ;
+
+equalityExpression
+  : relationalExpression (('==' | '!=') relationalExpression)*
+  ;
+
+relationalExpression
+  : shiftExpression (('<=' | '>=' | '<' | '>') shiftExpression)*
+  ;
+
+shiftExpression : additiveExpression (('<<' | '>>') additiveExpression)* ;
+
+additiveExpression
+  : multiplicativeExpression (('+' | '-') multiplicativeExpression)*
+  ;
+
+multiplicativeExpression
+  : castExpression (('*' | '/' | '%') castExpression)*
+  ;
+
+castExpression
+  : '(' typeName ')' castExpression
+  | unaryExpression
+  ;
+
+unaryExpression
+  : postfixExpression
+  | '++' unaryExpression
+  | '--' unaryExpression
+  | unaryOperator castExpression
+  | 'sizeof' ('(' typeName ')' | unaryExpression)
+  ;
+
+unaryOperator : '&' | '*' | '+' | '-' | '~' | '!' ;
+
+postfixExpression : primaryExpression postfixSuffix* ;
+
+postfixSuffix
+  : '[' expression ']'
+  | '(' argumentExpressionList? ')'
+  | '.' ID
+  | '->' ID
+  | '++'
+  | '--'
+  ;
+
+argumentExpressionList
+  : assignmentExpression (',' assignmentExpression)*
+  ;
+
+primaryExpression : ID | INT | FLOAT | CHAR | STRING | '(' expression ')' ;
+|}
+
+let lexer_config =
+  {
+    Runtime.Lexer_engine.default_config with
+    float_token = Some "FLOAT";
+    string_token = Some "STRING";
+    char_token = Some "CHAR";
+  }
+
+let samples =
+  [
+    {|
+typedef unsigned long size_t;
+
+static const int table[4] = { 1, 2, 4, 8 };
+
+struct point {
+  int x;
+  int y;
+  struct point *next;
+};
+
+enum color { RED, GREEN = 2, BLUE };
+
+extern int printf();
+
+static int clamp(int v, int lo, int hi) {
+  if (v < lo) {
+    return lo;
+  } else if (v > hi) {
+    return hi;
+  }
+  return v;
+}
+
+unsigned hash(const char *s, unsigned n) {
+  unsigned h = 0;
+  unsigned i;
+  for (i = 0; i < n; i++) {
+    h = h * 31 + (unsigned) s[i];
+  }
+  return h;
+}
+
+int main(int argc, char **argv) {
+  struct point p;
+  struct point *q = &p;
+  int sum = 0;
+  int i = 0;
+  p.x = 1;
+  q->y = 2;
+  while (i < argc) {
+    sum += clamp(i, 0, 10);
+    i++;
+  }
+  switch (sum % 3) {
+    case 0: sum = sum << 1; break;
+    case 1: sum = sum >> 1; break;
+    default: sum = ~sum; break;
+  }
+  do {
+    sum--;
+  } while (sum > 0 && *argv != 0);
+  return sizeof(struct point) > 8 ? sum : -sum;
+}
+|};
+    {|
+typedef struct node node_t;
+
+struct node {
+  int value;
+  struct node *left;
+  struct node *right;
+};
+
+static int depth(struct node *t) {
+  int l;
+  int r;
+  if (t == 0) {
+    return 0;
+  }
+  l = depth(t->left);
+  r = depth(t->right);
+  return 1 + (l > r ? l : r);
+}
+
+void visit(struct node *t, void (*f)(int)) {
+  if (t != 0) {
+    visit(t->left, f);
+    f(t->value);
+    visit(t->right, f);
+  }
+}
+
+int sum3(int a, int b, int c);
+
+int sum3(int a, int b, int c) {
+  int acc = 0;
+  acc += a, acc += b, acc += c;
+  return acc;
+}
+|};
+  ]
+
+(* The one semantic predicate of the paper's C grammar (section 4.2): is the
+   next input symbol a typedef'd name?  The benchmark environment supplies a
+   fixed typedef table; samples and the generator draw type names from it
+   and ordinary identifiers from elsewhere. *)
+let type_names = [ "size_t"; "node_t"; "bool_t"; "byte_t" ]
+
+let sem_preds =
+  [
+    ( "isTypeName()",
+      fun (la1 : Runtime.Token.t) -> List.mem la1.Runtime.Token.text type_names
+    );
+  ]
+
+let idents =
+  [|
+    "acc"; "buf"; "cur"; "dst"; "err"; "fd"; "gap"; "head"; "idx"; "job";
+    "key"; "len"; "mid"; "num"; "out"; "ptr"; "qty"; "row"; "src"; "tmp";
+    "used"; "vec"; "walk"; "xs"; "yy"; "zz";
+  |]
+
+let sample_lexeme i = function
+  | "ID" -> idents.(i mod Array.length idents)
+  | "INT" -> string_of_int (i mod 512)
+  | "FLOAT" -> Printf.sprintf "%d.%d" (i mod 32) (i mod 10)
+  | "STRING" -> "\"s\""
+  | "CHAR" -> "'c'"
+  | other -> other
+
+let spec : Workload.spec =
+  {
+    name;
+    grammar_text;
+    lexer_config;
+    samples;
+    sample_lexeme;
+    sem_preds;
+    gen_start = None;
+  }

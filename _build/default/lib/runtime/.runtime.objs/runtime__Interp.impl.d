@@ -1,0 +1,1 @@
+lib/runtime/interp.ml: Array Atn Fmt Grammar Hashtbl List Llstar Option Parse_error Printf Profile String Sys Token Token_stream Tree

@@ -1,0 +1,1 @@
+lib/runtime/lexer_engine.ml: Array Buffer Fmt Grammar Hashtbl List Option Printf String Token

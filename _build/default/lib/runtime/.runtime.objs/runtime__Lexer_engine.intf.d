@@ -1,0 +1,1 @@
+lib/runtime/lexer_engine.mli: Format Grammar Token

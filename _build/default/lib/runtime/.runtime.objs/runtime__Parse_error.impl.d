@@ -1,0 +1,1 @@
+lib/runtime/parse_error.ml: Fmt Grammar Printf Token

@@ -1,0 +1,1 @@
+lib/runtime/token.ml: Fmt Grammar

@@ -1,0 +1,1 @@
+lib/runtime/token_stream.mli: Token

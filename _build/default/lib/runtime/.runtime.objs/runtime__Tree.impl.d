@@ -1,0 +1,1 @@
+lib/runtime/tree.ml: Fmt Grammar List String Token

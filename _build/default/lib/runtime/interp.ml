@@ -1,0 +1,491 @@
+(* The adaptive LL-star parser interpreter (paper section 4).
+
+   The parser walks the ATN directly: one recursive invocation per rule
+   submachine.  At every decision state it consults the decision's lookahead
+   DFA, which gracefully throttles up per input sequence: an accept state
+   after one token is plain LL(1); deeper or cyclic DFA paths are arbitrary
+   regular lookahead; predicate edges evaluate semantic predicates against
+   user state or launch a speculative parse of a [__synpredN] fragment
+   (backtracking).
+
+   Speculation follows section 4.1/4.3: syntactic predicates are evaluated
+   by parsing the fragment with actions disabled (except for the
+   always-executed [{{...}}] kind), the stream is rewound afterwards, and --
+   per section 6.2 -- rule invocations are memoized *only while speculating*,
+   which keeps the memoization cache far smaller than a packrat parser's
+   while still bounding backtracking to linear time. *)
+
+type env = {
+  sem_pred : string -> Token.t -> bool;
+    (* evaluate a semantic predicate's code; the token is LT(1), the next
+       input symbol, so predicates like the C grammar's
+       [isTypeName(next input symbol)] (section 4.2) can inspect it *)
+  action : string -> Token.t option -> unit;
+    (* execute an embedded action's code; the token is the most recently
+       consumed one, letting symbol-table actions register the identifier
+       they follow *)
+}
+
+let default_env = { sem_pred = (fun _ _ -> true); action = (fun _ _ -> ()) }
+
+(* Environment whose predicates/actions dispatch through association lists
+   keyed by the snippet text; unknown predicates default to true, unknown
+   actions to no-ops. *)
+let env_of_tables ?(preds = []) ?(actions = []) () =
+  {
+    sem_pred =
+      (fun code la1 ->
+        match List.assoc_opt code preds with Some f -> f la1 | None -> true);
+    action =
+      (fun code prev ->
+        match List.assoc_opt code actions with
+        | Some f -> f prev
+        | None -> ());
+  }
+
+exception Spec_fail
+(* Internal: a speculative parse failed to match.  Never escapes. *)
+
+(* Diagnostic tracing (also enabled by the ANTLRKIT_TRACE environment
+   variable): prints rule entries, predictions and failures, including those
+   inside speculation, to stderr. *)
+let trace = ref (Sys.getenv_opt "ANTLRKIT_TRACE" <> None)
+
+type memo_entry = Failed | Succeeded of int (* stop index *)
+
+type t = {
+  c : Llstar.Compiled.t;
+  env : env;
+  ts : Token_stream.t;
+  profile : Profile.t option;
+  memo : (int * int * int, memo_entry) Hashtbl.t option; (* rule, pos, prec *)
+  mutable speculating : int;
+  recover : bool;
+  mutable errors : Parse_error.t list;
+  max_errors : int;
+  (* lazily computed panic-mode sync sets: rule -> terminals that can follow *)
+  follow_cache : (int, (int, unit) Hashtbl.t) Hashtbl.t;
+}
+
+let atn t = t.c.Llstar.Compiled.atn
+
+let error t kind rule =
+  let tok = Token_stream.lt t.ts 1 in
+  let e = Parse_error.{ kind; token = tok; rule } in
+  if !trace then
+    Fmt.epr "[trace]%s error @%d: %a@."
+      (String.make t.speculating '>')
+      (Token_stream.index t.ts)
+      (Parse_error.pp (Llstar.Compiled.sym t.c))
+      e;
+  if t.speculating > 0 then raise Spec_fail else raise (Parse_error.Error e)
+
+(* Offending-token error for prediction: report at the token that killed the
+   DFA, [depth] tokens ahead (section 4.4). *)
+let prediction_error t ~decision ~depth rule =
+  let tok = Token_stream.lt t.ts (depth + 1) in
+  let e =
+    Parse_error.
+      { kind = No_viable_alt { decision; depth = depth + 1 }; token = tok; rule }
+  in
+  if !trace then
+    Fmt.epr "[trace]%s error @%d: %a@."
+      (String.make t.speculating '>')
+      (Token_stream.index t.ts)
+      (Parse_error.pp (Llstar.Compiled.sym t.c))
+      e;
+  if t.speculating > 0 then raise Spec_fail else raise (Parse_error.Error e)
+
+(* ------------------------------------------------------------------ *)
+(* Speculation: evaluate a syntactic predicate by simulating its pseudo-rule
+   as a recognizer from the current position, then rewinding.  Returns
+   success plus the number of tokens of lookahead the speculation consumed
+   (for profiling). *)
+
+let rec eval_synpred t (rule : int) : bool * int =
+  let start = Token_stream.mark t.ts in
+  let saved_hw = Token_stream.high_water t.ts in
+  Token_stream.set_high_water t.ts start;
+  t.speculating <- t.speculating + 1;
+  let ok =
+    match parse_rule t rule ~prec:0 ~building:false with
+    | _ -> true
+    | exception Spec_fail -> false
+  in
+  t.speculating <- t.speculating - 1;
+  let reach = max 0 (Token_stream.high_water t.ts - start + 1) in
+  Token_stream.seek t.ts start;
+  Token_stream.set_high_water t.ts (max saved_hw (Token_stream.high_water t.ts));
+  (ok, reach)
+
+(* Evaluate a prediction-DFA predicate edge. *)
+and eval_pred t (p : Atn.pred) ~prec : bool * int * bool =
+  (* returns (holds, speculation reach, was a syntactic predicate) *)
+  match p with
+  | Atn.Sem code -> (t.env.sem_pred code (Token_stream.lt t.ts 1), 0, false)
+  | Atn.Prec n -> (prec <= n, 0, false)
+  | Atn.Syn rule ->
+      let ok, reach = eval_synpred t rule in
+      (ok, reach, true)
+
+(* ------------------------------------------------------------------ *)
+(* Prediction (Figure 5): run the decision's lookahead DFA over the input
+   from the current position. *)
+
+and predict t (decision : int) ~prec ~rule : int =
+  let dfa = t.c.Llstar.Compiled.results.(decision).Llstar.Analysis.dfa in
+  let spec_reach = ref 0 in
+  let backtracked = ref false in
+  let rec walk state depth =
+    match Llstar.Look_dfa.accept_of dfa state with
+    | Some alt -> (alt, depth)
+    | None -> (
+        (* Terminal edges first; predicate edges are the fallback.  States
+           resolved purely by predicates have no terminal edges, and
+           fragment-end defaults must only fire when lookahead runs off the
+           end of a syntactic-predicate fragment. *)
+        match
+          Llstar.Look_dfa.lookup_edge dfa state
+            (Token_stream.la t.ts (depth + 1))
+        with
+        | Some tgt -> walk tgt (depth + 1)
+        | None ->
+        let preds = Llstar.Look_dfa.pred_edges_of dfa state in
+        if Array.length preds > 0 then begin
+          (* Ordered predicate edges.  An edge applies when its lookahead
+             guard (if any) admits the next token and its predicate (if any)
+             holds; an edge with neither is the gated default. *)
+          let chosen = ref 0 in
+          let i = ref 0 in
+          while !chosen = 0 && !i < Array.length preds do
+            let e = preds.(!i) in
+            let guard_ok =
+              match e.Llstar.Look_dfa.guard with
+              | [] -> true
+              | g -> List.mem (Token_stream.la t.ts (depth + 1)) g
+            in
+            (if guard_ok then
+               match e.Llstar.Look_dfa.pred with
+               | None -> chosen := e.Llstar.Look_dfa.alt
+               | Some p ->
+                   let holds, reach, was_syn = eval_pred t p ~prec in
+                   if was_syn then begin
+                     backtracked := true;
+                     spec_reach := max !spec_reach (depth + reach)
+                   end;
+                   if holds then chosen := e.Llstar.Look_dfa.alt);
+            incr i
+          done;
+          if !chosen = 0 then prediction_error t ~decision ~depth rule
+          else (!chosen, depth)
+        end
+        else prediction_error t ~decision ~depth rule)
+  in
+  let alt, depth = walk dfa.Llstar.Look_dfa.start 0 in
+  if !trace then
+    Fmt.epr "[trace]%s d%d @%d -> alt %d (k=%d)@."
+      (String.make t.speculating '>')
+      decision
+      (Token_stream.index t.ts)
+      alt depth;
+  (match t.profile with
+  | Some p when t.speculating = 0 ->
+      Profile.record p ~decision ~depth ~backtracked:!backtracked
+        ~spec_depth:!spec_reach
+  | _ -> ());
+  alt
+
+(* ------------------------------------------------------------------ *)
+(* Rule invocation: simulate the rule's submachine. *)
+
+and parse_rule t (rule : int) ~prec ~building : Tree.t list =
+  let a = atn t in
+  let ri = a.Atn.rules.(rule) in
+  let use_memo = t.speculating > 0 && t.memo <> None in
+  let memo_key =
+    if use_memo then (rule, Token_stream.index t.ts, prec) else (0, 0, 0)
+  in
+  match
+    if use_memo then Hashtbl.find_opt (Option.get t.memo) memo_key else None
+  with
+  | Some Failed -> raise Spec_fail
+  | Some (Succeeded stop) ->
+      (* Valid because speculation builds no tree and runs no actions. *)
+      Token_stream.seek t.ts stop;
+      []
+  | None -> (
+      let run () =
+        let children = ref [] in
+        let add c = if building then children := c :: !children in
+        let state = ref ri.Atn.r_entry in
+        let chosen_alt = ref 1 in
+        (* Set right after a prediction: the chosen alternative's left-edge
+           syntactic predicate is subsumed by the decision that selected it
+           (the analysis strips predicates from decisions it can resolve,
+           section 6.1), so the gate is not re-evaluated. *)
+        let fresh_prediction = ref false in
+        (* Progress guard: a loop decision whose body matched no input would
+           otherwise re-enter forever (e.g. a nullable body under ambiguity
+           resolution).  If the same decision fires twice at the same input
+           position, force its exit alternative. *)
+        let seen_here = ref [] in
+        let last_pos = ref (-1) in
+        while !state <> ri.Atn.r_stop do
+          let s = !state in
+          match Atn.decision_of a s with
+          | d when d >= 0 ->
+              let decision = a.Atn.decisions.(d) in
+              let pos = Token_stream.index t.ts in
+              let stuck =
+                if pos <> !last_pos then begin
+                  last_pos := pos;
+                  seen_here := [ d ];
+                  false
+                end
+                else if List.mem d !seen_here then true
+                else begin
+                  seen_here := d :: !seen_here;
+                  false
+                end
+              in
+              let alt =
+                if stuck then
+                  match decision.Atn.d_exit_alt with
+                  | Some e -> e
+                  | None ->
+                      error t
+                        (Parse_error.No_viable_alt { decision = d; depth = 1 })
+                        rule
+                else predict t d ~prec ~rule
+              in
+              if s = ri.Atn.r_entry then chosen_alt := alt;
+              let targets = Atn.decision_alt_targets a decision in
+              fresh_prediction := true;
+              state := targets.(alt - 1)
+          | _ -> (
+              match a.Atn.trans.(s) with
+              | [||] ->
+                  (* dead end that is not the stop state: internal error *)
+                  error t (Parse_error.No_viable_alt { decision = -1; depth = 1 }) rule
+              | row ->
+                  let edge, tgt = row.(0) in
+                  let was_fresh = !fresh_prediction in
+                  fresh_prediction := false;
+                  ignore was_fresh;
+                  (match edge with
+                  | Atn.Eps -> fresh_prediction := was_fresh; state := tgt
+                  | Atn.Term term ->
+                      let la1 = Token_stream.la t.ts 1 in
+                      let matches =
+                        la1 = term
+                        || (term = Grammar.Sym.wildcard && la1 <> Grammar.Sym.eof)
+                      in
+                      if matches then begin
+                        let tok = Token_stream.consume t.ts in
+                        add (Tree.Leaf tok);
+                        state := tgt
+                      end
+                      else
+                        error t
+                          (Parse_error.Mismatched_token { expected = term })
+                          rule
+                  | Atn.Rule { rule = callee; arg } ->
+                      let callee_prec = Option.value ~default:0 arg in
+                      let sub =
+                        parse_rule t callee ~prec:callee_prec ~building
+                      in
+                      List.iter add sub;
+                      state := tgt
+                  | Atn.Pred (Atn.Sem code) ->
+                      if t.env.sem_pred code (Token_stream.lt t.ts 1) then
+                        state := tgt
+                      else
+                        error t (Parse_error.Failed_predicate { text = code })
+                          rule
+                  | Atn.Pred (Atn.Prec n) ->
+                      if prec <= n then state := tgt
+                      else
+                        error t
+                          (Parse_error.Failed_predicate
+                             { text = Printf.sprintf "p <= %d" n })
+                          rule
+                  | Atn.Pred (Atn.Syn synrule) ->
+                      if was_fresh then state := tgt
+                      else begin
+                        let ok, _ = eval_synpred t synrule in
+                        if ok then state := tgt
+                        else
+                          error t
+                            (Parse_error.Failed_predicate
+                               { text = Atn.rule_name a synrule })
+                            rule
+                      end
+                  | Atn.Act { id; always } ->
+                      let code, _ = a.Atn.actions.(id) in
+                      if t.speculating = 0 || always then
+                        t.env.action code (Token_stream.prev t.ts);
+                      state := tgt))
+        done;
+        (!chosen_alt, List.rev !children)
+      in
+      if ri.Atn.r_is_synpred || not building then begin
+        match run () with
+        | _ ->
+            if use_memo then
+              Hashtbl.replace (Option.get t.memo) memo_key
+                (Succeeded (Token_stream.index t.ts));
+            []
+        | exception Spec_fail ->
+            if use_memo then
+              Hashtbl.replace (Option.get t.memo) memo_key Failed;
+            raise Spec_fail
+      end
+      else
+        let alt, children = run () in
+        [ Tree.Node { rule; alt; children } ])
+
+(* ------------------------------------------------------------------ *)
+(* Panic-mode recovery: sync to a token that can follow the current rule. *)
+
+let follow_set t (rule : int) : (int, unit) Hashtbl.t =
+  match Hashtbl.find_opt t.follow_cache rule with
+  | Some s -> s
+  | None ->
+      let a = atn t in
+      let set = Hashtbl.create 8 in
+      Hashtbl.replace set Grammar.Sym.eof ();
+      (* Terminals reachable (through epsilon closure, strong-LL style) from
+         any call site's follow state. *)
+      let seen = Hashtbl.create 32 in
+      let rec go s =
+        if not (Hashtbl.mem seen s) then begin
+          Hashtbl.add seen s ();
+          if Atn.is_stop_state a s then begin
+            let r = a.Atn.state_rule.(s) in
+            List.iter (fun (f, _) -> go f) a.Atn.callers.(r)
+          end
+          else
+            Array.iter
+              (fun (edge, tgt) ->
+                match edge with
+                | Atn.Term term -> Hashtbl.replace set term ()
+                | Atn.Rule { rule = callee; _ } ->
+                    go a.Atn.rules.(callee).Atn.r_entry
+                    (* conservative: also continue past nullable callees *)
+                    (* fallthrough below *)
+                | Atn.Eps | Atn.Pred _ | Atn.Act _ -> go tgt)
+              a.Atn.trans.(s)
+        end
+      in
+      List.iter (fun (f, _) -> go f) a.Atn.callers.(rule);
+      Hashtbl.replace t.follow_cache rule set;
+      set
+
+let recover_to_follow t rule =
+  let follow = follow_set t rule in
+  let rec skip () =
+    let la1 = Token_stream.la t.ts 1 in
+    if la1 <> Grammar.Sym.eof && not (Hashtbl.mem follow la1) then begin
+      ignore (Token_stream.consume t.ts);
+      skip ()
+    end
+  in
+  skip ()
+
+(* ------------------------------------------------------------------ *)
+(* Entry points *)
+
+let create ?(env = default_env) ?profile ?(recover = false)
+    ?(max_errors = 25) (c : Llstar.Compiled.t) (toks : Token.t array) : t =
+  let memoize = (Llstar.Compiled.options c).Grammar.Ast.memoize in
+  {
+    c;
+    env;
+    ts = Token_stream.of_array toks;
+    profile;
+    memo = (if memoize then Some (Hashtbl.create 1024) else None);
+    speculating = 0;
+    recover;
+    errors = [];
+    max_errors;
+    follow_cache = Hashtbl.create 16;
+  }
+
+let start_rule_id t = function
+  | Some name -> (
+      match Atn.rule_by_name (atn t) name with
+      | Some r -> r
+      | None -> invalid_arg (Printf.sprintf "Interp: no rule '%s'" name))
+  | None -> (atn t).Atn.start_rule
+
+(* Parse from [start] (default: the grammar's start rule) and require EOF.
+   With [recover=false] the first error aborts; with [recover=true] the
+   parser records the error, resynchronizes, and continues, returning
+   [Error] with everything it found. *)
+let run (t : t) ?start () : (Tree.t, Parse_error.t list) result =
+  let rule = start_rule_id t start in
+  let rec attempt () =
+    match parse_rule t rule ~prec:0 ~building:true with
+    | [ tree ] ->
+        if Token_stream.la t.ts 1 <> Grammar.Sym.eof then begin
+          let tok = Token_stream.lt t.ts 1 in
+          let e =
+            Parse_error.{ kind = Extraneous_input; token = tok; rule }
+          in
+          if t.recover && List.length t.errors < t.max_errors then begin
+            t.errors <- e :: t.errors;
+            ignore (Token_stream.consume t.ts);
+            if Token_stream.la t.ts 1 <> Grammar.Sym.eof then ignore (attempt ())
+          end
+          else t.errors <- e :: t.errors
+        end;
+        Some tree
+    | _ -> None
+    | exception Parse_error.Error e ->
+        t.errors <- e :: t.errors;
+        if t.recover && List.length t.errors < t.max_errors then begin
+          recover_to_follow t e.Parse_error.rule;
+          if
+            Token_stream.la t.ts 1 <> Grammar.Sym.eof
+            && Token_stream.index t.ts < Token_stream.size t.ts
+          then attempt ()
+          else None
+        end
+        else None
+  in
+  match attempt () with
+  | Some tree when t.errors = [] -> Ok tree
+  | _ -> Error (List.rev t.errors)
+
+let parse ?env ?profile ?recover ?start (c : Llstar.Compiled.t)
+    (toks : Token.t array) : (Tree.t, Parse_error.t list) result =
+  let t = create ?env ?profile ?recover c toks in
+  run t ?start ()
+
+(* Recognizer: no tree construction (used by benchmarks). *)
+let recognize_run (t : t) ?start () : (unit, Parse_error.t list) result =
+  let rule = start_rule_id t start in
+  match parse_rule t rule ~prec:0 ~building:false with
+  | _ ->
+      if Token_stream.la t.ts 1 <> Grammar.Sym.eof then
+        Error
+          [
+            Parse_error.
+              {
+                kind = Extraneous_input;
+                token = Token_stream.lt t.ts 1;
+                rule;
+              };
+          ]
+      else Ok ()
+  | exception Parse_error.Error e -> Error [ e ]
+
+let recognize ?env ?profile ?start (c : Llstar.Compiled.t)
+    (toks : Token.t array) : (unit, Parse_error.t list) result =
+  let t = create ?env ?profile c toks in
+  recognize_run t ?start ()
+
+(* Number of (rule, position) results currently memoized; the paper's
+   section-6.2 point is that memoizing only while speculating keeps this far
+   below a packrat parser's table. *)
+let memo_entries t = match t.memo with Some tbl -> Hashtbl.length tbl | None -> 0

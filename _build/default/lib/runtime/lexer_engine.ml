@@ -1,0 +1,290 @@
+(* Configurable lexer engine: the scanner substrate used by every benchmark
+   grammar (ANTLR generates lexers from lexer grammars; our engine covers
+   the same token shapes -- keywords, operators, identifiers, numbers,
+   strings, characters, comments -- from a declarative configuration plus
+   the literal tokens already present in the parser grammar's vocabulary). *)
+
+type config = {
+  ident_token : string option; (* token type for identifiers, e.g. "ID" *)
+  int_token : string option;
+  float_token : string option;
+  string_token : string option;
+  string_quote : char; (* '"' for C-family, '\'' for SQL *)
+  char_token : string option; (* single-quoted *)
+  at_ident_token : string option;
+    (* token type for '@'-prefixed identifiers (T-SQL variables) *)
+  newline_token : string option;
+    (* emit a token per newline run (VB-style line-oriented syntax) *)
+  line_comments : string list; (* e.g. ["//"; "--"] *)
+  block_comments : (string * string) list; (* e.g. [("/*", "*/")] *)
+  case_insensitive_keywords : bool; (* SQL/VB style *)
+  extra_ident_start : string; (* additional identifier start characters *)
+  extra_ident_cont : string;
+}
+
+let default_config =
+  {
+    ident_token = Some "ID";
+    int_token = Some "INT";
+    float_token = None;
+    string_token = None;
+    char_token = None;
+    string_quote = '"';
+    at_ident_token = None;
+    newline_token = None;
+    line_comments = [ "//" ];
+    block_comments = [ ("/*", "*/") ];
+    case_insensitive_keywords = false;
+    extra_ident_start = "_";
+    extra_ident_cont = "_";
+  }
+
+type error = { msg : string; line : int; col : int }
+
+let pp_error ppf e = Fmt.pf ppf "%d:%d: %s" e.line e.col e.msg
+
+(* Split the grammar's literal tokens into keywords (identifier-shaped) and
+   operators (everything else), the latter sorted longest-first for
+   maximal-munch matching. *)
+let split_literals config (sym : Grammar.Sym.t) =
+  let is_word s =
+    s <> ""
+    &&
+    let c = s.[0] in
+    (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+  in
+  let keywords = Hashtbl.create 64 in
+  let ops = ref [] in
+  List.iter
+    (fun (text, id) ->
+      if is_word text then
+        let key =
+          if config.case_insensitive_keywords then String.lowercase_ascii text
+          else text
+        in
+        Hashtbl.replace keywords key id
+      else ops := (text, id) :: !ops)
+    (Grammar.Sym.literals sym);
+  let ops =
+    List.sort
+      (fun (a, _) (b, _) -> compare (String.length b) (String.length a))
+      !ops
+  in
+  (keywords, ops)
+
+let contains s c = String.contains s c
+
+let tokenize (config : config) (sym : Grammar.Sym.t) (src : string) :
+    (Token.t array, error) result =
+  let keywords, ops = split_literals config sym in
+  let find_term name = Grammar.Sym.find_term sym name in
+  let n = String.length src in
+  let pos = ref 0 and line = ref 1 and col = ref 1 in
+  let out = ref [] and count = ref 0 in
+  let err = ref None in
+  let advance () =
+    (if !pos < n then
+       if src.[!pos] = '\n' then begin
+         incr line;
+         col := 1
+       end
+       else incr col);
+    incr pos
+  in
+  let advance_n k =
+    for _ = 1 to k do
+      advance ()
+    done
+  in
+  let starts_with prefix =
+    let pl = String.length prefix in
+    !pos + pl <= n && String.sub src !pos pl = prefix
+  in
+  let is_ident_start c =
+    (c >= 'a' && c <= 'z')
+    || (c >= 'A' && c <= 'Z')
+    || contains config.extra_ident_start c
+  in
+  let is_ident_cont c =
+    is_ident_start c || (c >= '0' && c <= '9')
+    || contains config.extra_ident_cont c
+  in
+  let is_digit c = c >= '0' && c <= '9' in
+  let emit ttype text l c =
+    out := Token.{ ttype; text; line = l; col = c; index = !count } :: !out;
+    incr count
+  in
+  let fail msg = err := Some { msg; line = !line; col = !col } in
+  let token_for_word w =
+    let key =
+      if config.case_insensitive_keywords then String.lowercase_ascii w else w
+    in
+    match Hashtbl.find_opt keywords key with
+    | Some id -> Some id
+    | None -> (
+        (* A word spelled exactly like a named token type (uppercase
+           initial) lexes as that type -- convenient for abstract
+           vocabularies such as [s : A B | C ;] in tests and examples. *)
+        match
+          if w <> "" && w.[0] >= 'A' && w.[0] <= 'Z' then find_term w
+          else None
+        with
+        | Some id when not (Grammar.Sym.is_literal sym id) -> Some id
+        | _ -> (
+            match config.ident_token with
+            | Some name -> find_term name
+            | None -> None))
+  in
+  while !pos < n && !err = None do
+    let c = src.[!pos] in
+    let l0 = !line and c0 = !col in
+    if c = '\n' && config.newline_token <> None then begin
+      (* collapse a run of newlines (and surrounding blank space) into one
+         token *)
+      while
+        !pos < n
+        && (src.[!pos] = '\n' || src.[!pos] = '\r' || src.[!pos] = ' '
+           || src.[!pos] = '\t')
+      do
+        advance ()
+      done;
+      match find_term (Option.get config.newline_token) with
+      | Some id -> emit id "\n" l0 c0
+      | None -> fail "grammar has no newline token"
+    end
+    else if c = ' ' || c = '\t' || c = '\r' || c = '\n' then advance ()
+    else if List.exists starts_with config.line_comments then begin
+      while !pos < n && src.[!pos] <> '\n' do
+        advance ()
+      done
+    end
+    else if
+      List.exists (fun (o, _) -> starts_with o) config.block_comments
+    then begin
+      let o, cl = List.find (fun (o, _) -> starts_with o) config.block_comments in
+      advance_n (String.length o);
+      let closed = ref false in
+      while (not !closed) && !pos < n do
+        if starts_with cl then begin
+          advance_n (String.length cl);
+          closed := true
+        end
+        else advance ()
+      done;
+      if not !closed then fail "unterminated block comment"
+    end
+    else if c = '@' && config.at_ident_token <> None then begin
+      let start = !pos in
+      advance ();
+      while !pos < n && is_ident_cont src.[!pos] do
+        advance ()
+      done;
+      let w = String.sub src start (!pos - start) in
+      match find_term (Option.get config.at_ident_token) with
+      | Some id -> emit id w l0 c0
+      | None -> fail "grammar has no @-identifier token"
+    end
+    else if is_ident_start c then begin
+      let start = !pos in
+      while !pos < n && is_ident_cont src.[!pos] do
+        advance ()
+      done;
+      let w = String.sub src start (!pos - start) in
+      match token_for_word w with
+      | Some id -> emit id w l0 c0
+      | None -> fail (Printf.sprintf "unknown word %S" w)
+    end
+    else if is_digit c then begin
+      let start = !pos in
+      while !pos < n && is_digit src.[!pos] do
+        advance ()
+      done;
+      let is_float = ref false in
+      (if
+         config.float_token <> None
+         && !pos + 1 < n
+         && src.[!pos] = '.'
+         && is_digit src.[!pos + 1]
+       then begin
+         is_float := true;
+         advance ();
+         while !pos < n && is_digit src.[!pos] do
+           advance ()
+         done
+       end);
+      let w = String.sub src start (!pos - start) in
+      let tname = if !is_float then config.float_token else config.int_token in
+      match tname with
+      | Some name -> (
+          match find_term name with
+          | Some id -> emit id w l0 c0
+          | None -> fail (Printf.sprintf "grammar has no %s token" name))
+      | None -> fail "numeric literal not supported by this grammar"
+    end
+    else if c = config.string_quote && config.string_token <> None then begin
+      let buf = Buffer.create 16 in
+      advance ();
+      let closed = ref false in
+      while (not !closed) && !pos < n do
+        if src.[!pos] = '\\' && !pos + 1 < n then begin
+          Buffer.add_char buf src.[!pos];
+          Buffer.add_char buf src.[!pos + 1];
+          advance_n 2
+        end
+        else if src.[!pos] = config.string_quote then begin
+          advance ();
+          closed := true
+        end
+        else begin
+          Buffer.add_char buf src.[!pos];
+          advance ()
+        end
+      done;
+      if not !closed then fail "unterminated string literal"
+      else
+        match find_term (Option.get config.string_token) with
+        | Some id -> emit id (Buffer.contents buf) l0 c0
+        | None -> fail "grammar has no string token"
+    end
+    else if c = '\'' && config.char_token <> None then begin
+      let buf = Buffer.create 4 in
+      advance ();
+      let closed = ref false in
+      while (not !closed) && !pos < n do
+        if src.[!pos] = '\\' && !pos + 1 < n then begin
+          Buffer.add_char buf src.[!pos];
+          Buffer.add_char buf src.[!pos + 1];
+          advance_n 2
+        end
+        else if src.[!pos] = '\'' then begin
+          advance ();
+          closed := true
+        end
+        else begin
+          Buffer.add_char buf src.[!pos];
+          advance ()
+        end
+      done;
+      if not !closed then fail "unterminated character literal"
+      else
+        match find_term (Option.get config.char_token) with
+        | Some id -> emit id (Buffer.contents buf) l0 c0
+        | None -> fail "grammar has no char token"
+    end
+    else begin
+      (* operators / punctuation: maximal munch over the literal table *)
+      match List.find_opt (fun (o, _) -> starts_with o) ops with
+      | Some (o, id) ->
+          advance_n (String.length o);
+          emit id o l0 c0
+      | None -> fail (Printf.sprintf "unexpected character %C" c)
+    end
+  done;
+  match !err with
+  | Some e -> Error e
+  | None -> Ok (Array.of_list (List.rev !out))
+
+let tokenize_exn config sym src =
+  match tokenize config sym src with
+  | Ok toks -> toks
+  | Error e -> failwith (Fmt.str "lex error: %a" pp_error e)

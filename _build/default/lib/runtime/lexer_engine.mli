@@ -1,0 +1,43 @@
+(** Configurable lexer engine: the scanner substrate used by every benchmark
+    grammar.
+
+    Literal tokens (keywords and operators) always come from the grammar's
+    vocabulary; the configuration maps the common token *classes*
+    (identifiers, numbers, strings, characters), comment styles and
+    language-specific quirks (single-quoted SQL strings, T-SQL [@vars],
+    VB-style newline tokens, case-insensitive keywords).  A word spelled
+    exactly like a named token type (e.g. [A]) lexes as that type, which
+    keeps abstract vocabularies usable in tests and examples. *)
+
+type config = {
+  ident_token : string option;  (** token type for identifiers, e.g. ["ID"] *)
+  int_token : string option;
+  float_token : string option;
+  string_token : string option;
+  string_quote : char;  (** ['"'] for C-family, ['\''] for SQL *)
+  char_token : string option;  (** single-quoted character literals *)
+  at_ident_token : string option;
+      (** token type for ['@']-prefixed identifiers (T-SQL variables) *)
+  newline_token : string option;
+      (** emit one token per newline run (VB-style line-oriented syntax) *)
+  line_comments : string list;  (** e.g. [["//"; "--"]] *)
+  block_comments : (string * string) list;  (** e.g. [[("/*", "*/")]] *)
+  case_insensitive_keywords : bool;
+  extra_ident_start : string;  (** additional identifier start characters *)
+  extra_ident_cont : string;
+}
+
+val default_config : config
+(** C-family defaults: [ID]/[INT], [//] and [/* */] comments,
+    double-quoted strings disabled until a token name is supplied. *)
+
+type error = { msg : string; line : int; col : int }
+
+val pp_error : Format.formatter -> error -> unit
+
+val tokenize :
+  config -> Grammar.Sym.t -> string -> (Token.t array, error) result
+(** Tokenize [src] against a grammar's vocabulary.  Keywords are matched
+    before identifiers; operators by maximal munch. *)
+
+val tokenize_exn : config -> Grammar.Sym.t -> string -> Token.t array

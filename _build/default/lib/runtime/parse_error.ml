@@ -1,0 +1,51 @@
+(* Parse errors.  Per the paper's section 4.4, a prediction failure is
+   reported at the specific token that led the lookahead DFA into an error
+   state (not at the decision's start token), and a failed backtracking
+   decision reports the deepest token reached by a failed speculative
+   parse. *)
+
+type kind =
+  | Mismatched_token of { expected : int }
+  | No_viable_alt of { decision : int; depth : int }
+    (* the DFA died [depth] tokens into the lookahead *)
+  | Failed_predicate of { text : string }
+  | Extraneous_input (* tokens remain after the start rule finished *)
+
+type t = {
+  kind : kind;
+  token : Token.t; (* offending token *)
+  rule : int; (* rule being parsed *)
+}
+
+exception Error of t
+
+let pp sym ppf e =
+  let where ppf (tok : Token.t) =
+    if Token.is_eof tok then Fmt.string ppf "at end of input"
+    else Fmt.pf ppf "at %d:%d" tok.Token.line tok.Token.col
+  in
+  let tokstr (tok : Token.t) =
+    if Token.is_eof tok then "<EOF>" else Printf.sprintf "%S" tok.Token.text
+  in
+  match e.kind with
+  | Mismatched_token { expected } ->
+      Fmt.pf ppf "%a: mismatched input %s, expecting %s (in rule %s)" where
+        e.token (tokstr e.token)
+        (Grammar.Sym.term_name sym expected)
+        (Grammar.Sym.nonterm_name sym e.rule)
+  | No_viable_alt { decision; depth } ->
+      Fmt.pf ppf
+        "%a: no viable alternative at input %s (decision %d, %d token%s of \
+         lookahead, in rule %s)"
+        where e.token (tokstr e.token) decision depth
+        (if depth = 1 then "" else "s")
+        (Grammar.Sym.nonterm_name sym e.rule)
+  | Failed_predicate { text } ->
+      Fmt.pf ppf "%a: predicate {%s}? failed %s (in rule %s)" where e.token
+        text (tokstr e.token)
+        (Grammar.Sym.nonterm_name sym e.rule)
+  | Extraneous_input ->
+      Fmt.pf ppf "%a: extraneous input %s after start rule" where e.token
+        (tokstr e.token)
+
+let to_string sym e = Fmt.str "%a" (pp sym) e

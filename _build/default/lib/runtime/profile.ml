@@ -1,0 +1,109 @@
+(* Runtime decision profiling: the counters behind the paper's Tables 3
+   and 4.
+
+   A decision *event* is one execution of a prediction (loop decisions fire
+   once per iteration).  Its lookahead depth is the number of tokens the
+   lookahead DFA examined, or -- for events that evaluated a syntactic
+   predicate -- the furthest token reached by speculation.  [back k] averages
+   speculation depth over backtracking events only. *)
+
+type dstats = {
+  mutable d_events : int;
+  mutable d_backtracks : int;
+}
+
+type t = {
+  mutable events : int;
+  mutable look_sum : int;
+  mutable look_max : int;
+  mutable back_events : int;
+  mutable back_look_sum : int;
+  mutable back_look_max : int;
+  per_decision : (int, dstats) Hashtbl.t;
+}
+
+let create () =
+  {
+    events = 0;
+    look_sum = 0;
+    look_max = 0;
+    back_events = 0;
+    back_look_sum = 0;
+    back_look_max = 0;
+    per_decision = Hashtbl.create 64;
+  }
+
+let reset t =
+  t.events <- 0;
+  t.look_sum <- 0;
+  t.look_max <- 0;
+  t.back_events <- 0;
+  t.back_look_sum <- 0;
+  t.back_look_max <- 0;
+  Hashtbl.reset t.per_decision
+
+let record t ~decision ~depth ~backtracked ~spec_depth =
+  t.events <- t.events + 1;
+  let depth = max depth (if backtracked then spec_depth else depth) in
+  t.look_sum <- t.look_sum + depth;
+  if depth > t.look_max then t.look_max <- depth;
+  if backtracked then begin
+    t.back_events <- t.back_events + 1;
+    t.back_look_sum <- t.back_look_sum + spec_depth;
+    if spec_depth > t.back_look_max then t.back_look_max <- spec_depth
+  end;
+  let ds =
+    match Hashtbl.find_opt t.per_decision decision with
+    | Some ds -> ds
+    | None ->
+        let ds = { d_events = 0; d_backtracks = 0 } in
+        Hashtbl.add t.per_decision decision ds;
+        ds
+  in
+  ds.d_events <- ds.d_events + 1;
+  if backtracked then ds.d_backtracks <- ds.d_backtracks + 1
+
+(* --- Table 3 quantities --- *)
+
+let decisions_covered t = Hashtbl.length t.per_decision
+
+let avg_k t =
+  if t.events = 0 then 0.0 else float_of_int t.look_sum /. float_of_int t.events
+
+let back_k t =
+  if t.back_events = 0 then 0.0
+  else float_of_int t.back_look_sum /. float_of_int t.back_events
+
+let max_k t = t.look_max
+
+(* --- Table 4 quantities --- *)
+
+(* Distinct decisions that backtracked at least once. *)
+let decisions_that_backtracked t =
+  Hashtbl.fold
+    (fun _ ds acc -> if ds.d_backtracks > 0 then acc + 1 else acc)
+    t.per_decision 0
+
+let backtrack_event_rate t =
+  if t.events = 0 then 0.0
+  else 100.0 *. float_of_int t.back_events /. float_of_int t.events
+
+(* Likelihood that an event at a decision that ever backtracks actually
+   backtracked (the paper's "back. rate"). *)
+let backtrack_rate_at_pbds t =
+  let ev, bk =
+    Hashtbl.fold
+      (fun _ ds (ev, bk) ->
+        if ds.d_backtracks > 0 then (ev + ds.d_events, bk + ds.d_backtracks)
+        else (ev, bk))
+      t.per_decision (0, 0)
+  in
+  if ev = 0 then 0.0 else 100.0 *. float_of_int bk /. float_of_int ev
+
+let pp ppf t =
+  Fmt.pf ppf
+    "decision events=%d covered=%d avg k=%.2f back k=%.2f max k=%d \
+     backtracked=%.2f%% (at PBDs: %.2f%%)"
+    t.events (decisions_covered t) (avg_k t) (back_k t) t.look_max
+    (backtrack_event_rate t)
+    (backtrack_rate_at_pbds t)

@@ -1,0 +1,22 @@
+(* Tokens produced by the lexer engine and consumed by parsers. *)
+
+type t = {
+  ttype : int; (* terminal id in the grammar's vocabulary *)
+  text : string;
+  line : int; (* 1-based *)
+  col : int; (* 1-based *)
+  index : int; (* position in the token stream *)
+}
+
+let eof_token ~index = { ttype = Grammar.Sym.eof; text = "<EOF>"; line = 0; col = 0; index }
+
+let is_eof t = t.ttype = Grammar.Sym.eof
+
+let pp sym ppf t =
+  if is_eof t then Fmt.string ppf "<EOF>"
+  else
+    Fmt.pf ppf "%s(%S)@%d:%d" (Grammar.Sym.term_name sym t.ttype) t.text t.line
+      t.col
+
+let make ?(line = 0) ?(col = 0) ?(index = 0) ttype text =
+  { ttype; text; line; col; index }

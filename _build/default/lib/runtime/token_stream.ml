@@ -1,0 +1,47 @@
+(* Token stream with mark/seek support for speculation.
+
+   The LL-star strategy is one-pass and left-to-right (paper section 4), so
+   the stream only ever needs to rewind as far as the most recent mark.  The
+   high-water mark records the furthest token index touched by lookahead or
+   consumption; the profiler uses it to measure speculation depth. *)
+
+type t = {
+  toks : Token.t array;
+  mutable p : int; (* cursor: next token to consume *)
+  mutable hw : int; (* furthest index examined *)
+}
+
+let of_array toks = { toks; p = 0; hw = 0 }
+
+let size t = Array.length t.toks
+
+let index t = t.p
+
+let touch t i = if i > t.hw then t.hw <- i
+
+(* Token at lookahead offset [k] (k >= 1); EOF beyond the end. *)
+let lt t k =
+  let i = t.p + k - 1 in
+  touch t i;
+  if i < Array.length t.toks then t.toks.(i) else Token.eof_token ~index:i
+
+(* Token type at lookahead offset [k]. *)
+let la t k = (lt t k).Token.ttype
+
+let consume t =
+  let tok = lt t 1 in
+  if not (Token.is_eof tok) then t.p <- t.p + 1;
+  tok
+
+let seek t i = t.p <- i
+
+let mark t = t.p
+
+let high_water t = t.hw
+
+let set_high_water t v = t.hw <- v
+
+let at_eof t = t.p >= Array.length t.toks
+
+(* Most recently consumed token, if any. *)
+let prev t = if t.p > 0 then Some t.toks.(t.p - 1) else None

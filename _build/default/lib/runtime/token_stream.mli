@@ -1,0 +1,34 @@
+(** Token stream with mark/seek support for speculation.
+
+    LL-star parsing is one-pass and left-to-right (paper section 4): the
+    stream only rewinds as far as the most recent mark.  The high-water
+    mark records the furthest index examined by lookahead or consumption;
+    the profiler uses it to measure speculation depth. *)
+
+type t
+
+val of_array : Token.t array -> t
+val size : t -> int
+
+val index : t -> int
+(** Index of the next token to consume. *)
+
+val lt : t -> int -> Token.t
+(** [lt t k] is the token [k] ahead (k >= 1); a synthetic EOF token beyond
+    the end. *)
+
+val la : t -> int -> int
+(** Token type at lookahead offset [k]. *)
+
+val consume : t -> Token.t
+(** Consume and return the next token; does not move past EOF. *)
+
+val prev : t -> Token.t option
+(** The most recently consumed token. *)
+
+val mark : t -> int
+val seek : t -> int -> unit
+val at_eof : t -> bool
+
+val high_water : t -> int
+val set_high_water : t -> int -> unit

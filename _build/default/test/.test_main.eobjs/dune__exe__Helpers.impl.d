@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Array Atn Fmt Llstar Printf QCheck QCheck_alcotest Runtime String

@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Array Atn Grammar Helpers List Llstar Option Runtime String

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Baselines Grammar Helpers List Llstar

@@ -1,0 +1,1 @@
+test/test_bench_grammars.ml: Alcotest Array Atn Bench_grammars Fmt Hashtbl Helpers List Llstar Printf Runtime String

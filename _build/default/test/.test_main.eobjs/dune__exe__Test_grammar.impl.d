@@ -1,0 +1,1 @@
+test/test_grammar.ml: Alcotest Bench_grammars Grammar Helpers List Option String

@@ -1,0 +1,1 @@
+test/test_minimize.ml: Alcotest Array Bench_grammars Grammar Helpers List Llstar Runtime

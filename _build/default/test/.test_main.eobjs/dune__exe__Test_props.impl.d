@@ -1,0 +1,1 @@
+test/test_props.ml: Array Baselines Grammar Hashtbl Helpers List Llstar Option QCheck Random Runtime String Test

@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Array Grammar Helpers List Llstar Option Printf Runtime

@@ -1,0 +1,336 @@
+(* Tests for the LL-star analysis: ATN construction, the modified subset
+   construction, decision classification, ambiguity/overflow handling,
+   predicate resolution and the fallback strategies -- anchored on the
+   paper's own examples. *)
+
+open Helpers
+
+(* ------------------------------------------------------------------ *)
+(* ATN construction invariants *)
+
+let atn_of src =
+  Atn.Build.build
+    (Grammar.Transform.prepare
+       (Grammar.Leftrec.rewrite (Grammar.Meta_parser.parse src)))
+
+let atn_tests =
+  [
+    test "every rule has entry and stop; every state reachable" (fun () ->
+        let atn = atn_of "grammar T; s : a B | C ; a : D s? ;" in
+        let seen = Array.make atn.Atn.nstates false in
+        let rec visit s =
+          if not seen.(s) then begin
+            seen.(s) <- true;
+            Array.iter
+              (fun (edge, tgt) ->
+                visit tgt;
+                match edge with
+                | Atn.Rule { rule; _ } -> visit atn.Atn.rules.(rule).Atn.r_entry
+                | _ -> ())
+              atn.Atn.trans.(s)
+          end
+        in
+        visit atn.Atn.augmented_start;
+        Array.iteri
+          (fun i reached ->
+            if not reached then Alcotest.failf "state %d unreachable" i)
+          seen);
+    test "decision states have one eps edge per alternative" (fun () ->
+        let atn = atn_of "grammar T; s : A | B | C ;" in
+        let d = atn.Atn.decisions.(0) in
+        check int "3 alternatives" 3 d.Atn.d_nalts;
+        check int "3 targets" 3
+          (Array.length (Atn.decision_alt_targets atn d)));
+    test "loops register exit as last alternative" (fun () ->
+        let atn = atn_of "grammar T; s : (A | B)* C ;" in
+        let d = atn.Atn.decisions.(0) in
+        check bool "star loop" true (d.Atn.d_kind = Atn.Star_loop);
+        check int "2 body alts + exit" 3 d.Atn.d_nalts;
+        check bool "exit alt" true (d.Atn.d_exit_alt = Some 3));
+    test "callers include the augmented start" (fun () ->
+        let atn = atn_of "grammar T; s : A ;" in
+        check bool "start rule has a caller" true
+          (List.length atn.Atn.callers.(atn.Atn.start_rule) >= 1));
+    test "PEG mode guards all but the last rule alternative" (fun () ->
+        let g =
+          Grammar.Transform.peg_mode
+            (Grammar.Meta_parser.parse
+               "grammar T; options { backtrack=true; } s : A | B | C ;")
+        in
+        let r = List.hd g.Grammar.Ast.rules in
+        let starts_with_syn (a : Grammar.Ast.alt) =
+          match a.Grammar.Ast.elems with
+          | Grammar.Ast.Syn_pred _ :: _ -> true
+          | _ -> false
+        in
+        check (Alcotest.list bool) "guards" [ true; true; false ]
+          (List.map starts_with_syn r.Grammar.Ast.rule_alts));
+    test "synpred lifting is canonical and shared" (fun () ->
+        let g =
+          Grammar.Transform.lift_synpreds
+            (Grammar.Meta_parser.parse
+               "grammar T; s : (A B)=> A B | (A B)=> A B C ;")
+        in
+        (* identical fragments share one pseudo-rule *)
+        let pseudo =
+          List.filter
+            (fun (r : Grammar.Ast.rule) ->
+              Grammar.Transform.is_synpred_rule r.Grammar.Ast.name)
+            g.Grammar.Ast.rules
+        in
+        check int "one shared pseudo-rule" 1 (List.length pseudo));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Figure 1 *)
+
+let fig1_src =
+  "grammar S; s : ID | ID '=' expr | ('unsigned')* 'int' ID | ('unsigned')* \
+   ID ID ; expr : ID | INT ;"
+
+(* Walk a decision's DFA over terminal names; None = no viable path,
+   Some (alt, k). *)
+let dfa_predict c decision names =
+  let sym = Llstar.Compiled.sym c in
+  let dfa = Llstar.Compiled.dfa c decision in
+  let term name =
+    match Grammar.Sym.find_term sym name with
+    | Some id -> id
+    | None -> Alcotest.failf "unknown terminal %s" name
+  in
+  let arr = Array.of_list (List.map term names) in
+  let rec walk state depth =
+    match Llstar.Look_dfa.accept_of dfa state with
+    | Some alt -> Some (alt, depth)
+    | None -> (
+        let la = if depth < Array.length arr then arr.(depth) else Grammar.Sym.eof in
+        match Llstar.Look_dfa.lookup_edge dfa state la with
+        | Some tgt -> walk tgt (depth + 1)
+        | None -> None)
+  in
+  walk dfa.Llstar.Look_dfa.start 0
+
+let check_predict c d names expected =
+  match dfa_predict c d names with
+  | Some (alt, k) ->
+      check int (String.concat " " names ^ " alt") (fst expected) alt;
+      check int (String.concat " " names ^ " k") (snd expected) k
+  | None -> Alcotest.failf "no prediction for %s" (String.concat " " names)
+
+let fig1_tests =
+  [
+    test "rule s is a cyclic decision" (fun () ->
+        let c = compile fig1_src in
+        check string "class" "cyclic" (klass_str c (rule_decision c "s")));
+    test "minimal lookahead per input (Def. 5)" (fun () ->
+        let c = compile fig1_src in
+        let d = rule_decision c "s" in
+        check_predict c d [ "'int'" ] (3, 1);
+        check_predict c d [ "ID"; "EOF" ] (1, 2);
+        check_predict c d [ "ID"; "'='" ] (2, 2);
+        check_predict c d [ "ID"; "ID" ] (4, 2);
+        check_predict c d [ "'unsigned'"; "'int'" ] (3, 2);
+        check_predict c d
+          [ "'unsigned'"; "'unsigned'"; "'unsigned'"; "'int'" ]
+          (3, 4));
+    test "DFA has the paper's 8 states" (fun () ->
+        let c = compile fig1_src in
+        let dfa = Llstar.Compiled.dfa c (rule_decision c "s") in
+        check int "states" 8 dfa.Llstar.Look_dfa.nstates);
+    test "parses and chooses the right productions" (fun () ->
+        let c = compile fig1_src in
+        check string "alt3" "(s unsigned unsigned int x)"
+          (parse_tree c "unsigned unsigned int x");
+        check string "alt4" "(s unsigned T x)" (parse_tree c "unsigned T x");
+        check string "alt2" "(s x = (expr y))" (parse_tree c "x = y"));
+    test "prediction error reported at offending token (4.4)" (fun () ->
+        let c = compile fig1_src in
+        let e = first_error c "unsigned unsigned = x" in
+        (match e.Runtime.Parse_error.kind with
+        | Runtime.Parse_error.No_viable_alt { depth; _ } ->
+            check int "depth" 3 depth
+        | _ -> Alcotest.fail "expected no-viable-alt");
+        check string "token" "=" e.Runtime.Parse_error.token.Runtime.Token.text);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Figure 2 *)
+
+let fig2_src =
+  "grammar T; options { backtrack=true; m=1; } t : ('-')* ID | expr ; expr : \
+   INT | '-' expr ;"
+
+let fig2_tests =
+  [
+    test "rule t is a backtracking decision" (fun () ->
+        let c = compile fig2_src in
+        check string "class" "backtrack" (klass_str c (rule_decision c "t")));
+    test "k=1 and k=2 inputs resolved without speculation" (fun () ->
+        let c = compile fig2_src in
+        let d = rule_decision c "t" in
+        check_predict c d [ "ID" ] (1, 1);
+        check_predict c d [ "INT" ] (2, 1);
+        check_predict c d [ "'-'"; "ID" ] (1, 2);
+        check_predict c d [ "'-'"; "INT" ] (2, 2));
+    test "two dashes fail over to synpred edges" (fun () ->
+        let c = compile fig2_src in
+        let dfa = Llstar.Compiled.dfa c (rule_decision c "t") in
+        (* walk '-' '-' by hand: must end in a state with predicate edges *)
+        let sym = Llstar.Compiled.sym c in
+        let dash = Option.get (Grammar.Sym.find_term sym "'-'") in
+        let s1 =
+          Option.get (Llstar.Look_dfa.lookup_edge dfa dfa.Llstar.Look_dfa.start dash)
+        in
+        let s2 = Option.get (Llstar.Look_dfa.lookup_edge dfa s1 dash) in
+        check bool "pred edges present" true
+          (Array.length (Llstar.Look_dfa.pred_edges_of dfa s2) > 0));
+    test "parses both alternatives with correct trees" (fun () ->
+        let c = compile fig2_src in
+        check string "loop alt" "(t - - x)" (parse_tree c "- - x");
+        check string "expr alt" "(t (expr - (expr - (expr 1))))"
+          (parse_tree c "- - 1"));
+    test "backtracks only on -- prefixes" (fun () ->
+        let c = compile fig2_src in
+        let profile = Runtime.Profile.create () in
+        (match Runtime.Interp.parse ~profile c (lex c "- 1") with
+        | Ok _ -> ()
+        | Error _ -> Alcotest.fail "parse failed");
+        check int "no backtracking on single dash" 0
+          profile.Runtime.Profile.back_events;
+        let profile2 = Runtime.Profile.create () in
+        (match Runtime.Interp.parse ~profile:profile2 c (lex c "- - 1") with
+        | Ok _ -> ()
+        | Error _ -> Alcotest.fail "parse failed");
+        check bool "backtracks on double dash" true
+          (profile2.Runtime.Profile.back_events > 0));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Other analysis behaviours *)
+
+let misc_tests =
+  [
+    test "LL(*)-but-not-LR(k): cyclic DFA over A+" (fun () ->
+        let c = compile "grammar N; a : b A+ X | c A+ Y ; b : ; c : ;" in
+        let d = rule_decision c "a" in
+        check string "class" "cyclic" (klass_str c d);
+        check_predict c d [ "A"; "A"; "A"; "X" ] (1, 4);
+        check_predict c d [ "A"; "Y" ] (2, 2));
+    test "ambiguity (a|a) resolved to alternative 1 with warning" (fun () ->
+        let c = compile "grammar A; s : (A | A) B ;" in
+        let r = c.Llstar.Compiled.results.(0) in
+        check bool "ambiguity warning" true
+          (List.exists
+             (function Llstar.Analysis.Ambiguity _ -> true | _ -> false)
+             r.Llstar.Analysis.warnings);
+        check bool "dead alternative warning" true
+          (List.exists
+             (function
+               | Llstar.Analysis.Dead_alternative { alt = 2; _ } -> true
+               | _ -> false)
+             r.Llstar.Analysis.warnings);
+        check string "still parses" "(s A B)" (parse_tree c "A B"));
+    test "semantic predicates resolve an ambiguity (5.2)" (fun () ->
+        let c = compile "grammar P; s : {hot()}? A B | {cold()}? A C? ;" in
+        let hot = ref true in
+        let env =
+          Runtime.Interp.env_of_tables
+            ~preds:
+              [ ("hot()", fun _ -> !hot); ("cold()", fun _ -> not !hot) ]
+            ()
+        in
+        check string "hot picks alt1" "(s A B)" (parse_tree ~env c "A B");
+        hot := false;
+        check string "cold picks alt2" "(s A)" (parse_tree ~env c "A");
+        hot := true;
+        (match parse ~env c "A" with
+        | Ok _ -> Alcotest.fail "alt1 requires B"
+        | Error _ -> ()));
+    test "section 5.4: recursion in both alternatives falls back" (fun () ->
+        let c = compile "grammar F; s : a 'c' | a 'd' ; a : 'a' a | 'b' ;" in
+        let r = c.Llstar.Compiled.results.(rule_decision c "s") in
+        check bool "non-LL-regular warning" true
+          (List.exists
+             (function Llstar.Analysis.Non_ll_regular _ -> true | _ -> false)
+             r.Llstar.Analysis.warnings);
+        check bool "fallback used" true r.Llstar.Analysis.fallback);
+    test "LL(2) classification" (fun () ->
+        let c = compile "grammar K; s : A B | A C ;" in
+        check string "class" "LL(2)" (klass_str c 0));
+    test "LL(1) classification and EOF lookahead via augmented start"
+      (fun () ->
+        let c = compile "grammar K; s : A s | ;" in
+        (* exit alternative predicted on EOF *)
+        check string "class" "LL(1)" (klass_str c 0);
+        check bool "accepts" true (parses c "A A A");
+        check bool "accepts empty" true (parses c ""));
+    test "k cap forces resolution at the cap" (fun () ->
+        let surface = Grammar.Meta_parser.parse "grammar K; s : A A A B | A A A C ;" in
+        let opts =
+          { Llstar.Analysis.default_options with Llstar.Analysis.k_cap = Some 2 }
+        in
+        let c = Llstar.Compiled.compile_exn ~analysis_opts:opts surface in
+        (match klass c 0 with
+        | Llstar.Analysis.Fixed k ->
+            check bool "k <= 2" true (k <= 2)
+        | _ -> Alcotest.fail "expected fixed");
+        (* capped decision resolves by order: alt 1 *)
+        check bool "first alt wins" true (parses c "A A A B");
+        check bool "second alt unreachable" false (parses c "A A A C"));
+    test "state budget triggers LL(1) fallback" (fun () ->
+        let surface =
+          Grammar.Meta_parser.parse
+            "grammar K; s : a X | a Y ; a : (A|B|C) (A|B|C) (A|B|C) ;"
+        in
+        let opts =
+          { Llstar.Analysis.default_options with Llstar.Analysis.max_states = 3 }
+        in
+        let c = Llstar.Compiled.compile_exn ~analysis_opts:opts surface in
+        let r = c.Llstar.Compiled.results.(rule_decision c "s") in
+        check bool "dfa-too-big warning" true
+          (List.exists
+             (function Llstar.Analysis.Dfa_too_big _ -> true | _ -> false)
+             r.Llstar.Analysis.warnings));
+    test "wildcard element matches any token" (fun () ->
+        let c = compile "grammar W; s : A . B ; junk : C ;" in
+        check bool "A C B" true (parses c "A C B");
+        check bool "A B B" true (parses c "A B B");
+        check bool "A B" false (parses c "A B"));
+    test "fragment-end default: optional tail inside a synpred" (fun () ->
+        (* the synpred fragment ends with an optional; the opt decision
+           inside the pseudo-rule must still be able to exit *)
+        let c =
+          compile
+            "grammar G; options { backtrack=true; } s : t* ; t : 'if' '(' ID \
+             ')' t (('else')=> 'else' t)? | '{' t* '}' | ID ';' ;"
+        in
+        check bool "if without else inside speculation" true
+          (parses c "{ if ( x ) { } }");
+        check bool "dangling else binds to inner if" true
+          (parses c "{ if ( a ) if ( b ) x ; else y ; }"));
+    test "left-edge semantic predicates gate alternatives at parse time"
+      (fun () ->
+        let c =
+          compile "grammar S; s : {isType()}? ID ID ';' | ID '=' ID ';' ;"
+        in
+        let env =
+          Runtime.Interp.env_of_tables
+            ~preds:
+              [
+                ( "isType()",
+                  fun (t : Runtime.Token.t) -> t.Runtime.Token.text = "T" );
+              ]
+            ()
+        in
+        check bool "T x ; is a declaration" true (parses ~env c "T x ;");
+        check bool "x = y ; is an assignment" true (parses ~env c "x = y ;");
+        check bool "x y ; rejected (x not a type)" false (parses ~env c "x y ;"));
+  ]
+
+let suite =
+  [
+    ("atn", atn_tests);
+    ("figure1", fig1_tests);
+    ("figure2", fig2_tests);
+    ("analysis-misc", misc_tests);
+  ]

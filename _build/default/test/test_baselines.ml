@@ -1,0 +1,180 @@
+(* Tests for the baseline parsers: packrat/PEG, Earley, LL(1) and the
+   fixed-k LL(k) analysis. *)
+
+open Helpers
+
+let g src = Grammar.Meta_parser.parse src
+
+(* Lex against a compiled grammar so terminal ids align, then run the
+   baseline on the same token array. *)
+let tokens_for c input = lex c input
+
+(* ------------------------------------------------------------------ *)
+(* Packrat *)
+
+let packrat_tests =
+  [
+    test "ordered choice: first match wins" (fun () ->
+        (* PEG hazard from section 1: A -> a | ab never matches ab *)
+        let src = "grammar P; s : A | A B ;" in
+        let c = compile src in
+        let p = Baselines.Packrat.create (g src) in
+        let sym = Llstar.Compiled.sym c in
+        check bool "A ok" true
+          (Baselines.Packrat.recognize p sym (tokens_for c "A") ());
+        check bool "A B dead (PEG prefix capture)" false
+          (Baselines.Packrat.recognize p sym (tokens_for c "A B") ()));
+    test "greedy loops and optional" (fun () ->
+        let src = "grammar P; s : A* B? C ;" in
+        let c = compile src in
+        let p = Baselines.Packrat.create (g src) in
+        let sym = Llstar.Compiled.sym c in
+        List.iter
+          (fun (input, expected) ->
+            check bool input expected
+              (Baselines.Packrat.recognize p sym (tokens_for c input) ()))
+          [ ("C", true); ("A A C", true); ("A B C", true); ("B", false) ]);
+    test "syntactic predicate as and-predicate" (fun () ->
+        let src = "grammar P; s : (A B)=> A x | A C ; x : B ;" in
+        let c = compile src in
+        let p = Baselines.Packrat.create (g src) in
+        let sym = Llstar.Compiled.sym c in
+        check bool "A B via alt1" true
+          (Baselines.Packrat.recognize p sym (tokens_for c "A B") ());
+        check bool "A C via alt2" true
+          (Baselines.Packrat.recognize p sym (tokens_for c "A C") ()));
+    test "memoization bounds work" (fun () ->
+        let src =
+          "grammar P; s : e ';' ; e : ID '(' e ')' | ID '(' e ']' | ID ;"
+        in
+        let c = compile src in
+        let sym = Llstar.Compiled.sym c in
+        (* alternative 1 fails deep inside, so alternative 2 re-parses the
+           nested expressions: memoization pays for itself *)
+        let input = "a ( b ( c ( d ] ] ] ;" in
+        let with_memo = Baselines.Packrat.create ~memoize:true (g src) in
+        ignore (Baselines.Packrat.recognize with_memo sym (tokens_for c input) ());
+        let without = Baselines.Packrat.create ~memoize:false (g src) in
+        ignore (Baselines.Packrat.recognize without sym (tokens_for c input) ());
+        check bool "memo does less work" true
+          ((Baselines.Packrat.stats with_memo).Baselines.Packrat.steps
+          < (Baselines.Packrat.stats without).Baselines.Packrat.steps));
+    test "packrat agrees with LL(*) on a PEG-mode grammar" (fun () ->
+        let src =
+          "grammar P; options { backtrack=true; } s : t* ; t : 'a' 'b' | 'a' \
+           'c' | 'd' ;"
+        in
+        let c = compile src in
+        let p = Baselines.Packrat.create (g src) in
+        let sym = Llstar.Compiled.sym c in
+        List.iter
+          (fun input ->
+            check bool input
+              (parses c input)
+              (Baselines.Packrat.recognize p sym (tokens_for c input) ()))
+          [ "a b"; "a c"; "d"; "a b a c d"; "a"; "a d"; "" ]);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Earley *)
+
+let earley_tests =
+  [
+    test "balanced brackets (context-free, not regular)" (fun () ->
+        let e = Baselines.Earley.of_grammar (g "grammar E; s : '[' s ']' | ID ;") in
+        check bool "[ [ id ] ]" true
+          (Baselines.Earley.recognize e [| "'['"; "'['"; "ID"; "']'"; "']'" |]);
+        check bool "unbalanced" false
+          (Baselines.Earley.recognize e [| "'['"; "ID" |]));
+    test "handles left recursion and ambiguity" (fun () ->
+        let e =
+          Baselines.Earley.of_grammar (g "grammar E; e : e '+' e | INT ;")
+        in
+        check bool "1+1+1" true
+          (Baselines.Earley.recognize e [| "INT"; "'+'"; "INT"; "'+'"; "INT" |]);
+        check bool "dangling +" false
+          (Baselines.Earley.recognize e [| "INT"; "'+'" |]));
+    test "nullable rules (Aycock-Horspool)" (fun () ->
+        let e =
+          Baselines.Earley.of_grammar
+            (g "grammar E; s : a a B ; a : A | ;")
+        in
+        check bool "B alone" true (Baselines.Earley.recognize e [| "B" |]);
+        check bool "A B" true (Baselines.Earley.recognize e [| "A"; "B" |]);
+        check bool "A A B" true
+          (Baselines.Earley.recognize e [| "A"; "A"; "B" |]));
+    test "EBNF via BNF expansion" (fun () ->
+        let e = Baselines.Earley.of_grammar (g "grammar E; s : (A | B)+ C? ;") in
+        check bool "A B A" true (Baselines.Earley.recognize e [| "A"; "B"; "A" |]);
+        check bool "B C" true (Baselines.Earley.recognize e [| "B"; "C" |]);
+        check bool "C alone (plus needs one)" false
+          (Baselines.Earley.recognize e [| "C" |]));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* LL(1) *)
+
+let ll1_tests =
+  [
+    test "LL(1) grammar builds a conflict-free table" (fun () ->
+        let t = Baselines.Ll1.of_grammar (g "grammar L; s : A s | B ;") in
+        check bool "no conflicts" true (Baselines.Ll1.is_ll1 t);
+        check bool "A A B" true (Baselines.Ll1.recognize t [| "A"; "A"; "B" |]);
+        check bool "A alone" false (Baselines.Ll1.recognize t [| "A" |]));
+    test "non-LL(1) grammar reports conflicts" (fun () ->
+        let t = Baselines.Ll1.of_grammar (g "grammar L; s : A B | A C ;") in
+        check bool "conflicts" false (Baselines.Ll1.is_ll1 t));
+    test "agrees with LL(*) on an LL(1) grammar" (fun () ->
+        let src = "grammar L; s : A t B | C ; t : D? E ;" in
+        let c = compile src in
+        let t = Baselines.Ll1.of_grammar (g src) in
+        check bool "is ll1" true (Baselines.Ll1.is_ll1 t);
+        let sym = Llstar.Compiled.sym c in
+        List.iter
+          (fun input ->
+            let toks = tokens_for c input in
+            check bool input (parses c input)
+              (Baselines.Ll1.recognize_tokens t sym toks))
+          [ "A E B"; "A D E B"; "C"; "A B"; "A D B"; "" ]);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Fixed-k LL(k) *)
+
+let llk_tests =
+  [
+    test "LL(1) decision found at k=1" (fun () ->
+        match Baselines.Llk.analyze_rule (g "grammar K; s : A x | B y ; x : X ; y : Y ;") "s" with
+        | { Baselines.Llk.verdict = Baselines.Llk.Distinguishable 1; _ } -> ()
+        | r -> Alcotest.failf "unexpected verdict: %a" Baselines.Llk.pp_verdict r.Baselines.Llk.verdict);
+    test "LL(3) decision needs k=3" (fun () ->
+        match Baselines.Llk.analyze_rule (g "grammar K; s : A B C X | A B C Y ;") "s" with
+        | { Baselines.Llk.verdict = Baselines.Llk.Distinguishable 4; _ } -> ()
+        | { Baselines.Llk.verdict = Baselines.Llk.Distinguishable k; _ } ->
+            check int "k" 4 k
+        | r -> Alcotest.failf "unexpected verdict: %a" Baselines.Llk.pp_verdict r.Baselines.Llk.verdict);
+    test "cyclic lookahead defeats every fixed k" (fun () ->
+        match
+          Baselines.Llk.analyze_rule ~k_max:6
+            (g "grammar K; a : b A+ X | c A+ Y ; b : ; c : ;")
+            "a"
+        with
+        | { Baselines.Llk.verdict = Baselines.Llk.Not_within 6; _ } -> ()
+        | r -> Alcotest.failf "unexpected verdict: %a" Baselines.Llk.pp_verdict r.Baselines.Llk.verdict);
+    test "wide alphabets blow up the tuple sets" (fun () ->
+        match
+          Baselines.Llk.analyze_rule ~k_max:12 ~max_set_size:500
+            (g "grammar K; a : b (A|B|C|D)+ X | c (A|B|C|D)+ Y ; b : ; c : ;")
+            "a"
+        with
+        | { Baselines.Llk.verdict = Baselines.Llk.Blowup _; _ } -> ()
+        | r -> Alcotest.failf "unexpected verdict: %a" Baselines.Llk.pp_verdict r.Baselines.Llk.verdict);
+  ]
+
+let suite =
+  [
+    ("packrat", packrat_tests);
+    ("earley", earley_tests);
+    ("ll1", ll1_tests);
+    ("llk", llk_tests);
+  ]

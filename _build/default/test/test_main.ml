@@ -1,0 +1,8 @@
+(* Entry point: aggregates all suites. *)
+
+let () =
+  Alcotest.run "antlrkit"
+    (Test_grammar.suite @ Test_analysis.suite @ Test_runtime.suite
+   @ Test_baselines.suite @ Test_minimize.suite @ Test_report.suite
+   @ Test_bench_grammars.suite
+   @ Test_props.suite)

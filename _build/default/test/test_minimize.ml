@@ -1,0 +1,105 @@
+(* Tests for the optional lookahead-DFA minimization pass. *)
+
+open Helpers
+
+let opts_min =
+  { Llstar.Analysis.default_options with Llstar.Analysis.minimize = true }
+
+let compile_min src =
+  Llstar.Compiled.compile_exn ~analysis_opts:opts_min
+    (Grammar.Meta_parser.parse src)
+
+let dfa_sizes c =
+  Array.to_list
+    (Array.map
+       (fun (r : Llstar.Analysis.result) ->
+         r.Llstar.Analysis.dfa.Llstar.Look_dfa.nstates)
+       c.Llstar.Compiled.results)
+
+let suite =
+  [
+    ( "minimize",
+      [
+        test "already-minimal cyclic DFA is untouched; real grammars shrink"
+          (fun () ->
+            (* the not-LR(k) DFA comes out of subset construction minimal
+               (4 states, the paper's picture) *)
+            let src = "grammar N; a : b A+ X | c A+ Y ; b : ; c : ;" in
+            let plain = compile src in
+            let mini = compile_min src in
+            let d = rule_decision plain "a" in
+            check int "already minimal" 4
+              (Llstar.Compiled.dfa mini d).Llstar.Look_dfa.nstates;
+            check bool "still cyclic" true
+              (Llstar.Compiled.dfa mini d).Llstar.Look_dfa.cyclic;
+            (* a realistic grammar has redundancy for minimization to trim *)
+            let spec = Bench_grammars.Mini_java.spec in
+            let total c =
+              List.fold_left ( + ) 0 (dfa_sizes c)
+            in
+            let plain_total = total (compile spec.grammar_text) in
+            let mini_total =
+              total
+                (Llstar.Compiled.compile_exn ~analysis_opts:opts_min
+                   (Grammar.Meta_parser.parse spec.grammar_text))
+            in
+            check bool "benchmark grammar shrinks" true
+              (mini_total < plain_total));
+        test "predictions unchanged by minimization" (fun () ->
+            let src =
+              "grammar S; s : ID | ID '=' expr | ('unsigned')* 'int' ID | \
+               ('unsigned')* ID ID ; expr : ID | INT ;"
+            in
+            let mini = compile_min src in
+            List.iter
+              (fun (input, ok) ->
+                check bool input ok (parses mini input))
+              [
+                ("x", true);
+                ("x = y", true);
+                ("unsigned unsigned int x", true);
+                ("unsigned T x", true);
+                ("unsigned unsigned = x", false);
+              ]);
+        test "idempotent and size-monotone on the benchmark suite" (fun () ->
+            List.iter
+              (fun (spec : Bench_grammars.Workload.spec) ->
+                let plain = compile spec.grammar_text in
+                let mini =
+                  Llstar.Compiled.compile_exn ~analysis_opts:opts_min
+                    (Grammar.Meta_parser.parse spec.grammar_text)
+                in
+                List.iter2
+                  (fun a b ->
+                    check bool (spec.name ^ " no growth") true (b <= a))
+                  (dfa_sizes plain) (dfa_sizes mini);
+                (* a second minimization is a no-op *)
+                Array.iter
+                  (fun (r : Llstar.Analysis.result) ->
+                    let d = r.Llstar.Analysis.dfa in
+                    check int "idempotent"
+                      d.Llstar.Look_dfa.nstates
+                      (Llstar.Minimize.minimize d).Llstar.Look_dfa.nstates)
+                  mini.Llstar.Compiled.results)
+              [ Bench_grammars.Mini_java.spec; Bench_grammars.Mini_sql.spec ]);
+        test "minimized parser still parses benchmark samples" (fun () ->
+            let spec = Bench_grammars.Rats_c.spec in
+            let c =
+              Llstar.Compiled.compile_exn ~analysis_opts:opts_min
+                (Grammar.Meta_parser.parse spec.grammar_text)
+            in
+            let env =
+              Runtime.Interp.env_of_tables ~preds:spec.sem_preds ()
+            in
+            List.iter
+              (fun sample ->
+                let toks =
+                  Runtime.Lexer_engine.tokenize_exn spec.lexer_config
+                    (Llstar.Compiled.sym c) sample
+                in
+                match Runtime.Interp.recognize ~env c toks with
+                | Ok () -> ()
+                | Error _ -> Alcotest.fail "sample failed under minimization")
+              spec.samples);
+      ] );
+  ]

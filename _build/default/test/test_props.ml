@@ -1,0 +1,262 @@
+(* Property-based tests (qcheck, registered via QCheck_alcotest).
+
+   A generator produces random well-formed, non-left-recursive grammars; the
+   properties tie the whole pipeline together:
+
+   - analysis terminates and produces deterministic DFAs;
+   - soundness: anything the LL-star parser accepts is in the grammar's
+     context-free language (checked against the Earley baseline);
+   - parse trees yield exactly the input;
+   - random sentences drawn from the grammar are in its language;
+   - on LL(1) grammars the LL-star parser agrees with the table-driven
+     LL(1) baseline on arbitrary token strings;
+   - the pretty-printer round-trips. *)
+
+open Helpers
+module Gen = QCheck.Gen
+
+let terminals = [| "A"; "B"; "C"; "D"; "E" |]
+let rule_names = [| "r0"; "r1"; "r2"; "r3" |]
+
+(* Generate one element for rule [i] at position [pos].  To keep grammars
+   free of left recursion by construction, a leading nonterminal reference
+   may only point to a later rule; after at least one terminal, any rule may
+   be referenced. *)
+let gen_element i pos : Grammar.Ast.element Gen.t =
+  let open Gen in
+  let term = map (fun t -> Grammar.Ast.Term terminals.(t)) (int_bound 4) in
+  let nonterm =
+    if pos = 0 then
+      if i >= Array.length rule_names - 1 then term
+      else
+        map
+          (fun j ->
+            Grammar.Ast.Nonterm
+              { name = rule_names.(i + 1 + (j mod (Array.length rule_names - i - 1))); arg = None })
+          (int_bound 3)
+    else
+      map
+        (fun j -> Grammar.Ast.Nonterm { name = rule_names.(j); arg = None })
+        (int_bound (Array.length rule_names - 1))
+  in
+  let star_block =
+    map
+      (fun t ->
+        Grammar.Ast.Block
+          {
+            alts = [ { Grammar.Ast.elems = [ Grammar.Ast.Term terminals.(t) ] } ];
+            suffix = Grammar.Ast.Star;
+          })
+      (int_bound 4)
+  in
+  let opt_block =
+    map
+      (fun t ->
+        Grammar.Ast.Block
+          {
+            alts = [ { Grammar.Ast.elems = [ Grammar.Ast.Term terminals.(t) ] } ];
+            suffix = Grammar.Ast.Opt;
+          })
+      (int_bound 4)
+  in
+  frequency [ (5, term); (2, nonterm); (1, star_block); (1, opt_block) ]
+
+let gen_alt i : Grammar.Ast.alt Gen.t =
+  let open Gen in
+  int_range 1 3 >>= fun len ->
+  let rec go pos acc =
+    if pos >= len then return (List.rev acc)
+    else gen_element i pos >>= fun e -> go (pos + 1) (e :: acc)
+  in
+  map (fun elems -> { Grammar.Ast.elems }) (go 0 [])
+
+let gen_rule i : Grammar.Ast.rule Gen.t =
+  let open Gen in
+  int_range 1 3 >>= fun nalts ->
+  map
+    (fun alts ->
+      {
+        Grammar.Ast.name = rule_names.(i);
+        rule_alts = alts;
+        parameterized = false;
+        source_line = 0;
+      })
+    (flatten_l (List.init nalts (fun _ -> gen_alt i)))
+
+let gen_grammar : Grammar.Ast.t Gen.t =
+  let open Gen in
+  map
+    (fun rules -> Grammar.Ast.make "Rand" rules)
+    (flatten_l (List.init (Array.length rule_names) gen_rule))
+
+let arb_grammar =
+  QCheck.make ~print:Grammar.Pretty.to_string gen_grammar
+
+(* A random grammar paired with a sentence drawn from it. *)
+let arb_grammar_and_sentence =
+  let gen =
+    let open Gen in
+    gen_grammar >>= fun g ->
+    int_bound 1000 >>= fun seed ->
+    let rng = Random.State.make [| seed |] in
+    let sg = Grammar.Sentence_gen.prepare g in
+    let sentence =
+      match Grammar.Sentence_gen.generate sg ~rng ~size:12 with
+      | s -> Some s
+      | exception Grammar.Sentence_gen.Unproductive -> None
+    in
+    return (g, sentence)
+  in
+  QCheck.make
+    ~print:(fun (g, s) ->
+      Grammar.Pretty.to_string g ^ "\nsentence: "
+      ^ String.concat " " (Option.value ~default:[ "<unproductive>" ] s))
+    gen
+
+(* Random grammars can be extremely ambiguous; a tight state budget keeps
+   analysis time bounded (the fallback path is part of what we test). *)
+let rand_opts =
+  { Llstar.Analysis.default_options with Llstar.Analysis.max_states = 200 }
+
+let compile_rand g =
+  match Llstar.Compiled.compile ~analysis_opts:rand_opts g with
+  | Ok c -> Some c
+  | Error _ -> None (* e.g. a generated rule set with unlucky shapes *)
+
+let tokens_of_names c names =
+  let sym = Llstar.Compiled.sym c in
+  Array.of_list
+    (List.mapi
+       (fun i name ->
+         match Grammar.Sym.find_term sym name with
+         | Some id -> Runtime.Token.make ~index:i id name
+         | None ->
+             (* a terminal the grammar never mentions: any valid parser must
+                reject it, so give it an id no DFA edge can match *)
+             Runtime.Token.make ~index:i 999_999 name)
+       names)
+
+let props =
+  [
+    qtest ~count:80 "analysis terminates with deterministic DFAs" arb_grammar
+      (fun g ->
+        match compile_rand g with
+        | None -> true
+        | Some c ->
+            Array.for_all
+              (fun (r : Llstar.Analysis.result) ->
+                let dfa = r.Llstar.Analysis.dfa in
+                let ok = ref true in
+                for s = 0 to dfa.Llstar.Look_dfa.nstates - 1 do
+                  let seen = Hashtbl.create 8 in
+                  Array.iter
+                    (fun (t, _) ->
+                      if Hashtbl.mem seen t then ok := false
+                      else Hashtbl.add seen t ())
+                    dfa.Llstar.Look_dfa.edges.(s)
+                done;
+                !ok)
+              c.Llstar.Compiled.results);
+    qtest ~count:300 "generated sentences are in the CFG language (Earley)"
+      arb_grammar_and_sentence (fun (g, sentence) ->
+        match sentence with
+        | None -> true (* unproductive grammar: nothing to generate *)
+        | Some sentence ->
+            let e = Baselines.Earley.of_grammar g in
+            Baselines.Earley.recognize e (Array.of_list sentence));
+    qtest ~count:80 "LL(*) acceptance implies CFG membership"
+      arb_grammar_and_sentence (fun (g, sentence) ->
+        match (compile_rand g, sentence) with
+        | None, _ | _, None -> true
+        | Some c, Some sentence -> (
+            let toks = tokens_of_names c sentence in
+            match Runtime.Interp.parse c toks with
+            | Error _ -> true (* order-resolution may prune; rejection is fine *)
+            | Ok tree ->
+                (* soundness: accepted implies in the language *)
+                let e = Baselines.Earley.of_grammar g in
+                Baselines.Earley.recognize e (Array.of_list sentence)
+                (* and the tree covers the input exactly *)
+                && Runtime.Tree.yield tree = String.concat " " sentence));
+    qtest ~count:300 "pretty-printing round-trips" arb_grammar (fun g ->
+        let p1 = Grammar.Pretty.to_string g in
+        let p2 =
+          Grammar.Pretty.to_string (Grammar.Meta_parser.parse p1)
+        in
+        p1 = p2);
+    qtest ~count:80 "LL(1) table agreement on LL(1) grammars"
+      (QCheck.pair arb_grammar (QCheck.list_of_size (Gen.int_bound 6) (QCheck.int_bound 4)))
+      (fun (g, word) ->
+        let t = Baselines.Ll1.of_grammar g in
+        if not (Baselines.Ll1.is_ll1 t) then true
+        else
+          match compile_rand g with
+          | None -> true
+          | Some c ->
+              let names = List.map (fun i -> terminals.(i)) word in
+              let toks = tokens_of_names c names in
+              let ll1 = Baselines.Ll1.recognize t (Array.of_list names) in
+              let llstar =
+                match Runtime.Interp.recognize c toks with
+                | Ok () -> true
+                | Error _ -> false
+              in
+              QCheck.(
+                if ll1 <> llstar then
+                  Test.fail_reportf "ll1=%b llstar=%b on %s" ll1 llstar
+                    (String.concat " " names)
+                else true));
+    qtest ~count:50 "memoized and unmemoized speculation agree"
+      arb_grammar_and_sentence (fun (g, sentence) ->
+        let peg =
+          {
+            g with
+            Grammar.Ast.options =
+              {
+                g.Grammar.Ast.options with
+                Grammar.Ast.backtrack = true;
+                Grammar.Ast.memoize = true;
+              };
+          }
+        in
+        let nomemo =
+          {
+            peg with
+            Grammar.Ast.options =
+              { peg.Grammar.Ast.options with Grammar.Ast.memoize = false };
+          }
+        in
+        match (compile_rand peg, compile_rand nomemo, sentence) with
+        | Some c1, Some c2, Some sentence ->
+            let t1 = tokens_of_names c1 sentence in
+            let t2 = tokens_of_names c2 sentence in
+            let r1 =
+              match Runtime.Interp.recognize c1 t1 with Ok () -> true | _ -> false
+            in
+            let r2 =
+              match Runtime.Interp.recognize c2 t2 with Ok () -> true | _ -> false
+            in
+            r1 = r2
+        | _ -> true);
+    qtest ~count:80 "minimization preserves acceptance and yield"
+      arb_grammar_and_sentence (fun (g, sentence) ->
+        let opts_min =
+          { rand_opts with Llstar.Analysis.minimize = true }
+        in
+        let c_min =
+          match Llstar.Compiled.compile ~analysis_opts:opts_min g with
+          | Ok c -> Some c
+          | Error _ -> None
+        in
+        match (compile_rand g, c_min, sentence) with
+        | Some c1, Some c2, Some sentence -> (
+            let t1 = tokens_of_names c1 sentence in
+            let t2 = tokens_of_names c2 sentence in
+            match (Runtime.Interp.parse c1 t1, Runtime.Interp.parse c2 t2) with
+            | Ok a, Ok b -> Runtime.Tree.yield a = Runtime.Tree.yield b
+            | Error _, Error _ -> true
+            | _ -> false)
+        | _ -> true);
+  ]
+
+let suite = [ ("properties", props) ]

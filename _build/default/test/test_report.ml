@@ -1,0 +1,87 @@
+(* Tests for the analysis report aggregates (Table 1/2 plumbing) and the
+   runtime profile counters (Table 3/4 plumbing). *)
+
+open Helpers
+
+let report_tests =
+  [
+    test "classification counts add up" (fun () ->
+        let c =
+          compile
+            "grammar R; a : X | Y ; b : X Y | X Z ; c : d A+ P | e A+ Q ; d : \
+             ; e : ; f : (u P)=> u P | u Q ; u : U u | U ;"
+        in
+        let r = c.Llstar.Compiled.report in
+        (* 5 rule decisions + the two A+ loop decisions in rule c *)
+        check int "n" 7 r.Llstar.Report.n;
+        check int "fixed + cyclic + backtrack = n" r.Llstar.Report.n
+          (r.Llstar.Report.fixed + r.Llstar.Report.cyclic
+         + r.Llstar.Report.backtrack);
+        check int "one cyclic" 1 r.Llstar.Report.cyclic;
+        check int "one backtracking" 1 r.Llstar.Report.backtrack;
+        (* LL(1) + LL(2) decisions in the histogram *)
+        check bool "histogram covers fixed" true
+          (List.fold_left (fun acc (_, n) -> acc + n) 0
+             r.Llstar.Report.fixed_by_k
+          = r.Llstar.Report.fixed));
+    test "synpred pseudo-rule decisions are not counted" (fun () ->
+        let c =
+          compile
+            "grammar R; options { backtrack=true; } s : a (X | Q) | a Y ; a : \
+             (A | B) C ;"
+        in
+        let r = c.Llstar.Compiled.report in
+        let counted =
+          Array.to_list r.Llstar.Report.decisions
+          |> List.filter (fun (d : Llstar.Report.decision_report) -> d.counted)
+        in
+        check int "counted decisions" r.Llstar.Report.n (List.length counted);
+        check bool "uncounted synpred decisions exist" true
+          (Array.length r.Llstar.Report.decisions > r.Llstar.Report.n));
+    test "grammar line counting" (fun () ->
+        check int "three lines" 3 (Llstar.Report.count_lines "a\nb\nc"));
+  ]
+
+let profile_tests =
+  [
+    test "decision events and lookahead accounting" (fun () ->
+        let c = compile "grammar P; s : x* ; x : A B | A C ;" in
+        let profile = Runtime.Profile.create () in
+        (match Runtime.Interp.parse ~profile c (lex c "A B A C A B") with
+        | Ok _ -> ()
+        | Error _ -> Alcotest.fail "parse");
+        (* 4 loop events (3 enters + exit) + 3 rule-x events *)
+        check int "events" 7 profile.Runtime.Profile.events;
+        check int "covered" 2 (Runtime.Profile.decisions_covered profile);
+        check int "max k" 2 (Runtime.Profile.max_k profile);
+        check bool "avg k between 1 and 2" true
+          (Runtime.Profile.avg_k profile > 1.0
+          && Runtime.Profile.avg_k profile < 2.0);
+        check int "no backtracking" 0 profile.Runtime.Profile.back_events);
+    test "backtracking events tracked per decision" (fun () ->
+        let c =
+          compile
+            "grammar P; options { backtrack=true; m=1; } t : ('-')* ID | expr \
+             ; expr : INT | '-' expr ;"
+        in
+        let profile = Runtime.Profile.create () in
+        (match Runtime.Interp.parse ~profile c (lex c "- - - x") with
+        | Ok _ -> ()
+        | Error _ -> Alcotest.fail "parse");
+        check bool "backtracked" true (profile.Runtime.Profile.back_events > 0);
+        check int "one decision backtracked" 1
+          (Runtime.Profile.decisions_that_backtracked profile);
+        check bool "back rate at PBDs positive" true
+          (Runtime.Profile.backtrack_rate_at_pbds profile > 0.0);
+        check bool "speculation reach recorded" true
+          (Runtime.Profile.back_k profile >= 2.0));
+    test "reset clears counters" (fun () ->
+        let p = Runtime.Profile.create () in
+        Runtime.Profile.record p ~decision:3 ~depth:2 ~backtracked:true
+          ~spec_depth:5;
+        Runtime.Profile.reset p;
+        check int "events" 0 p.Runtime.Profile.events;
+        check int "covered" 0 (Runtime.Profile.decisions_covered p));
+  ]
+
+let suite = [ ("report", report_tests); ("profile", profile_tests) ]

@@ -1,0 +1,327 @@
+(* Tests for the runtime: token streams, the lexer engine, trees, error
+   handling and recovery, actions/predicates during speculation, the
+   left-recursion rewrite end to end, and memoization. *)
+
+open Helpers
+
+(* ------------------------------------------------------------------ *)
+(* Token stream *)
+
+let mk_tokens n =
+  Array.init n (fun i -> Runtime.Token.make ~index:i (i + 2) (string_of_int i))
+
+let stream_tests =
+  [
+    test "la/lt/consume basics" (fun () ->
+        let ts = Runtime.Token_stream.of_array (mk_tokens 3) in
+        check int "la 1" 2 (Runtime.Token_stream.la ts 1);
+        check int "la 3" 4 (Runtime.Token_stream.la ts 3);
+        check int "la beyond = EOF" Grammar.Sym.eof (Runtime.Token_stream.la ts 4);
+        ignore (Runtime.Token_stream.consume ts);
+        check int "after consume" 3 (Runtime.Token_stream.la ts 1);
+        check bool "prev" true
+          ((Option.get (Runtime.Token_stream.prev ts)).Runtime.Token.index = 0));
+    test "consume does not run past EOF" (fun () ->
+        let ts = Runtime.Token_stream.of_array (mk_tokens 1) in
+        ignore (Runtime.Token_stream.consume ts);
+        ignore (Runtime.Token_stream.consume ts);
+        ignore (Runtime.Token_stream.consume ts);
+        check int "index stable at end" 1 (Runtime.Token_stream.index ts);
+        check bool "at eof" true (Runtime.Token_stream.at_eof ts));
+    test "mark/seek rewinds; high water persists" (fun () ->
+        let ts = Runtime.Token_stream.of_array (mk_tokens 10) in
+        let m = Runtime.Token_stream.mark ts in
+        ignore (Runtime.Token_stream.consume ts);
+        ignore (Runtime.Token_stream.consume ts);
+        ignore (Runtime.Token_stream.la ts 5);
+        Runtime.Token_stream.seek ts m;
+        check int "rewound" 0 (Runtime.Token_stream.index ts);
+        check bool "high water >= 6" true (Runtime.Token_stream.high_water ts >= 6));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Lexer engine *)
+
+let lex_engine_tests =
+  let sym_of src = Llstar.Compiled.sym (compile src) in
+  [
+    test "keywords beat identifiers; maximal munch on operators" (fun () ->
+        let sym = sym_of "grammar T; s : 'while' ID '<=' '<' ;" in
+        let toks =
+          Runtime.Lexer_engine.tokenize_exn Runtime.Lexer_engine.default_config
+            sym "while whilex <= <"
+        in
+        check
+          (Alcotest.list string)
+          "token names"
+          [ "'while'"; "ID"; "'<='"; "'<'" ]
+          (Array.to_list toks
+          |> List.map (fun (t : Runtime.Token.t) ->
+                 Grammar.Sym.term_name sym t.Runtime.Token.ttype)));
+    test "numbers, floats, strings, chars" (fun () ->
+        let sym = sym_of "grammar T; s : INT FLOAT STRING CHAR ;" in
+        let config =
+          {
+            Runtime.Lexer_engine.default_config with
+            float_token = Some "FLOAT";
+            string_token = Some "STRING";
+            char_token = Some "CHAR";
+          }
+        in
+        let toks =
+          Runtime.Lexer_engine.tokenize_exn config sym "42 3.14 \"hi\" 'c'"
+        in
+        check int "4 tokens" 4 (Array.length toks);
+        check string "float text" "3.14" toks.(1).Runtime.Token.text;
+        check string "string contents" "hi" toks.(2).Runtime.Token.text);
+    test "comments and positions" (fun () ->
+        let sym = sym_of "grammar T; s : ID ;" in
+        let toks =
+          Runtime.Lexer_engine.tokenize_exn Runtime.Lexer_engine.default_config
+            sym "// hello\n/* multi\nline */ x"
+        in
+        check int "one token" 1 (Array.length toks);
+        check int "line" 3 toks.(0).Runtime.Token.line);
+    test "newline tokens collapse runs" (fun () ->
+        let sym = sym_of "grammar T; s : ID NL ID NL ;" in
+        let config =
+          { Runtime.Lexer_engine.default_config with newline_token = Some "NL" }
+        in
+        let toks = Runtime.Lexer_engine.tokenize_exn config sym "a\n\n\nb\n" in
+        check int "4 tokens" 4 (Array.length toks));
+    test "@-identifiers become VAR tokens" (fun () ->
+        let sym = sym_of "grammar T; s : VAR ID ;" in
+        let config =
+          { Runtime.Lexer_engine.default_config with at_ident_token = Some "VAR" }
+        in
+        let toks = Runtime.Lexer_engine.tokenize_exn config sym "@x y" in
+        check string "var" "VAR"
+          (Grammar.Sym.term_name sym toks.(0).Runtime.Token.ttype);
+        check string "text keeps @" "@x" toks.(0).Runtime.Token.text);
+    test "case-insensitive keywords" (fun () ->
+        let sym = sym_of "grammar T; s : 'select' ID ;" in
+        let config =
+          {
+            Runtime.Lexer_engine.default_config with
+            case_insensitive_keywords = true;
+          }
+        in
+        let toks = Runtime.Lexer_engine.tokenize_exn config sym "SeLeCt foo" in
+        check string "keyword" "'select'"
+          (Grammar.Sym.term_name sym toks.(0).Runtime.Token.ttype));
+    test "lex errors carry positions" (fun () ->
+        let sym = sym_of "grammar T; s : ID ;" in
+        match
+          Runtime.Lexer_engine.tokenize Runtime.Lexer_engine.default_config sym
+            "a $"
+        with
+        | Error e -> check int "column" 3 e.Runtime.Lexer_engine.col
+        | Ok _ -> Alcotest.fail "expected lex error");
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Trees, errors, recovery *)
+
+let tree_tests =
+  [
+    test "tree yield equals input" (fun () ->
+        let c = compile "grammar T; s : A b C ; b : B ;" in
+        let t =
+          match parse c "A B C" with Ok t -> t | Error _ -> Alcotest.fail "parse"
+        in
+        check string "yield" "A B C" (Runtime.Tree.yield t);
+        check int "nodes" 5 (Runtime.Tree.count_nodes t);
+        check int "depth" 3 (Runtime.Tree.depth t));
+    test "mismatched token error" (fun () ->
+        let c = compile "grammar T; s : A B ; junk : C ;" in
+        let e = first_error c "A C" in
+        match e.Runtime.Parse_error.kind with
+        | Runtime.Parse_error.Mismatched_token _ ->
+            check string "offending" "C" e.Runtime.Parse_error.token.Runtime.Token.text
+        | _ -> Alcotest.fail "expected mismatch");
+    test "extraneous input error" (fun () ->
+        let c = compile "grammar T; s : A ; junk : B ;" in
+        let e = first_error c "A B" in
+        match e.Runtime.Parse_error.kind with
+        | Runtime.Parse_error.Extraneous_input -> ()
+        | _ -> Alcotest.fail "expected extraneous input");
+    test "recovery resynchronises and reports multiple errors" (fun () ->
+        let c = compile "grammar T; s : stmt* ; stmt : ID '=' INT ';' ;" in
+        match Runtime.Interp.parse ~recover:true c (lex c "a = 1 ; b = ; c = 3 ;") with
+        | Ok _ -> Alcotest.fail "expected errors"
+        | Error errs -> check bool "at least one error" true (List.length errs >= 1));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Actions and speculation (sections 4.1-4.3) *)
+
+let action_tests =
+  [
+    test "actions run in order with previous-token context" (fun () ->
+        let log = ref [] in
+        let c = compile "grammar T; s : A {one} B {two} ;" in
+        let env =
+          Runtime.Interp.env_of_tables
+            ~actions:
+              [
+                ( "one",
+                  fun prev ->
+                    log :=
+                      ("one/" ^ (Option.get prev).Runtime.Token.text) :: !log );
+                ("two", fun _ -> log := "two" :: !log);
+              ]
+            ()
+        in
+        (match parse ~env c "A B" with Ok _ -> () | Error _ -> Alcotest.fail "parse");
+        check (Alcotest.list string) "order" [ "one/A"; "two" ] (List.rev !log));
+    test "actions are disabled while speculating; {{...}} still runs"
+      (fun () ->
+        let normal = ref 0 and always = ref 0 in
+        (* recursion in both alternatives forces backtracking, so the
+           chosen alternative's prefix is parsed speculatively first *)
+        let c =
+          compile
+            "grammar T; options { backtrack=true; } s : {n} {{a}} e B | {n} \
+             {{a}} e C ; e : A e | A ;"
+        in
+        let env =
+          Runtime.Interp.env_of_tables
+            ~actions:
+              [ ("n", fun _ -> incr normal); ("a", fun _ -> incr always) ]
+            ()
+        in
+        (match parse ~env c "A A C" with Ok _ -> () | Error e ->
+          Alcotest.failf "parse: %d errors" (List.length e));
+        check int "normal action ran exactly once (not during speculation)" 1
+          !normal;
+        check bool "always-action ran at least once during speculation" true
+          (!always > 1));
+    test "mid-alternative synpred evaluated at its own position" (fun () ->
+        (* a syntactic predicate that is not at the decision's left edge is
+           not hoisted (section 5.5); the decision resolves by order and the
+           gate is checked at parse time, at the right input position *)
+        let c = compile "grammar T; s : A (B C)=> B . | A B D ;" in
+        check bool "synpred holds" true (parses c "A B C");
+        check bool "order-resolved: alternative 2 is dead" false
+          (parses c "A B D"));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Left recursion end-to-end *)
+
+let leftrec_tests =
+  [
+    test "rewrite shape matches section 1.1" (fun () ->
+        let g =
+          Grammar.Leftrec.rewrite
+            (Grammar.Meta_parser.parse
+               "grammar E; e : e '*' e | e '+' e | INT ;")
+        in
+        let printed = Grammar.Pretty.to_string g in
+        check bool "prec preds present" true
+          (Helpers.contains printed "{p <= 2}? '*' e[3]");
+        check bool "plus pred" true
+          (Helpers.contains printed "{p <= 1}? '+' e[2]"));
+    test "precedence and left associativity" (fun () ->
+        let c =
+          compile "grammar E; s : e EOF ; e : e '*' e | e '+' e | INT ;"
+        in
+        check string "precedence" "(s (e 1 + (e 2 * (e 3))) <EOF>)"
+          (parse_tree c "1 + 2 * 3");
+        check string "left assoc" "(s (e 1 + (e 2) + (e 3)) <EOF>)"
+          (parse_tree c "1 + 2 + 3"));
+    test "prefix and suffix operators" (fun () ->
+        let c =
+          compile
+            "grammar E; s : e EOF ; e : e '!' | e '*' e | '-' e | e '+' e | \
+             INT ;"
+        in
+        (* '-' binds tighter than '+' (alternative order); '!' tightest *)
+        check string "prefix" "(s (e - (e 1) + (e 2)) <EOF>)"
+          (parse_tree c "- 1 + 2");
+        check string "suffix" "(s (e 1 ! + (e 2)) <EOF>)"
+          (parse_tree c "1 ! + 2");
+        (* '-' listed below '+' binds looser: -(1+2) *)
+        let c2 =
+          compile
+            "grammar E; s : e EOF ; e : e '*' e | e '+' e | '-' e | INT ;"
+        in
+        check string "loose prefix" "(s (e - (e 1 + (e 2))) <EOF>)"
+          (parse_tree c2 "- 1 + 2"));
+    test "evaluation via actions (calculator semantics)" (fun () ->
+        (* evaluate with an explicit stack machine driven by actions *)
+        let stack = ref [] in
+        let push v = stack := v :: !stack in
+        let pop () =
+          match !stack with
+          | v :: rest ->
+              stack := rest;
+              v
+          | [] -> Alcotest.fail "stack underflow"
+        in
+        let c =
+          compile
+            "grammar E; s : e EOF ; e : e '+' e {add} | e '*' e {mul} | INT \
+             {push} ;"
+        in
+        let env =
+          Runtime.Interp.env_of_tables
+            ~actions:
+              [
+                ( "push",
+                  fun prev ->
+                    push (int_of_string (Option.get prev).Runtime.Token.text) );
+                ( "add",
+                  fun _ ->
+                    let b = pop () and a = pop () in
+                    push (a + b) );
+                ( "mul",
+                  fun _ ->
+                    let b = pop () and a = pop () in
+                    push (a * b) );
+              ]
+            ()
+        in
+        (match parse ~env c "2 * 3 + 4 * 5" with
+        | Ok _ -> ()
+        | Error _ -> Alcotest.fail "parse");
+        check int "2*3+4*5 (+ binds tighter: 2*(3+4)*5)" 70 (pop ()));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Memoization *)
+
+let memo_tests =
+  [
+    test "memoized and unmemoized parses agree" (fun () ->
+        let src m =
+          Printf.sprintf
+            "grammar T; options { backtrack=true; memoize=%s; } s : e ';' ; e \
+             : ID '(' e ')' | ID '(' e ']' | ID ;"
+            m
+        in
+        let inputs =
+          [ "x ;"; "a ( b ) ;"; "a ( b ( c ) ) ;"; "a ( b ( c ] ] ;"; "a ( ;" ]
+        in
+        let c1 = compile (src "true") and c2 = compile (src "false") in
+        List.iter
+          (fun input ->
+            check bool input (parses c1 input) (parses c2 input))
+          inputs);
+    test "memo table only fills while speculating" (fun () ->
+        let c = compile "grammar T; s : A b* ; b : B ;" in
+        let t = Runtime.Interp.create c (lex c "A B B B") in
+        (match Runtime.Interp.run t () with Ok _ -> () | Error _ -> Alcotest.fail "parse");
+        check int "no speculation, no memo entries" 0
+          (Runtime.Interp.memo_entries t));
+  ]
+
+let suite =
+  [
+    ("token-stream", stream_tests);
+    ("lexer-engine", lex_engine_tests);
+    ("trees-errors", tree_tests);
+    ("actions-speculation", action_tests);
+    ("left-recursion", leftrec_tests);
+    ("memoization", memo_tests);
+  ]
