@@ -85,7 +85,19 @@ let compiled (spec : Workload.spec) : Workload.compiled =
       Hashtbl.add compiled_cache spec.name cw;
       cw
 
-let corpus ?(target_tokens = 20_000) (spec : Workload.spec) : Workload.corpus =
+(* Corpus size is tunable from the environment so CI can run a smoke pass
+   with tiny workloads (e.g. ANTLRKIT_BENCH_TOKENS=1200) while local runs
+   keep the paper-scale default. *)
+let default_target_tokens =
+  match Sys.getenv_opt "ANTLRKIT_BENCH_TOKENS" with
+  | Some s -> (
+      match int_of_string_opt s with
+      | Some n when n > 0 -> max 200 n
+      | _ -> 20_000)
+  | None -> 20_000
+
+let corpus ?(target_tokens = default_target_tokens) (spec : Workload.spec) :
+    Workload.corpus =
   match Hashtbl.find_opt corpus_cache spec.name with
   | Some c -> c
   | None ->

@@ -20,6 +20,7 @@ let all_benches : (string * string * (unit -> unit)) list =
     ("memo", "Section 6.2: memoization ablation", Comparisons.memo);
     ("complexity", "Sections 1/7: LL(*) vs Earley growth", Comparisons.complexity);
     ("ablate", "Ablations: recursion bound m, fallback strategy", Comparisons.ablate);
+    ("startup", "Cold vs warm startup: lazy DFAs and the compilation cache", Startup.run);
     ("bechamel", "Bechamel microbenchmarks", Micro.run);
   ]
 

@@ -25,13 +25,48 @@ let grammar_arg =
     & pos 0 (some file) None
     & info [] ~docv:"GRAMMAR" ~doc:"Grammar file in the ANTLR-like metalanguage.")
 
-let compile_grammar path =
+let compile_grammar ?cache_dir ?(lazy_ = false) path =
+  let strategy =
+    if lazy_ then Llstar.Compiled.Lazy else Llstar.Compiled.Eager
+  in
   let src = read_file path in
-  match Llstar.Compiled.of_source src with
+  let result =
+    match cache_dir with
+    | None -> Llstar.Compiled.of_source ~strategy src
+    | Some dir -> (
+        match Llstar.Compiled_cache.of_source ~strategy ~dir src with
+        | Ok (c, outcome) ->
+            Fmt.epr "[cache] %s@."
+              (match outcome with
+              | Llstar.Compiled_cache.Hit -> "hit"
+              | Llstar.Compiled_cache.Miss -> "miss");
+            Ok c
+        | Error e -> Error e)
+  in
+  match result with
   | Ok c -> c
   | Error e ->
       Fmt.epr "%s: %a@." path Llstar.Compiled.pp_error e;
       exit 2
+
+let cache_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "cache-dir" ]
+        ~doc:
+          "Directory for the persistent compilation cache.  Compilations \
+           are keyed by a content hash of the grammar and analysis options; \
+           a valid cached blob skips analysis entirely, anything invalid is \
+           silently rebuilt.")
+
+let lazy_arg =
+  Arg.(
+    value & flag
+    & info [ "lazy" ]
+        ~doc:
+          "Build lookahead DFAs lazily at prediction time instead of \
+           analyzing every decision up front.")
 
 (* --- lexer configuration flags ---------------------------------------- *)
 
@@ -58,9 +93,9 @@ let lexer_config_term =
 (* --- analyze ----------------------------------------------------------- *)
 
 let analyze_cmd =
-  let run grammar verbose minimize =
+  let run grammar verbose minimize cache_dir lazy_ =
     let c =
-      if not minimize then compile_grammar grammar
+      if not minimize then compile_grammar ?cache_dir ~lazy_ grammar
       else begin
         let src = read_file grammar in
         match Grammar.Meta_parser.parse_result src with
@@ -101,7 +136,7 @@ let analyze_cmd =
   in
   Cmd.v
     (Cmd.info "analyze" ~doc:"Run the LL(*) analysis and print the decision report.")
-    Term.(const run $ grammar_arg $ verbose $ minimize)
+    Term.(const run $ grammar_arg $ verbose $ minimize $ cache_dir_arg $ lazy_arg)
 
 (* --- dot --------------------------------------------------------------- *)
 
@@ -151,8 +186,9 @@ let atn_cmd =
 (* --- parse ------------------------------------------------------------- *)
 
 let parse_cmd =
-  let run grammar input config start show_tree profile_flag recover =
-    let c = compile_grammar grammar in
+  let run grammar input config start show_tree profile_flag recover cache_dir
+      lazy_ =
+    let c = compile_grammar ?cache_dir ~lazy_ grammar in
     let sym = Llstar.Compiled.sym c in
     let text = read_file input in
     match Runtime.Lexer_engine.tokenize config sym text with
@@ -161,12 +197,21 @@ let parse_cmd =
         exit 1
     | Ok toks -> (
         let profile = Runtime.Profile.create () in
+        (* Re-save a lazy compilation after parsing: the blob then carries
+           every DFA state this run materialized, warming future loads. *)
+        let resave () =
+          match cache_dir with
+          | Some dir when lazy_ ->
+              ignore (Llstar.Compiled_cache.save ~dir c)
+          | _ -> ()
+        in
         match Runtime.Interp.parse ~profile ~recover ?start c toks with
         | Ok tree ->
             Fmt.pr "parsed %d tokens@." (Array.length toks);
             if show_tree then
               Fmt.pr "%s@." (Runtime.Tree.to_string sym tree);
-            if profile_flag then Fmt.pr "%a@." Runtime.Profile.pp profile
+            if profile_flag then Fmt.pr "%a@." Runtime.Profile.pp profile;
+            resave ()
         | Error errors ->
             List.iter
               (fun e -> Fmt.epr "%a@." (Runtime.Parse_error.pp sym) e)
@@ -186,7 +231,7 @@ let parse_cmd =
     (Cmd.info "parse" ~doc:"Parse an input file with an LL(*) parser for the grammar.")
     Term.(
       const run $ grammar_arg $ input $ lexer_config_term $ start $ tree
-      $ profile $ recover)
+      $ profile $ recover $ cache_dir_arg $ lazy_arg)
 
 (* --- gen --------------------------------------------------------------- *)
 

@@ -90,10 +90,13 @@ type builder = {
   mutable states : wstate list; (* reversed *)
   mutable nstates : int;
   dedup : (Config.t list, int) Hashtbl.t;
+  by_id : (int, wstate) Hashtbl.t; (* state id -> state, for O(1) lookup *)
   mutable recursive_alts : IntSet.t;
   mutable warnings : warning list;
   mutable uses_synpred : bool;
-  allow_multi_recursion : bool; (* true in LL(1)-fallback mode *)
+  mutable allow_multi_recursion : bool;
+    (* true in fallback mode; the lazy engine flips it mid-construction to
+       continue with the Bounded strategy instead of restarting *)
 }
 
 let warn b w = b.warnings <- w :: b.warnings
@@ -459,9 +462,11 @@ let attach_fragment_end (b : builder) (d : wstate) : unit =
 (* ------------------------------------------------------------------ *)
 (* createDFA (Algorithm 8) *)
 
+let state_by_id (b : builder) (id : int) : wstate = Hashtbl.find b.by_id id
+
 let new_wstate (b : builder) ~depth ~path configs overflow : wstate * bool =
   match Hashtbl.find_opt b.dedup configs with
-  | Some id -> (List.nth b.states (b.nstates - 1 - id), false)
+  | Some id -> (state_by_id b id, false)
   | None ->
       if b.nstates >= b.opts.max_states then raise Too_big;
       let d =
@@ -477,6 +482,7 @@ let new_wstate (b : builder) ~depth ~path configs overflow : wstate * bool =
         }
       in
       Hashtbl.add b.dedup configs d.id;
+      Hashtbl.add b.by_id d.id d;
       b.states <- d :: b.states;
       b.nstates <- b.nstates + 1;
       (d, true)
@@ -535,54 +541,91 @@ let is_fragment_default (d : wstate) =
 let should_expand (d : wstate) =
   d.accept = 0 && (d.pred_edges = [] || is_fragment_default d)
 
-let create_dfa_exn (b : builder) : Look_dfa.t =
+(* ------------------------------------------------------------------ *)
+(* Per-state construction steps.
+
+   The subset construction is decomposed into steps shared by the eager
+   work-list loop below and the lazy on-demand engine ([Lazy_dfa]), which
+   invokes them one (state, terminal) pair at a time from the interpreter's
+   prediction loop.  Each step is idempotent: re-stepping an already
+   discovered transition dedups against the existing state and edge. *)
+
+(* Finish a freshly discovered state: set the accept when a single
+   alternative survives resolution, and attach the fragment-end default. *)
+let settle_fresh (b : builder) (d : wstate) : unit =
+  resolve b d;
+  (match IntSet.elements (viable_alts d.configs) with
+  | [ j ] when d.pred_edges = [] -> d.accept <- j
+  | _ -> ());
+  attach_fragment_end b d
+
+(* D0 plus the settling the eager construction applies to it.  Note the
+   LL(1) fallback deliberately does not attach the fragment-end default to
+   its D0; it keeps using [build_d0] directly. *)
+let init_d0 (b : builder) : wstate =
   let d0 = build_d0 b in
   (match IntSet.elements (viable_alts d0.configs) with
   | [ j ] when d0.pred_edges = [] -> d0.accept <- j
   | _ -> ());
   attach_fragment_end b d0;
+  d0
+
+(* User-capped depth (the grammar's k option): force a resolution at this
+   state instead of expanding it further. *)
+let force_cap_resolution (b : builder) (d : wstate) : unit =
+  let alts = viable_alts d.configs in
+  if not (resolve_with_preds b d alts) then begin
+    d.accept <- IntSet.min_elt alts;
+    warn b
+      (Ambiguity
+         {
+           decision = b.decision.d_id;
+           alts = IntSet.elements alts;
+           path = List.rev d.path;
+         })
+  end
+
+(* One modified-subset-construction step (the body of Algorithm 8's inner
+   loop): compute the target of [d] over terminal [a], discovering and
+   settling the target state when it is new.  Returns [None] when no
+   configuration of [d] moves on [a]. *)
+let step_terminal (b : builder) (d : wstate) (a : int) : (wstate * bool) option
+    =
+  let mv = move b.atn d.configs a in
+  if mv = [] then None
+  else begin
+    let configs, overflow = closure b mv in
+    let d', fresh =
+      new_wstate b ~depth:(d.depth + 1) ~path:(a :: d.path) configs overflow
+    in
+    if fresh then settle_fresh b d';
+    if not (List.exists (fun (t, _) -> t = a) d.term_edges) then
+      d.term_edges <- (a, d'.id) :: d.term_edges;
+    Some (d', fresh)
+  end
+
+(* Expand one work-list state: force a resolution past the user's k-cap,
+   otherwise step every outgoing terminal, queueing fresh expandable
+   states. *)
+let expand_state (b : builder) (work : wstate Queue.t) (d : wstate) : unit =
+  let beyond_cap =
+    match b.opts.k_cap with Some k -> d.depth >= k | None -> false
+  in
+  if beyond_cap then force_cap_resolution b d
+  else
+    List.iter
+      (fun a ->
+        match step_terminal b d a with
+        | Some (d', fresh) -> if fresh && should_expand d' then Queue.add d' work
+        | None -> ())
+      (outgoing_terminals b.atn d.configs)
+
+let create_dfa_exn (b : builder) : Look_dfa.t =
+  let d0 = init_d0 b in
   let work = Queue.create () in
   if should_expand d0 then Queue.add d0 work;
   while not (Queue.is_empty work) do
-    let d = Queue.pop work in
-    let beyond_cap =
-      match b.opts.k_cap with Some k -> d.depth >= k | None -> false
-    in
-    if beyond_cap then begin
-      (* User-capped depth: force a resolution at this state. *)
-      let alts = viable_alts d.configs in
-      if not (resolve_with_preds b d alts) then begin
-        d.accept <- IntSet.min_elt alts;
-        warn b
-          (Ambiguity
-             {
-               decision = b.decision.d_id;
-               alts = IntSet.elements alts;
-               path = List.rev d.path;
-             })
-      end
-    end
-    else
-      List.iter
-        (fun a ->
-          let mv = move b.atn d.configs a in
-          if mv <> [] then begin
-            let configs, overflow = closure b mv in
-            let d', fresh =
-              new_wstate b ~depth:(d.depth + 1) ~path:(a :: d.path) configs
-                overflow
-            in
-            if fresh then begin
-              resolve b d';
-              (match IntSet.elements (viable_alts d'.configs) with
-              | [ j ] when d'.pred_edges = [] -> d'.accept <- j
-              | _ -> ());
-              attach_fragment_end b d';
-              if should_expand d' then Queue.add d' work
-            end;
-            d.term_edges <- (a, d'.id) :: d.term_edges
-          end)
-        (outgoing_terminals b.atn d.configs)
+    expand_state b work (Queue.pop work)
   done;
   freeze b ~fallback:false
 
@@ -642,6 +685,7 @@ let make_builder atn opts decision ~allow_multi_recursion =
     states = [];
     nstates = 0;
     dedup = Hashtbl.create 64;
+    by_id = Hashtbl.create 64;
     recursive_alts = IntSet.empty;
     warnings = [];
     uses_synpred = false;

@@ -4,7 +4,16 @@
        -> syntactic-predicate lifting -> ATN construction
        -> lookahead-DFA analysis for every decision -> report
 
-   The result bundles everything the runtime interpreter needs. *)
+   The result bundles everything the runtime interpreter needs.
+
+   Two analysis strategies are available.  [Eager] is the paper's static
+   analysis: every decision's lookahead DFA is fully materialized up front.
+   [Lazy] only builds each decision's start state and hands the runtime a
+   [Lazy_dfa] engine per decision; DFA states are then discovered on demand
+   at prediction time, which makes cold start proportional to the ATN size
+   rather than to the total DFA size.  In lazy mode [results] and [report]
+   are the compile-time snapshot (start states only); use the accessors
+   [dfa]/[result] for the live view. *)
 
 type error =
   | Validation of Grammar.Validate.issue list
@@ -17,21 +26,41 @@ let pp_error ppf = function
         issues
   | Message m -> Fmt.string ppf m
 
+type strategy = Eager | Lazy
+
+type origin = Fresh | From_cache
+
 type t = {
   surface : Grammar.Ast.t; (* grammar as written *)
   grammar : Grammar.Ast.t; (* prepared grammar the ATN was built from *)
   atn : Atn.t;
-  results : Analysis.result array; (* per decision *)
+  opts : Analysis.options; (* resolved analysis options actually used *)
+  results : Analysis.result array; (* per decision; snapshot in lazy mode *)
   report : Report.t;
+  engines : Lazy_dfa.t array option; (* per decision, [Lazy] strategy only *)
+  origin : origin;
 }
 
 let sym t = t.atn.Atn.sym
 let options t = t.surface.Grammar.Ast.options
+let strategy t = match t.engines with Some _ -> Lazy | None -> Eager
+let from_cache t = t.origin = From_cache
+let with_origin t origin = { t with origin }
+let engine t decision = Option.map (fun e -> e.(decision)) t.engines
 
-let dfa t decision = t.results.(decision).Analysis.dfa
+(* Live per-decision view: in lazy mode the engine's current (possibly
+   partial) DFA, otherwise the statically analyzed one. *)
+let result t decision =
+  match t.engines with
+  | Some e -> Lazy_dfa.result e.(decision)
+  | None -> t.results.(decision)
 
-let compile ?analysis_opts ?grammar_source (surface : Grammar.Ast.t) :
-    (t, error) result =
+let dfa t decision = (result t decision).Analysis.dfa
+
+let num_decisions t = Array.length t.results
+
+let compile ?analysis_opts ?grammar_source ?(strategy = Eager)
+    (surface : Grammar.Ast.t) : (t, error) result =
   (* The left-recursion rewrite runs before validation so that immediate
      left recursion -- which the rewrite eliminates -- is not rejected;
      everything it cannot handle still surfaces as a validation error. *)
@@ -48,8 +77,24 @@ let compile ?analysis_opts ?grammar_source (surface : Grammar.Ast.t) :
           match Atn.Build.build prepared with
           | exception Invalid_argument m -> Error (Message m)
           | atn ->
+              let opts =
+                match analysis_opts with
+                | Some o -> o
+                | None -> Analysis.options_of_grammar prepared
+              in
               let t0 = Unix.gettimeofday () in
-              let results = Analysis.analyze_all ?opts:analysis_opts atn in
+              let results, engines =
+                match strategy with
+                | Eager ->
+                    (Analysis.analyze_all ~opts atn, None)
+                | Lazy ->
+                    let engines =
+                      Array.map
+                        (fun d -> Lazy_dfa.create ~opts atn d)
+                        atn.Atn.decisions
+                    in
+                    (Array.map Lazy_dfa.result engines, Some engines)
+              in
               let dt = Unix.gettimeofday () -. t0 in
               let grammar_lines =
                 match grammar_source with
@@ -59,25 +104,37 @@ let compile ?analysis_opts ?grammar_source (surface : Grammar.Ast.t) :
               let report =
                 Report.build ~grammar_lines ~analysis_time:dt atn results
               in
-              Ok { surface; grammar = prepared; atn; results; report }))
+              Ok
+                {
+                  surface;
+                  grammar = prepared;
+                  atn;
+                  opts;
+                  results;
+                  report;
+                  engines;
+                  origin = Fresh;
+                }))
 
-let compile_exn ?analysis_opts ?grammar_source surface =
-  match compile ?analysis_opts ?grammar_source surface with
+let compile_exn ?analysis_opts ?grammar_source ?strategy surface =
+  match compile ?analysis_opts ?grammar_source ?strategy surface with
   | Ok t -> t
   | Error e -> failwith (Fmt.str "%a" pp_error e)
 
 (* Parse a grammar written in the metalanguage and compile it. *)
-let of_source ?analysis_opts (src : string) : (t, error) result =
+let of_source ?analysis_opts ?strategy (src : string) : (t, error) result =
   match Grammar.Meta_parser.parse_result src with
   | Error msg -> Error (Message msg)
-  | Ok surface -> compile ?analysis_opts ~grammar_source:src surface
+  | Ok surface -> compile ?analysis_opts ~grammar_source:src ?strategy surface
 
-let of_source_exn ?analysis_opts src =
-  match of_source ?analysis_opts src with
+let of_source_exn ?analysis_opts ?strategy src =
+  match of_source ?analysis_opts ?strategy src with
   | Ok t -> t
   | Error e -> failwith (Fmt.str "%a" pp_error e)
 
-(* All analysis warnings across decisions, with their decision ids. *)
+(* All analysis warnings across decisions, with their decision ids; the
+   live view, so in lazy mode only warnings discovered so far appear. *)
 let all_warnings t : Analysis.warning list =
-  Array.to_list t.results
-  |> List.concat_map (fun (r : Analysis.result) -> r.warnings)
+  List.concat_map
+    (fun i -> (result t i).Analysis.warnings)
+    (List.init (num_decisions t) Fun.id)

@@ -14,12 +14,27 @@ type error =
 
 val pp_error : Format.formatter -> error -> unit
 
+type strategy =
+  | Eager  (** full static analysis of every decision up front *)
+  | Lazy
+      (** start states only; lookahead DFAs are grown on demand at
+          prediction time by per-decision {!Lazy_dfa} engines *)
+
+type origin = Fresh | From_cache
+
 type t = {
   surface : Grammar.Ast.t;  (** the grammar as written *)
   grammar : Grammar.Ast.t;  (** prepared grammar the ATN was built from *)
   atn : Atn.t;
-  results : Analysis.result array;  (** indexed by decision number *)
+  opts : Analysis.options;  (** resolved analysis options actually used *)
+  results : Analysis.result array;
+      (** indexed by decision number; in lazy mode this is the compile-time
+          snapshot (start states only) -- use {!result}/{!dfa} for the live
+          view *)
   report : Report.t;
+  engines : Lazy_dfa.t array option;
+      (** per-decision lazy engines; [Some] iff compiled with [Lazy] *)
+  origin : origin;  (** whether this value was loaded from the cache *)
 }
 
 val sym : t -> Grammar.Sym.t
@@ -27,24 +42,48 @@ val sym : t -> Grammar.Sym.t
     lexer engine and the parser. *)
 
 val options : t -> Grammar.Ast.options
+val strategy : t -> strategy
+val from_cache : t -> bool
+
+val with_origin : t -> origin -> t
+(** Re-tag the provenance; used by {!Compiled_cache} on load. *)
+
+val engine : t -> int -> Lazy_dfa.t option
+(** The lazy engine of a decision, when compiled with [Lazy]. *)
+
+val result : t -> int -> Analysis.result
+(** Live analysis result of a decision: the engine's current (possibly
+    partial) DFA in lazy mode, the static one otherwise. *)
+
 val dfa : t -> int -> Look_dfa.t
+val num_decisions : t -> int
 
 val compile :
   ?analysis_opts:Analysis.options ->
   ?grammar_source:string ->
+  ?strategy:strategy ->
   Grammar.Ast.t ->
   (t, error) result
 (** Compile a grammar.  [grammar_source] is only used to record the line
     count in the report.  The left-recursion rewrite runs before
-    validation, so immediately left-recursive rules are accepted. *)
+    validation, so immediately left-recursive rules are accepted.
+    [strategy] defaults to [Eager]. *)
 
 val compile_exn :
-  ?analysis_opts:Analysis.options -> ?grammar_source:string -> Grammar.Ast.t -> t
+  ?analysis_opts:Analysis.options ->
+  ?grammar_source:string ->
+  ?strategy:strategy ->
+  Grammar.Ast.t ->
+  t
 
 val of_source :
-  ?analysis_opts:Analysis.options -> string -> (t, error) result
+  ?analysis_opts:Analysis.options ->
+  ?strategy:strategy ->
+  string ->
+  (t, error) result
 (** Parse metalanguage source and compile it. *)
 
-val of_source_exn : ?analysis_opts:Analysis.options -> string -> t
+val of_source_exn :
+  ?analysis_opts:Analysis.options -> ?strategy:strategy -> string -> t
 
 val all_warnings : t -> Analysis.warning list

@@ -1,0 +1,152 @@
+(* Persistent compilation cache.
+
+   Compiling a grammar -- ATN construction plus lookahead-DFA analysis --
+   dominates cold-start time, and it is fully determined by the grammar AST
+   and the analysis options.  This module serializes a whole [Compiled.t]
+   (ATN, every materialized DFA state, lazy engines when present, and the
+   analysis report) to a versioned binary blob keyed by a content hash of
+   the grammar, with load-validate-or-rebuild semantics:
+
+   - the cache key is a digest of the surface AST, the resolved analysis
+     options, the compilation strategy, the cache format version and the
+     compiler version, so any input that could change the result changes
+     the file name;
+   - the blob carries a magic string, the key, and a digest of the payload;
+     a missing, truncated, corrupted or mismatched blob makes [load] return
+     [None] -- the caller recompiles, it never crashes (the payload digest
+     is verified *before* unmarshaling, so [Marshal] only ever sees bytes
+     this module wrote);
+   - writes go through a temp file and an atomic rename, so a crashed or
+     concurrent writer can leave a stale temp file but never a torn blob.
+
+   A lazy-mode [Compiled.t] can be re-saved after parsing: the blob then
+   contains every DFA state materialized so far, and a later [load] resumes
+   lazy construction from that warm state. *)
+
+(* Bump whenever the marshaled representation changes shape: any change to
+   [Compiled.t] or to a type reachable from it (ASTs, ATN, DFAs, analysis
+   results, lazy engines). *)
+let format_version = 1
+
+let magic = "ANTLRKIT-CACHE\n"
+
+type outcome = Hit | Miss
+
+(* ------------------------------------------------------------------ *)
+(* Keys and paths *)
+
+let resolve_opts ?analysis_opts (g : Grammar.Ast.t) : Analysis.options =
+  match analysis_opts with
+  | Some o -> o
+  | None -> Analysis.options_of_grammar g
+
+let key_of_parts (g : Grammar.Ast.t) (opts : Analysis.options)
+    (strategy : Compiled.strategy) : string =
+  Digest.to_hex
+    (Digest.string
+       (Marshal.to_string
+          (g, opts, strategy, format_version, Sys.ocaml_version)
+          []))
+
+let key ?analysis_opts ?(strategy = Compiled.Eager) (g : Grammar.Ast.t) :
+    string =
+  key_of_parts g (resolve_opts ?analysis_opts g) strategy
+
+(* The key a compiled value would be stored under.  Uses the options the
+   compilation actually resolved, so a warm re-save lands on the same blob
+   a later [load]/[compile] with the same inputs will look up. *)
+let key_of (c : Compiled.t) : string =
+  key_of_parts c.Compiled.surface c.Compiled.opts (Compiled.strategy c)
+
+let cache_file ~dir k = Filename.concat dir (k ^ ".antlrkit-cache")
+
+(* ------------------------------------------------------------------ *)
+(* Save / load *)
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755
+    with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let save ~dir (c : Compiled.t) : (string, string) result =
+  let k = key_of c in
+  let path = cache_file ~dir k in
+  try
+    mkdir_p dir;
+    let payload = Marshal.to_string c [] in
+    let tmp =
+      Filename.concat dir
+        (Printf.sprintf ".%s.tmp.%d" k (Unix.getpid ()))
+    in
+    let oc = open_out_bin tmp in
+    output_string oc magic;
+    output_string oc k;
+    output_string oc (Digest.to_hex (Digest.string payload));
+    output_string oc payload;
+    close_out oc;
+    Sys.rename tmp path;
+    Ok path
+  with e -> Error (Printexc.to_string e)
+
+(* Load the blob for key [k]; any validation failure means a rebuild. *)
+let load_key ~dir (k : string) : Compiled.t option =
+  let path = cache_file ~dir k in
+  match open_in_bin path with
+  | exception _ -> None
+  | ic ->
+      let result =
+        try
+          let m = really_input_string ic (String.length magic) in
+          if m <> magic then None
+          else
+            let file_key = really_input_string ic (String.length k) in
+            if file_key <> k then None
+            else
+              let digest = really_input_string ic 32 in
+              let len = in_channel_length ic - pos_in ic in
+              if len <= 0 then None
+              else
+                let payload = really_input_string ic len in
+                if Digest.to_hex (Digest.string payload) <> digest then None
+                else
+                  let c : Compiled.t = Marshal.from_string payload 0 in
+                  Some (Compiled.with_origin c Compiled.From_cache)
+        with _ -> None
+      in
+      close_in_noerr ic;
+      result
+
+let load ?analysis_opts ?strategy ~dir (g : Grammar.Ast.t) :
+    Compiled.t option =
+  load_key ~dir (key ?analysis_opts ?strategy g)
+
+(* ------------------------------------------------------------------ *)
+(* Load-or-rebuild entry points *)
+
+let compile ?analysis_opts ?grammar_source ?(strategy = Compiled.Eager) ~dir
+    (g : Grammar.Ast.t) : (Compiled.t * outcome, Compiled.error) result =
+  let k = key ?analysis_opts ~strategy g in
+  match load_key ~dir k with
+  | Some c -> Ok (c, Hit)
+  | None -> (
+      match Compiled.compile ?analysis_opts ?grammar_source ~strategy g with
+      | Error e -> Error e
+      | Ok c ->
+          (* Best effort: a read-only or full cache directory must not fail
+             the compilation. *)
+          ignore (save ~dir c);
+          Ok (c, Miss))
+
+let of_source ?analysis_opts ?strategy ~dir (src : string) :
+    (Compiled.t * outcome, Compiled.error) result =
+  match Grammar.Meta_parser.parse_result src with
+  | Error msg -> Error (Compiled.Message msg)
+  | Ok surface ->
+      compile ?analysis_opts ~grammar_source:src ?strategy ~dir surface
+
+let of_source_exn ?analysis_opts ?strategy ~dir src =
+  match of_source ?analysis_opts ?strategy ~dir src with
+  | Ok r -> r
+  | Error e -> failwith (Fmt.str "%a" Compiled.pp_error e)

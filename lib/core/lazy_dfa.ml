@@ -1,0 +1,242 @@
+(* Lazy on-demand lookahead-DFA construction.
+
+   The paper's static analysis (section 5) materializes every decision's
+   full lookahead DFA before the first parse, which makes cold-start cost
+   proportional to grammar size even when a workload exercises only a few
+   decisions.  This engine performs the same modified subset construction
+   one DFA state at a time, driven by the interpreter at prediction time: a
+   prediction that walks off the edge of the materialized DFA asks the
+   engine to [sprout] the missing transition, and the discovered state is
+   memoized into the same frozen [Look_dfa.t] representation, so warm
+   predictions hit the precomputed table path with no lazy-path overhead.
+
+   Equivalence with the eager analysis: all state discovery goes through
+   the per-state steps shared with [Analysis] ([init_d0], [step_terminal],
+   [settle_fresh], [force_cap_resolution]), and closure behaves identically
+   whether or not multi-alternative recursion has been observed yet, so
+   every state the engine materializes is exactly the state the eager
+   construction (or its Bounded retry) would have built.  The fallback
+   ladder mirrors [Analysis.analyze_decision]:
+
+   - recursion in more than one alternative under the [Bounded] strategy
+     flips the builder's [allow_multi_recursion] flag and keeps going --
+     no restart is needed because the states built so far are identical to
+     the ones the eager retry would rebuild;
+   - under the [Ll1] strategy, or when the DFA state budget is exhausted,
+     the engine abandons incremental construction and installs the result
+     of the full eager [analyze_decision] chain ([Rebuilt]).
+
+   [complete] drives the remaining work-list to exhaustion in the same BFS
+   order as the eager construction; on a fresh engine it reproduces the
+   eager DFA state-for-state, which the test suite pins. *)
+
+type sprout =
+  | Edge of { target : int; fresh : bool }
+    (* the transition now exists; [fresh] when a new state was discovered *)
+  | Resolved
+    (* no transition, but the source state acquired an accept or predicate
+       edges (k-cap forcing): re-read the state *)
+  | No_edge (* nothing moves on this terminal: fall through to predicates *)
+  | Rebuilt
+    (* incremental construction was abandoned for the full eager fallback:
+       restart the prediction walk from the (new) start state *)
+
+type phase =
+  | Building of Analysis.builder
+  | Done (* complete, or replaced by the eager fallback result *)
+
+type t = {
+  atn : Atn.t;
+  opts : Analysis.options;
+  decision : Atn.decision;
+  mutable phase : phase;
+  mutable fallback : bool; (* Bounded fallback engaged *)
+  mutable pre_warnings : Analysis.warning list;
+    (* warnings logically preceding the builder's own, e.g. the
+       [Non_ll_regular] reason emitted when the Bounded fallback engages *)
+  mutable snapshot : Analysis.result; (* current frozen view *)
+}
+
+let snapshot_of_builder t (b : Analysis.builder) : Analysis.result =
+  (* [~fallback:false]: that flag marks the LL(1) depth-1 fallback DFA
+     only; a Bounded retry is still a full subset-construction DFA (the
+     eager path does the same), and [result.fallback] records the retry. *)
+  let dfa = Analysis.freeze b ~fallback:false in
+  {
+    Analysis.dfa;
+    klass = Analysis.classify dfa;
+    warnings = t.pre_warnings @ List.rev b.Analysis.warnings;
+    fallback = t.fallback;
+  }
+
+let refresh t b = t.snapshot <- snapshot_of_builder t b
+
+let go_eager t : unit =
+  let r = Analysis.analyze_decision ~opts:t.opts t.atn t.decision in
+  t.phase <- Done;
+  t.fallback <- r.Analysis.fallback;
+  t.snapshot <- r
+
+let engage_bounded t (b : Analysis.builder) : unit =
+  t.fallback <- true;
+  t.pre_warnings <-
+    t.pre_warnings
+    @ [ Analysis.Non_ll_regular { decision = t.decision.Atn.d_id } ];
+  b.Analysis.allow_multi_recursion <- true
+
+let create ?opts (atn : Atn.t) (decision : Atn.decision) : t =
+  let opts =
+    match opts with
+    | Some o -> o
+    | None -> Analysis.options_of_grammar atn.Atn.grammar
+  in
+  let t =
+    {
+      atn;
+      opts;
+      decision;
+      phase = Done;
+      fallback = false;
+      pre_warnings = [];
+      snapshot =
+        (* placeholder; overwritten below before [create] returns *)
+        Analysis.
+          {
+            dfa =
+              Look_dfa.
+                {
+                  decision = decision.Atn.d_id;
+                  start = 0;
+                  nstates = 0;
+                  edges = [||];
+                  accept = [||];
+                  preds = [||];
+                  overflowed = [||];
+                  cyclic = false;
+                  max_k = None;
+                  uses_synpred = false;
+                  fallback = false;
+                };
+            klass = Fixed 1;
+            warnings = [];
+            fallback = false;
+          };
+    }
+  in
+  let start allow_multi =
+    let b =
+      Analysis.make_builder atn opts decision
+        ~allow_multi_recursion:allow_multi
+    in
+    ignore (Analysis.init_d0 b);
+    t.phase <- Building b;
+    refresh t b
+  in
+  (match start false with
+  | () -> ()
+  | exception Analysis.Non_ll_regular_exn -> (
+      match opts.Analysis.fallback with
+      | Analysis.Bounded ->
+          t.fallback <- true;
+          t.pre_warnings <-
+            [ Analysis.Non_ll_regular { decision = decision.Atn.d_id } ];
+          start true
+      | Analysis.Ll1 -> go_eager t)
+  | exception Analysis.Too_big -> go_eager t);
+  t
+
+let current t : Look_dfa.t = t.snapshot.Analysis.dfa
+let result t : Analysis.result = t.snapshot
+let is_complete t = match t.phase with Done -> true | Building _ -> false
+let materialized t = (current t).Look_dfa.nstates
+
+(* Materialize the missing transition of [state] over [term], if any. *)
+let sprout t ~(state : int) ~(term : int) : sprout =
+  match t.phase with
+  | Done -> No_edge
+  | Building b ->
+      let d = Analysis.state_by_id b state in
+      if not (Analysis.should_expand d) then No_edge
+      else begin
+        let beyond_cap =
+          match t.opts.Analysis.k_cap with
+          | Some k -> d.Analysis.depth >= k
+          | None -> false
+        in
+        if beyond_cap then begin
+          Analysis.force_cap_resolution b d;
+          refresh t b;
+          Resolved
+        end
+        else
+          let rec attempt retried =
+            match Analysis.step_terminal b d term with
+            | Some (d', fresh) ->
+                refresh t b;
+                Edge { target = d'.Analysis.id; fresh }
+            | None -> No_edge
+            | exception Analysis.Non_ll_regular_exn ->
+                if t.opts.Analysis.fallback = Analysis.Bounded && not retried
+                then begin
+                  engage_bounded t b;
+                  attempt true
+                end
+                else begin
+                  go_eager t;
+                  Rebuilt
+                end
+            | exception Analysis.Too_big ->
+                go_eager t;
+                Rebuilt
+          in
+          attempt false
+      end
+
+(* Drive the remaining construction to exhaustion, yielding the same
+   [Analysis.result] the eager analysis produces (state-for-state identical
+   on a fresh engine: the work list visits states in discovery order, which
+   is the eager BFS order, and every step is idempotent). *)
+let complete t : Analysis.result =
+  match t.phase with
+  | Done -> t.snapshot
+  | Building b ->
+      let rec run () =
+        match
+          let work = Queue.create () in
+          List.iter
+            (fun d -> if Analysis.should_expand d then Queue.add d work)
+            (List.rev b.Analysis.states);
+          while not (Queue.is_empty work) do
+            Analysis.expand_state b work (Queue.pop work)
+          done
+        with
+        | () -> ()
+        | exception Analysis.Non_ll_regular_exn
+          when t.opts.Analysis.fallback = Analysis.Bounded
+               && not b.Analysis.allow_multi_recursion ->
+            engage_bounded t b;
+            run ()
+        | exception (Analysis.Non_ll_regular_exn | Analysis.Too_big) ->
+            go_eager t
+      in
+      run ();
+      (match t.phase with
+      | Done -> () (* eager fallback already installed the result *)
+      | Building b ->
+          let dfa = Analysis.freeze b ~fallback:false in
+          let dfa =
+            if t.opts.Analysis.minimize then Minimize.minimize dfa else dfa
+          in
+          let warnings =
+            t.pre_warnings @ List.rev b.Analysis.warnings
+            @ Analysis.find_dead_alts b dfa t.decision
+          in
+          t.snapshot <-
+            {
+              Analysis.dfa;
+              klass = Analysis.classify dfa;
+              warnings;
+              fallback = t.fallback;
+            };
+          t.phase <- Done);
+      t.snapshot

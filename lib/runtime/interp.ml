@@ -133,10 +133,42 @@ and eval_pred t (p : Atn.pred) ~prec : bool * int * bool =
    from the current position. *)
 
 and predict t (decision : int) ~prec ~rule : int =
-  let dfa = t.c.Llstar.Compiled.results.(decision).Llstar.Analysis.dfa in
+  let eng = Llstar.Compiled.engine t.c decision in
   let spec_reach = ref 0 in
   let backtracked = ref false in
-  let rec walk state depth =
+  (* Ordered predicate edges.  An edge applies when its lookahead guard (if
+     any) admits the next token and its predicate (if any) holds; an edge
+     with neither is the gated default. *)
+  let try_preds dfa state depth =
+    let preds = Llstar.Look_dfa.pred_edges_of dfa state in
+    if Array.length preds > 0 then begin
+      let chosen = ref 0 in
+      let i = ref 0 in
+      while !chosen = 0 && !i < Array.length preds do
+        let e = preds.(!i) in
+        let guard_ok =
+          match e.Llstar.Look_dfa.guard with
+          | [] -> true
+          | g -> List.mem (Token_stream.la t.ts (depth + 1)) g
+        in
+        (if guard_ok then
+           match e.Llstar.Look_dfa.pred with
+           | None -> chosen := e.Llstar.Look_dfa.alt
+           | Some p ->
+               let holds, reach, was_syn = eval_pred t p ~prec in
+               if was_syn then begin
+                 backtracked := true;
+                 spec_reach := max !spec_reach (depth + reach)
+               end;
+               if holds then chosen := e.Llstar.Look_dfa.alt);
+        incr i
+      done;
+      if !chosen = 0 then prediction_error t ~decision ~depth rule
+      else (!chosen, depth)
+    end
+    else prediction_error t ~decision ~depth rule
+  in
+  let rec walk dfa state depth =
     match Llstar.Look_dfa.accept_of dfa state with
     | Some alt -> (alt, depth)
     | None -> (
@@ -148,40 +180,39 @@ and predict t (decision : int) ~prec ~rule : int =
           Llstar.Look_dfa.lookup_edge dfa state
             (Token_stream.la t.ts (depth + 1))
         with
-        | Some tgt -> walk tgt (depth + 1)
-        | None ->
-        let preds = Llstar.Look_dfa.pred_edges_of dfa state in
-        if Array.length preds > 0 then begin
-          (* Ordered predicate edges.  An edge applies when its lookahead
-             guard (if any) admits the next token and its predicate (if any)
-             holds; an edge with neither is the gated default. *)
-          let chosen = ref 0 in
-          let i = ref 0 in
-          while !chosen = 0 && !i < Array.length preds do
-            let e = preds.(!i) in
-            let guard_ok =
-              match e.Llstar.Look_dfa.guard with
-              | [] -> true
-              | g -> List.mem (Token_stream.la t.ts (depth + 1)) g
-            in
-            (if guard_ok then
-               match e.Llstar.Look_dfa.pred with
-               | None -> chosen := e.Llstar.Look_dfa.alt
-               | Some p ->
-                   let holds, reach, was_syn = eval_pred t p ~prec in
-                   if was_syn then begin
-                     backtracked := true;
-                     spec_reach := max !spec_reach (depth + reach)
-                   end;
-                   if holds then chosen := e.Llstar.Look_dfa.alt);
-            incr i
-          done;
-          if !chosen = 0 then prediction_error t ~decision ~depth rule
-          else (!chosen, depth)
-        end
-        else prediction_error t ~decision ~depth rule)
+        | Some tgt -> walk dfa tgt (depth + 1)
+        | None -> (
+            (* No materialized transition.  In lazy mode ask the engine to
+               sprout it before falling through to predicate edges, so the
+               walk only ever sees transitions the eager DFA would have. *)
+            match eng with
+            | Some e when not (Llstar.Lazy_dfa.is_complete e) -> (
+                match
+                  Llstar.Lazy_dfa.sprout e ~state
+                    ~term:(Token_stream.la t.ts (depth + 1))
+                with
+                | Llstar.Lazy_dfa.Edge { target; fresh } ->
+                    if fresh then (
+                      match t.profile with
+                      | Some p ->
+                          Profile.record_dfa_built p ~decision ~cached:false
+                            ~n:1
+                      | None -> ());
+                    walk (Llstar.Lazy_dfa.current e) target (depth + 1)
+                | Llstar.Lazy_dfa.Resolved ->
+                    (* the state acquired an accept or predicate edges *)
+                    walk (Llstar.Lazy_dfa.current e) state depth
+                | Llstar.Lazy_dfa.Rebuilt ->
+                    (* incremental construction gave way to the full eager
+                       fallback DFA; prediction consumed nothing, so restart
+                       the walk from its start state *)
+                    let dfa' = Llstar.Compiled.dfa t.c decision in
+                    walk dfa' dfa'.Llstar.Look_dfa.start 0
+                | Llstar.Lazy_dfa.No_edge -> try_preds dfa state depth)
+            | _ -> try_preds dfa state depth))
   in
-  let alt, depth = walk dfa.Llstar.Look_dfa.start 0 in
+  let dfa = Llstar.Compiled.dfa t.c decision in
+  let alt, depth = walk dfa dfa.Llstar.Look_dfa.start 0 in
   if !trace then
     Fmt.epr "[trace]%s d%d @%d -> alt %d (k=%d)@."
       (String.make t.speculating '>')
@@ -398,6 +429,16 @@ let recover_to_follow t rule =
 let create ?(env = default_env) ?profile ?(recover = false)
     ?(max_errors = 25) (c : Llstar.Compiled.t) (toks : Token.t array) : t =
   let memoize = (Llstar.Compiled.options c).Grammar.Ast.memoize in
+  (* A cache-loaded compilation arrives with DFA states already
+     materialized (statically, or by earlier runs in lazy mode): credit
+     them to the cache so lazy-vs-cached construction work is visible. *)
+  (match profile with
+  | Some p when Llstar.Compiled.from_cache c ->
+      for d = 0 to Llstar.Compiled.num_decisions c - 1 do
+        Profile.record_dfa_built p ~decision:d ~cached:true
+          ~n:(Llstar.Compiled.dfa c d).Llstar.Look_dfa.nstates
+      done
+  | _ -> ());
   {
     c;
     env;

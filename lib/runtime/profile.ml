@@ -1,24 +1,38 @@
 (* Runtime decision profiling: the counters behind the paper's Tables 3
-   and 4.
+   and 4, plus lazy-DFA construction counters.
 
    A decision *event* is one execution of a prediction (loop decisions fire
-   once per iteration).  Its lookahead depth is the number of tokens the
-   lookahead DFA examined, or -- for events that evaluated a syntactic
-   predicate -- the furthest token reached by speculation.  [back k] averages
-   speculation depth over backtracking events only. *)
+   once per iteration).  Two lookahead depths are tracked separately:
+
+   - the *DFA depth*: how many tokens the lookahead DFA itself examined
+     ([avg_dfa_k]/[dfa_max_k]);
+   - the *effective depth*: the furthest token the decision reached,
+     counting speculation for events that evaluated a syntactic predicate
+     ([avg_k]/[max_k], the paper's Table 3 "avg k").
+
+   Earlier versions folded speculation reach into the DFA depth inside
+   [record], double-counting it when callers pre-mixed the two; the caller
+   now reports each depth once and the mixing happens here, in one place.
+   [back k] averages speculation depth over backtracking events only. *)
 
 type dstats = {
   mutable d_events : int;
   mutable d_backtracks : int;
+  mutable d_lazy_states : int;
+  mutable d_cached_states : int;
 }
 
 type t = {
   mutable events : int;
-  mutable look_sum : int;
+  mutable look_sum : int; (* effective depth: max(dfa, speculation) *)
   mutable look_max : int;
+  mutable dfa_look_sum : int; (* DFA-only depth *)
+  mutable dfa_look_max : int;
   mutable back_events : int;
   mutable back_look_sum : int;
   mutable back_look_max : int;
+  mutable dfa_lazy_states : int; (* DFA states built on demand *)
+  mutable dfa_cached_states : int; (* DFA states loaded from a cache *)
   per_decision : (int, dstats) Hashtbl.t;
 }
 
@@ -27,9 +41,13 @@ let create () =
     events = 0;
     look_sum = 0;
     look_max = 0;
+    dfa_look_sum = 0;
+    dfa_look_max = 0;
     back_events = 0;
     back_look_sum = 0;
     back_look_max = 0;
+    dfa_lazy_states = 0;
+    dfa_cached_states = 0;
     per_decision = Hashtbl.create 64;
   }
 
@@ -37,31 +55,58 @@ let reset t =
   t.events <- 0;
   t.look_sum <- 0;
   t.look_max <- 0;
+  t.dfa_look_sum <- 0;
+  t.dfa_look_max <- 0;
   t.back_events <- 0;
   t.back_look_sum <- 0;
   t.back_look_max <- 0;
+  t.dfa_lazy_states <- 0;
+  t.dfa_cached_states <- 0;
   Hashtbl.reset t.per_decision
 
+let dstats_of t decision =
+  match Hashtbl.find_opt t.per_decision decision with
+  | Some ds -> ds
+  | None ->
+      let ds =
+        {
+          d_events = 0;
+          d_backtracks = 0;
+          d_lazy_states = 0;
+          d_cached_states = 0;
+        }
+      in
+      Hashtbl.add t.per_decision decision ds;
+      ds
+
+(* [depth] is the DFA lookahead depth alone; [spec_depth] the furthest token
+   reached by speculation (0 when [backtracked] is false). *)
 let record t ~decision ~depth ~backtracked ~spec_depth =
   t.events <- t.events + 1;
-  let depth = max depth (if backtracked then spec_depth else depth) in
-  t.look_sum <- t.look_sum + depth;
-  if depth > t.look_max then t.look_max <- depth;
+  t.dfa_look_sum <- t.dfa_look_sum + depth;
+  if depth > t.dfa_look_max then t.dfa_look_max <- depth;
+  let effective = if backtracked then max depth spec_depth else depth in
+  t.look_sum <- t.look_sum + effective;
+  if effective > t.look_max then t.look_max <- effective;
   if backtracked then begin
     t.back_events <- t.back_events + 1;
     t.back_look_sum <- t.back_look_sum + spec_depth;
     if spec_depth > t.back_look_max then t.back_look_max <- spec_depth
   end;
-  let ds =
-    match Hashtbl.find_opt t.per_decision decision with
-    | Some ds -> ds
-    | None ->
-        let ds = { d_events = 0; d_backtracks = 0 } in
-        Hashtbl.add t.per_decision decision ds;
-        ds
-  in
+  let ds = dstats_of t decision in
   ds.d_events <- ds.d_events + 1;
   if backtracked then ds.d_backtracks <- ds.d_backtracks + 1
+
+(* [n] DFA states became available for [decision]: built on demand by the
+   lazy engine ([cached=false]) or loaded from a compilation cache. *)
+let record_dfa_built t ~decision ~cached ~n =
+  if n > 0 then begin
+    if cached then t.dfa_cached_states <- t.dfa_cached_states + n
+    else t.dfa_lazy_states <- t.dfa_lazy_states + n;
+    let ds = dstats_of t decision in
+    if cached then ds.d_cached_states <- ds.d_cached_states + n
+    else ds.d_lazy_states <- ds.d_lazy_states + n
+  end
 
 (* --- Table 3 quantities --- *)
 
@@ -70,11 +115,21 @@ let decisions_covered t = Hashtbl.length t.per_decision
 let avg_k t =
   if t.events = 0 then 0.0 else float_of_int t.look_sum /. float_of_int t.events
 
+let avg_dfa_k t =
+  if t.events = 0 then 0.0
+  else float_of_int t.dfa_look_sum /. float_of_int t.events
+
 let back_k t =
   if t.back_events = 0 then 0.0
   else float_of_int t.back_look_sum /. float_of_int t.back_events
 
 let max_k t = t.look_max
+let dfa_max_k t = t.dfa_look_max
+
+(* --- Lazy-construction quantities --- *)
+
+let lazy_dfa_states t = t.dfa_lazy_states
+let cached_dfa_states t = t.dfa_cached_states
 
 (* --- Table 4 quantities --- *)
 
@@ -102,8 +157,12 @@ let backtrack_rate_at_pbds t =
 
 let pp ppf t =
   Fmt.pf ppf
-    "decision events=%d covered=%d avg k=%.2f back k=%.2f max k=%d \
+    "decision events=%d covered=%d avg k=%.2f (dfa %.2f) back k=%.2f max k=%d \
      backtracked=%.2f%% (at PBDs: %.2f%%)"
-    t.events (decisions_covered t) (avg_k t) (back_k t) t.look_max
+    t.events (decisions_covered t) (avg_k t) (avg_dfa_k t) (back_k t)
+    t.look_max
     (backtrack_event_rate t)
-    (backtrack_rate_at_pbds t)
+    (backtrack_rate_at_pbds t);
+  if t.dfa_lazy_states > 0 || t.dfa_cached_states > 0 then
+    Fmt.pf ppf "; dfa states lazy=%d cached=%d" t.dfa_lazy_states
+      t.dfa_cached_states

@@ -1,0 +1,166 @@
+(* Persistent compilation cache: round trips, corruption tolerance, and
+   warm lazy-state preservation. *)
+
+open Helpers
+
+let src = "grammar T; s : A B C | A B D | E ;"
+
+(* Fresh private directory per test; removed afterwards. *)
+let with_dir (f : string -> unit) : unit =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "antlrkit-test-cache-%d-%d" (Unix.getpid ())
+         (Random.int 1_000_000))
+  in
+  let cleanup () =
+    if Sys.file_exists dir then begin
+      Array.iter
+        (fun f -> Sys.remove (Filename.concat dir f))
+        (Sys.readdir dir);
+      Sys.rmdir dir
+    end
+  in
+  Fun.protect ~finally:cleanup (fun () -> f dir)
+
+let compile_cached ?strategy ~dir src =
+  match Llstar.Compiled_cache.of_source ?strategy ~dir src with
+  | Ok r -> r
+  | Error e -> Alcotest.failf "cache compile failed: %a" Llstar.Compiled.pp_error e
+
+let blob_path dir =
+  match
+    Array.to_list (Sys.readdir dir)
+    |> List.filter (fun f -> Filename.check_suffix f ".antlrkit-cache")
+  with
+  | [ f ] -> Filename.concat dir f
+  | files -> Alcotest.failf "expected one cache blob, found %d" (List.length files)
+
+let suite =
+  [
+    ( "compiled_cache",
+      [
+        test "miss then hit, identical parses" (fun () ->
+            with_dir (fun dir ->
+                let c1, o1 = compile_cached ~dir src in
+                check bool "first is a miss" true
+                  (o1 = Llstar.Compiled_cache.Miss);
+                check bool "fresh origin" false (Llstar.Compiled.from_cache c1);
+                let c2, o2 = compile_cached ~dir src in
+                check bool "second is a hit" true
+                  (o2 = Llstar.Compiled_cache.Hit);
+                check bool "cache origin" true (Llstar.Compiled.from_cache c2);
+                check string "same tree" (parse_tree c1 "A B C")
+                  (parse_tree c2 "A B C");
+                check string "same tree 2" (parse_tree c1 "E")
+                  (parse_tree c2 "E");
+                check bool "same dfa" true
+                  (Llstar.Compiled.dfa c1 0 = Llstar.Compiled.dfa c2 0)));
+        test "different grammar, different key" (fun () ->
+            with_dir (fun dir ->
+                let _ = compile_cached ~dir src in
+                let _, o = compile_cached ~dir "grammar U; s : A | B ;" in
+                check bool "other grammar misses" true
+                  (o = Llstar.Compiled_cache.Miss)));
+        test "strategy is part of the key" (fun () ->
+            with_dir (fun dir ->
+                let _ = compile_cached ~dir src in
+                let _, o =
+                  compile_cached ~strategy:Llstar.Compiled.Lazy ~dir src
+                in
+                check bool "lazy misses after eager" true
+                  (o = Llstar.Compiled_cache.Miss)));
+        test "garbage blob falls back to a rebuild" (fun () ->
+            with_dir (fun dir ->
+                let _ = compile_cached ~dir src in
+                let path = blob_path dir in
+                let oc = open_out_bin path in
+                output_string oc "this is not a cache blob";
+                close_out oc;
+                let c, o = compile_cached ~dir src in
+                check bool "rebuilds" true (o = Llstar.Compiled_cache.Miss);
+                check bool "fresh origin" false (Llstar.Compiled.from_cache c);
+                (* the rebuild re-saved a valid blob *)
+                let _, o2 = compile_cached ~dir src in
+                check bool "hit after repair" true
+                  (o2 = Llstar.Compiled_cache.Hit)));
+        test "truncated blob falls back to a rebuild" (fun () ->
+            with_dir (fun dir ->
+                let _ = compile_cached ~dir src in
+                let path = blob_path dir in
+                let ic = open_in_bin path in
+                let n = in_channel_length ic in
+                let half = really_input_string ic (n / 2) in
+                close_in ic;
+                let oc = open_out_bin path in
+                output_string oc half;
+                close_out oc;
+                let _, o = compile_cached ~dir src in
+                check bool "rebuilds" true (o = Llstar.Compiled_cache.Miss)));
+        test "flipped payload byte falls back to a rebuild" (fun () ->
+            with_dir (fun dir ->
+                let _ = compile_cached ~dir src in
+                let path = blob_path dir in
+                let ic = open_in_bin path in
+                let n = in_channel_length ic in
+                let bytes = Bytes.of_string (really_input_string ic n) in
+                close_in ic;
+                (* flip a byte well inside the marshaled payload *)
+                let i = n - 7 in
+                Bytes.set bytes i (Char.chr (Char.code (Bytes.get bytes i) lxor 0xff));
+                let oc = open_out_bin path in
+                output_bytes oc bytes;
+                close_out oc;
+                let _, o = compile_cached ~dir src in
+                check bool "rebuilds" true (o = Llstar.Compiled_cache.Miss)));
+        test "missing directory is a miss, then created" (fun () ->
+            with_dir (fun dir ->
+                let sub = Filename.concat dir "nested" in
+                let _, o = compile_cached ~dir:sub src in
+                check bool "miss" true (o = Llstar.Compiled_cache.Miss);
+                check bool "dir created" true (Sys.file_exists sub);
+                let _, o2 = compile_cached ~dir:sub src in
+                check bool "hit" true (o2 = Llstar.Compiled_cache.Hit);
+                (* clean the nested dir so with_dir can remove the parent *)
+                Array.iter
+                  (fun f -> Sys.remove (Filename.concat sub f))
+                  (Sys.readdir sub);
+                Sys.rmdir sub));
+        test "lazy warm re-save preserves materialized states" (fun () ->
+            with_dir (fun dir ->
+                let c, o =
+                  compile_cached ~strategy:Llstar.Compiled.Lazy ~dir src
+                in
+                check bool "miss" true (o = Llstar.Compiled_cache.Miss);
+                (match Runtime.Interp.parse c (lex c "A B D") with
+                | Ok _ -> ()
+                | Error _ -> Alcotest.fail "lazy parse failed");
+                let warm_states = (Llstar.Compiled.dfa c 0).Llstar.Look_dfa.nstates in
+                (match Llstar.Compiled_cache.save ~dir c with
+                | Ok _ -> ()
+                | Error e -> Alcotest.failf "warm save failed: %s" e);
+                let c2, o2 =
+                  compile_cached ~strategy:Llstar.Compiled.Lazy ~dir src
+                in
+                check bool "hit" true (o2 = Llstar.Compiled_cache.Hit);
+                check bool "still lazy" true
+                  (Llstar.Compiled.strategy c2 = Llstar.Compiled.Lazy);
+                check int "materialized states preserved" warm_states
+                  (Llstar.Compiled.dfa c2 0).Llstar.Look_dfa.nstates;
+                (* and the warm copy still parses identically *)
+                check string "same tree" (parse_tree c "A B D")
+                  (parse_tree c2 "A B D")));
+        test "cache-hit states are credited to the profile" (fun () ->
+            with_dir (fun dir ->
+                let _ = compile_cached ~dir src in
+                let c, _ = compile_cached ~dir src in
+                let p = Runtime.Profile.create () in
+                (match Runtime.Interp.parse ~profile:p c (lex c "A B C") with
+                | Ok _ -> ()
+                | Error _ -> Alcotest.fail "parse failed");
+                check bool "cached states recorded" true
+                  (Runtime.Profile.cached_dfa_states p > 0);
+                check int "no lazy states in eager mode" 0
+                  (Runtime.Profile.lazy_dfa_states p)));
+      ] );
+  ]

@@ -1,0 +1,137 @@
+(* Lazy on-demand DFA construction: equivalence with the eager analysis.
+
+   Two properties pin the tentpole:
+
+   - parsing with a lazily compiled grammar produces byte-identical trees
+     to the eager compilation, on every benchmark grammar, over generated
+     corpora (prediction equivalence);
+   - driving a fresh lazy engine to completion reproduces the eager
+     analysis result structurally -- same DFA states in the same order,
+     same classification, same warnings (construction equivalence). *)
+
+open Helpers
+module Workload = Bench_grammars.Workload
+
+let all_specs =
+  [
+    Bench_grammars.Mini_java.spec;
+    Bench_grammars.Rats_c.spec;
+    Bench_grammars.Rats_java.spec;
+    Bench_grammars.Mini_sql.spec;
+    Bench_grammars.Mini_vb.spec;
+    Bench_grammars.Mini_csharp.spec;
+  ]
+
+let eager_cache = Hashtbl.create 8
+
+let eager_of (spec : Workload.spec) =
+  match Hashtbl.find_opt eager_cache spec.Workload.name with
+  | Some cw -> cw
+  | None ->
+      let cw = Workload.compile spec in
+      Hashtbl.add eager_cache spec.Workload.name cw;
+      cw
+
+let lazy_compile (spec : Workload.spec) =
+  Llstar.Compiled.of_source_exn ~strategy:Llstar.Compiled.Lazy
+    spec.Workload.grammar_text
+
+let tree_str c tree = Runtime.Tree.to_string (Llstar.Compiled.sym c) tree
+
+let parse_str c env toks =
+  match Runtime.Interp.parse ~env c toks with
+  | Ok tree -> "ok: " ^ tree_str c tree
+  | Error errs ->
+      Fmt.str "error: %a"
+        Fmt.(list (Runtime.Parse_error.pp (Llstar.Compiled.sym c)))
+        errs
+
+let per_grammar (spec : Workload.spec) =
+  let name = spec.Workload.name in
+  [
+    test (name ^ ": lazy parses byte-identical to eager") (fun () ->
+        let cw = eager_of spec in
+        let cl = lazy_compile spec in
+        let env = Workload.env_of_spec spec in
+        let corpus = Workload.build_corpus cw ~target_tokens:1200 in
+        check bool "corpus nonempty" true (corpus.Workload.programs > 0);
+        List.iteri
+          (fun i text ->
+            let toks = Workload.lex_exn cw text in
+            check string
+              (Printf.sprintf "program %d" i)
+              (parse_str cw.Workload.c env toks)
+              (parse_str cl env toks))
+          corpus.Workload.texts;
+        (* warm pass: the second parse must hit only materialized states
+           and still agree *)
+        List.iteri
+          (fun i text ->
+            let toks = Workload.lex_exn cw text in
+            check string
+              (Printf.sprintf "warm program %d" i)
+              (parse_str cw.Workload.c env toks)
+              (parse_str cl env toks))
+          corpus.Workload.texts);
+    test (name ^ ": completed lazy engines match eager analysis") (fun () ->
+        let cw = eager_of spec in
+        let c = cw.Workload.c in
+        let atn = c.Llstar.Compiled.atn in
+        let opts = c.Llstar.Compiled.opts in
+        Array.iteri
+          (fun i d ->
+            let eng = Llstar.Lazy_dfa.create ~opts atn d in
+            let r = Llstar.Lazy_dfa.complete eng in
+            let e = c.Llstar.Compiled.results.(i) in
+            if r <> e then
+              Alcotest.failf
+                "decision %d: completed lazy result differs from eager \
+                 (lazy: %d states, eager: %d states)"
+                i r.Llstar.Analysis.dfa.Llstar.Look_dfa.nstates
+                e.Llstar.Analysis.dfa.Llstar.Look_dfa.nstates)
+          atn.Atn.decisions);
+  ]
+
+let small_cases =
+  [
+    test "lazy compile materializes only start states" (fun () ->
+        let c =
+          Llstar.Compiled.of_source_exn ~strategy:Llstar.Compiled.Lazy
+            "grammar T; s : A B C | A B D | E ;"
+        in
+        check bool "is lazy" true
+          (Llstar.Compiled.strategy c = Llstar.Compiled.Lazy);
+        let eng = Option.get (Llstar.Compiled.engine c 0) in
+        check bool "incomplete" false (Llstar.Lazy_dfa.is_complete eng);
+        let eager = Llstar.Compiled.of_source_exn "grammar T; s : A B C | A B D | E ;" in
+        check bool "fewer states than eager" true
+          (Llstar.Lazy_dfa.materialized eng
+          < (Llstar.Compiled.dfa eager 0).Llstar.Look_dfa.nstates));
+    test "prediction grows the DFA state by state" (fun () ->
+        let src = "grammar T; s : A B C | A B D | E ;" in
+        let c =
+          Llstar.Compiled.of_source_exn ~strategy:Llstar.Compiled.Lazy src
+        in
+        let eng = Option.get (Llstar.Compiled.engine c 0) in
+        let before = Llstar.Lazy_dfa.materialized eng in
+        let p = Runtime.Profile.create () in
+        (match Runtime.Interp.parse ~profile:p c (lex c "A B D") with
+        | Ok _ -> ()
+        | Error _ -> Alcotest.fail "parse failed");
+        check bool "grew" true (Llstar.Lazy_dfa.materialized eng > before);
+        check bool "lazy states profiled" true
+          (Runtime.Profile.lazy_dfa_states p > 0);
+        (* a second identical parse should add nothing *)
+        let after = Llstar.Lazy_dfa.materialized eng in
+        (match Runtime.Interp.parse c (lex c "A B D") with
+        | Ok _ -> ()
+        | Error _ -> Alcotest.fail "second parse failed");
+        check int "warm parse adds no states" after
+          (Llstar.Lazy_dfa.materialized eng));
+  ]
+
+let suite =
+  [
+    ( "lazy_dfa",
+      small_cases @ List.concat_map per_grammar all_specs );
+  ]

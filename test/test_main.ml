@@ -5,4 +5,5 @@ let () =
     (Test_grammar.suite @ Test_analysis.suite @ Test_runtime.suite
    @ Test_baselines.suite @ Test_minimize.suite @ Test_report.suite
    @ Test_bench_grammars.suite
+   @ Test_lazy.suite @ Test_cache.suite @ Test_profile.suite
    @ Test_props.suite)
