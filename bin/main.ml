@@ -248,13 +248,20 @@ let gen_cmd =
     let sg = Grammar.Sentence_gen.prepare g in
     let rng = Random.State.make [| seed |] in
     for i = 1 to n do
-      let terms = Grammar.Sentence_gen.generate sg ~rng ~size in
-      let text =
-        Grammar.Sentence_gen.render
-          ~sample:(fun name -> Printf.sprintf "<%s%d>" name i)
-          terms
-      in
-      print_endline (String.trim text)
+      match Grammar.Sentence_gen.generate sg ~rng ~size with
+      | exception Grammar.Sentence_gen.Unproductive ->
+          Fmt.epr
+            "%s: grammar is unproductive: some reachable rule has no \
+             finite-yield derivation@."
+            grammar;
+          exit 2
+      | terms ->
+          let text =
+            Grammar.Sentence_gen.render
+              ~sample:(fun name -> Printf.sprintf "<%s%d>" name i)
+              terms
+          in
+          print_endline (String.trim text)
     done
   in
   let n = Arg.(value & opt int 5 & info [ "n" ] ~doc:"Number of sentences.") in
@@ -264,9 +271,91 @@ let gen_cmd =
     (Cmd.info "gen" ~doc:"Generate random sentences from the grammar.")
     Term.(const run $ grammar_arg $ n $ size $ seed)
 
+(* --- fuzz -------------------------------------------------------------- *)
+
+let fuzz_cmd =
+  let run seed runs grammar mutate corpus_dir size =
+    let specs =
+      match grammar with
+      | None -> Fuzz.Driver.all_specs
+      | Some name -> (
+          match Fuzz.Driver.find_spec name with
+          | Some s -> [ s ]
+          | None ->
+              Fmt.epr "no benchmark grammar '%s' (known: %s)@." name
+                (String.concat ", "
+                   (List.map
+                      (fun (s : Bench_grammars.Workload.spec) ->
+                        s.Bench_grammars.Workload.name)
+                      Fuzz.Driver.all_specs));
+              exit 2)
+    in
+    let any_failure = ref false in
+    List.iter
+      (fun (spec : Bench_grammars.Workload.spec) ->
+        match
+          Fuzz.Driver.run_spec ~size ~mutate ?corpus_dir ~seed ~runs spec
+        with
+        | Error e ->
+            Fmt.epr "%s: %a@." spec.Bench_grammars.Workload.name
+              Llstar.Compiled.pp_error e;
+            exit 2
+        | Ok report ->
+            Fmt.pr "%a@." Fuzz.Driver.pp_report report;
+            List.iter
+              (fun (f : Fuzz.Driver.failure) ->
+                any_failure := true;
+                Fmt.pr "  %a@." Fuzz.Oracle.pp_divergence f.Fuzz.Driver.f_divergence;
+                Fmt.pr "  shrunk: %s@."
+                  (String.concat " " f.Fuzz.Driver.f_shrunk);
+                Option.iter
+                  (fun file -> Fmt.pr "  reproducer: %s@." file)
+                  f.Fuzz.Driver.f_file)
+              report.Fuzz.Driver.r_failures)
+      specs;
+    if !any_failure then begin
+      Fmt.epr "fuzz: unexplained divergences found@.";
+      exit 1
+    end
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.") in
+  let runs =
+    Arg.(value & opt int 200 & info [ "runs" ] ~doc:"Inputs per grammar.")
+  in
+  let grammar =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "grammar" ]
+          ~doc:"Fuzz only this benchmark grammar (default: all six).")
+  in
+  let mutate =
+    Arg.(
+      value & opt bool true
+      & info [ "mutate" ]
+          ~doc:"Mutate half of the generated sentences (drop/swap/dup/subst).")
+  in
+  let corpus_dir =
+    Arg.(
+      value
+      & opt (some string) (Some "fuzz-corpus")
+      & info [ "corpus-dir" ]
+          ~doc:"Directory for shrunk reproducer files (written on failure).")
+  in
+  let size =
+    Arg.(value & opt int 30 & info [ "size" ] ~doc:"Approximate sentence size.")
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Differential fuzzing: generated (and mutated) sentences are run \
+          through the LL(*), packrat, Earley and LL(1) recognizers and any \
+          unexplained disagreement, crash or hang is reported and shrunk.")
+    Term.(const run $ seed $ runs $ grammar $ mutate $ corpus_dir $ size)
+
 let () =
   let doc = "LL(*) grammar analysis and parsing (Parr & Fisher, PLDI 2011)" in
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "antlrkit" ~version:"1.0.0" ~doc)
-          [ analyze_cmd; dot_cmd; atn_cmd; parse_cmd; gen_cmd ]))
+          [ analyze_cmd; dot_cmd; atn_cmd; parse_cmd; gen_cmd; fuzz_cmd ]))

@@ -34,8 +34,13 @@ let create (bnf : Grammar.Bnf.t) : t =
 
 let of_grammar (g : Grammar.Ast.t) : t = create (Grammar.Bnf.convert g)
 
-(* Recognize a sentence given as terminal names. *)
-let recognize ?(start : string option) (t : t) (input : string array) : bool =
+exception Give_up
+(* raised when the item budget is exceeded (fuel guard for fuzzing) *)
+
+(* Recognize a sentence given as terminal names.
+   @raise Give_up when more than [budget] items are processed. *)
+let recognize ?(budget = max_int) ?(start : string option) (t : t)
+    (input : string array) : bool =
   t.items_processed <- 0;
   let n = Array.length input in
   let start = match start with Some s -> s | None -> t.bnf.start in
@@ -61,6 +66,7 @@ let recognize ?(start : string option) (t : t) (input : string array) : bool =
     while not (Queue.is_empty queue) do
       let item = Queue.pop queue in
       t.items_processed <- t.items_processed + 1;
+      if t.items_processed > budget then raise Give_up;
       let p = t.prods.(item.prod) in
       let rhs = Array.of_list p.rhs in
       if item.dot >= Array.length rhs then
@@ -110,9 +116,9 @@ let recognize ?(start : string option) (t : t) (input : string array) : bool =
 let items_processed t = t.items_processed
 
 (* Convenience: recognize a token array lexed against [sym]. *)
-let recognize_tokens ?start (t : t) (sym : Grammar.Sym.t)
+let recognize_tokens ?budget ?start (t : t) (sym : Grammar.Sym.t)
     (toks : Runtime.Token.t array) : bool =
   let names =
     Array.map (fun (tok : Runtime.Token.t) -> Grammar.Sym.term_name sym tok.Runtime.Token.ttype) toks
   in
-  recognize ?start t names
+  recognize ?budget ?start t names

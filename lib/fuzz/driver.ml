@@ -1,0 +1,184 @@
+(* Seeded fuzzing driver: generates sentences from a grammar spec, mutates
+   half of them, feeds everything to the differential {!Oracle}, shrinks any
+   failure with the greedy token-delta shrinker, and writes reproducer files
+   under a corpus directory so failures become permanent regression tests
+   (they are replayed by [dune runtest], see test/test_fuzz.ml).
+
+   Determinism: run [i] of a seeded session draws all its randomness from
+   [Sentence_gen.rng_of_seed ~index:i seed], so a (seed, run) pair pins the
+   entire generate-mutate-check sequence and reproducer files can name the
+   exact run that produced them. *)
+
+module Workload = Bench_grammars.Workload
+
+let all_specs : Workload.spec list =
+  [
+    Bench_grammars.Mini_java.spec;
+    Bench_grammars.Rats_c.spec;
+    Bench_grammars.Rats_java.spec;
+    Bench_grammars.Mini_vb.spec;
+    Bench_grammars.Mini_sql.spec;
+    Bench_grammars.Mini_csharp.spec;
+  ]
+
+let find_spec (name : string) : Workload.spec option =
+  List.find_opt (fun (s : Workload.spec) -> s.Workload.name = name) all_specs
+
+type failure = {
+  f_divergence : Oracle.divergence;
+  f_shrunk : string list; (* minimized input *)
+  f_run : int; (* run index that produced it *)
+  f_file : string option; (* reproducer path, when a corpus dir was given *)
+}
+
+type report = {
+  r_grammar : string;
+  r_runs : int;
+  r_accepted : int; (* LL-star accepted *)
+  r_rejected : int;
+  r_mutated : int; (* runs that went through the mutation engine *)
+  r_explained : int; (* expected disagreements normalized away *)
+  r_failures : failure list;
+}
+
+let pp_report ppf (r : report) =
+  Fmt.pf ppf "%-12s %4d runs: %d accept / %d reject, %d mutated, %d normalized, %d failures"
+    r.r_grammar r.r_runs r.r_accepted r.r_rejected r.r_mutated r.r_explained
+    (List.length r.r_failures)
+
+(* Reproducer file format: "key: value" header lines, then the minimized
+   input as space-separated terminal spellings (no spelling in the
+   benchmark grammars contains a space).  Example:
+
+     grammar: mini_java
+     seed: 42
+     run: 17
+     kind: crash
+     detail: llstar: Failure("...")
+     tokens: 'class' ID '{' '}'
+*)
+let write_reproducer ~dir ~seed ~run (d : Oracle.divergence)
+    (shrunk : string list) : string =
+  if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+  let file =
+    Filename.concat dir (Printf.sprintf "%s-seed%d-run%d.txt" d.Oracle.d_grammar seed run)
+  in
+  let oc = open_out file in
+  Printf.fprintf oc "grammar: %s\nseed: %d\nrun: %d\nkind: %s\ndetail: %s\ntokens: %s\n"
+    d.Oracle.d_grammar seed run d.Oracle.d_kind d.Oracle.d_detail
+    (String.concat " " shrunk);
+  close_out oc;
+  file
+
+type reproducer = {
+  rp_grammar : string;
+  rp_kind : string;
+  rp_tokens : string list;
+}
+
+(* Parse a reproducer file back; tolerant of unknown header keys. *)
+let read_reproducer (file : string) : (reproducer, string) result =
+  let ic = open_in file in
+  let grammar = ref None and kind = ref None and tokens = ref None in
+  (try
+     while true do
+       let line = input_line ic in
+       match String.index_opt line ':' with
+       | None -> ()
+       | Some i ->
+           let key = String.sub line 0 i in
+           let v =
+             String.trim (String.sub line (i + 1) (String.length line - i - 1))
+           in
+           if key = "grammar" then grammar := Some v
+           else if key = "kind" then kind := Some v
+           else if key = "tokens" then
+             tokens :=
+               Some (String.split_on_char ' ' v |> List.filter (fun s -> s <> ""))
+     done
+   with End_of_file -> close_in ic);
+  match (!grammar, !kind, !tokens) with
+  | Some g, Some k, Some t -> Ok { rp_grammar = g; rp_kind = k; rp_tokens = t }
+  | _ -> Error (Printf.sprintf "%s: missing grammar/kind/tokens header" file)
+
+(* Replay a reproducer against a fresh oracle: the input must no longer
+   produce any divergence (i.e. the bug it witnessed stays fixed). *)
+let replay (o : Oracle.t) (rp : reproducer) : Oracle.divergence list =
+  snd (Oracle.check o rp.rp_tokens)
+
+(* One fuzzing session over a single grammar spec. *)
+let run_spec ?(size = 30) ?(mutate = true) ?fuel ?time_cap ?corpus_dir
+    ~(seed : int) ~(runs : int) (spec : Workload.spec) :
+    (report, Llstar.Compiled.error) result =
+  match Oracle.create ?fuel ?time_cap spec with
+  | Error e -> Error e
+  | Ok o ->
+      let vocab = Oracle.(o.vocab) in
+      let accepted = ref 0 and rejected = ref 0 in
+      let mutated = ref 0 and explained = ref 0 in
+      let failures = ref [] in
+      for i = 0 to runs - 1 do
+        let rng = Grammar.Sentence_gen.rng_of_seed ~index:i seed in
+        match
+          Grammar.Sentence_gen.generate ?start:spec.Workload.gen_start
+            Oracle.(o.cw).Workload.gen ~rng ~size
+        with
+        | exception Grammar.Sentence_gen.Unproductive -> ()
+        | base ->
+            (* wildcard positions carry no spelling: substitute a vocabulary
+               token so every backend sees a concrete terminal *)
+            let base =
+              List.map
+                (fun s ->
+                  if s = "." && Array.length vocab > 0 then
+                    vocab.(Random.State.int rng (Array.length vocab))
+                  else s)
+                base
+            in
+            let names =
+              if mutate && i mod 2 = 1 then begin
+                incr mutated;
+                let count = 1 + Random.State.int rng 3 in
+                let _ops, arr =
+                  Mutate.mutate rng ~vocab ~count (Array.of_list base)
+                in
+                Array.to_list arr
+              end
+              else base
+            in
+            let outcome, divs = Oracle.check o names in
+            (match outcome.Oracle.o_llstar with
+            | Oracle.Accept -> incr accepted
+            | _ -> incr rejected);
+            if outcome.Oracle.o_explained then incr explained;
+            List.iter
+              (fun (d : Oracle.divergence) ->
+                let shrunk =
+                  Oracle.shrink
+                    ~failing:(fun cand ->
+                      List.exists
+                        (fun (d' : Oracle.divergence) ->
+                          d'.Oracle.d_kind = d.Oracle.d_kind)
+                        (snd (Oracle.check o cand)))
+                    d.Oracle.d_tokens
+                in
+                let file =
+                  Option.map
+                    (fun dir -> write_reproducer ~dir ~seed ~run:i d shrunk)
+                    corpus_dir
+                in
+                failures :=
+                  { f_divergence = d; f_shrunk = shrunk; f_run = i; f_file = file }
+                  :: !failures)
+              divs
+      done;
+      Ok
+        {
+          r_grammar = spec.Workload.name;
+          r_runs = runs;
+          r_accepted = !accepted;
+          r_rejected = !rejected;
+          r_mutated = !mutated;
+          r_explained = !explained;
+          r_failures = List.rev !failures;
+        }

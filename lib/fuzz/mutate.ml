@@ -1,0 +1,72 @@
+(* Token-level mutation engine for the differential fuzzer.
+
+   Inputs are sentences represented as arrays of terminal spellings
+   (["'class'"], ["ID"], ...).  Four mutation operators exercise the error
+   and recovery paths of every backend: dropping a token, swapping two
+   tokens, duplicating a token, and substituting a token with another
+   spelling drawn from the grammar's vocabulary
+   ([Grammar.Sentence_gen.vocabulary]).  All randomness flows through the
+   caller-supplied [Random.State.t], so a (seed, run-index) pair fully
+   determines the mutation sequence. *)
+
+type op =
+  | Drop of int
+  | Swap of int * int
+  | Dup of int
+  | Subst of int * string
+
+let pp_op ppf = function
+  | Drop i -> Fmt.pf ppf "drop@%d" i
+  | Swap (i, j) -> Fmt.pf ppf "swap@%d,%d" i j
+  | Dup i -> Fmt.pf ppf "dup@%d" i
+  | Subst (i, name) -> Fmt.pf ppf "subst@%d=%s" i name
+
+let apply (op : op) (toks : string array) : string array =
+  let n = Array.length toks in
+  match op with
+  | Drop i when i < n ->
+      Array.init (n - 1) (fun k -> if k < i then toks.(k) else toks.(k + 1))
+  | Swap (i, j) when i < n && j < n ->
+      let a = Array.copy toks in
+      let tmp = a.(i) in
+      a.(i) <- a.(j);
+      a.(j) <- tmp;
+      a
+  | Dup i when i < n ->
+      Array.init (n + 1) (fun k ->
+          if k <= i then toks.(k) else toks.(k - 1))
+  | Subst (i, name) when i < n ->
+      let a = Array.copy toks in
+      a.(i) <- name;
+      a
+  | _ -> toks (* out-of-range op on a shrunk array: identity *)
+
+(* Draw one operator applicable to [toks]; [None] on an empty sentence
+   (every operator needs a position). *)
+let random_op (rng : Random.State.t) ~(vocab : string array)
+    (toks : string array) : op option =
+  let n = Array.length toks in
+  if n = 0 then None
+  else
+    let pos () = Random.State.int rng n in
+    let kinds = if Array.length vocab = 0 then 3 else 4 in
+    match Random.State.int rng kinds with
+    | 0 -> Some (Drop (pos ()))
+    | 1 -> Some (Swap (pos (), pos ()))
+    | 2 -> Some (Dup (pos ()))
+    | _ -> Some (Subst (pos (), vocab.(Random.State.int rng (Array.length vocab))))
+
+(* Apply [count] random operators in sequence; returns the ops actually
+   applied (oldest first) and the mutated sentence. *)
+let mutate (rng : Random.State.t) ~(vocab : string array) ~(count : int)
+    (toks : string array) : op list * string array =
+  let ops = ref [] in
+  let cur = ref toks in
+  for _ = 1 to count do
+    match random_op rng ~vocab !cur with
+    | None -> ()
+    | Some op ->
+        ops := op :: !ops;
+        cur := apply op !cur
+  done;
+  (List.rev !ops, !cur)

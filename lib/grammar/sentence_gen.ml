@@ -47,6 +47,30 @@ let prepare (grammar : Ast.t) : t =
   done;
   { grammar; min_cost }
 
+(* Every terminal spelling the grammar mentions, in first-occurrence order
+   (wildcards excluded): the substitution vocabulary for fuzzing mutations. *)
+let vocabulary t : string list =
+  let seen = Hashtbl.create 32 in
+  let out = ref [] in
+  let add name =
+    if not (Hashtbl.mem seen name) then begin
+      Hashtbl.add seen name ();
+      out := name :: !out
+    end
+  in
+  let rec elem = function
+    | Term name -> add name
+    | Wild | Nonterm _ | Sem_pred _ | Prec_pred _ | Action _ -> ()
+    | Syn_pred alts | Block { alts; _ } -> List.iter alt alts
+  and alt a = List.iter elem a.elems in
+  List.iter (fun r -> List.iter alt r.rule_alts) t.grammar.rules;
+  List.rev !out
+
+(* Deterministic per-sentence RNG: independent streams for (seed, index), so
+   a fuzz run can regenerate sentence [i] without replaying 0..i-1. *)
+let rng_of_seed ?(index = 0) seed : Random.State.t =
+  Random.State.make [| 0x5eed; seed; index |]
+
 let alt_cost t (a : alt) =
   let rule_cost name =
     match Hashtbl.find_opt t.min_cost name with Some c -> c | None -> big

@@ -12,6 +12,15 @@ type t
 val prepare : Ast.t -> t
 (** Precompute minimal terminal yields per rule. *)
 
+val vocabulary : t -> string list
+(** Every terminal spelling the grammar mentions, in first-occurrence order
+    (wildcards excluded): the substitution vocabulary for fuzzing
+    mutations. *)
+
+val rng_of_seed : ?index:int -> int -> Random.State.t
+(** Deterministic RNG for sentence [index] of a seeded run: independent
+    streams per [(seed, index)] pair. *)
+
 exception Unproductive
 (** Raised when generation cannot terminate: some reachable rule has no
     finite-yield derivation. *)

@@ -31,12 +31,20 @@ type compiled = {
   gen : Grammar.Sentence_gen.t; (* over the surface grammar *)
 }
 
+let compile_result (spec : spec) : (compiled, Llstar.Compiled.error) result =
+  match Llstar.Compiled.of_source spec.grammar_text with
+  | Error e -> Error e
+  | Ok c ->
+      let surface = c.Llstar.Compiled.surface in
+      Ok { spec; c; gen = Grammar.Sentence_gen.prepare surface }
+
+(* Thin wrapper for tests and benches; production callers (the CLI) use
+   [compile_result] and surface the error themselves. *)
 let compile (spec : spec) : compiled =
-  let c =
-    Llstar.Compiled.of_source_exn spec.grammar_text
-  in
-  let surface = c.Llstar.Compiled.surface in
-  { spec; c; gen = Grammar.Sentence_gen.prepare surface }
+  match compile_result spec with
+  | Ok cw -> cw
+  | Error e ->
+      failwith (Fmt.str "%s: %a" spec.name Llstar.Compiled.pp_error e)
 
 let lex (cw : compiled) (text : string) :
     (Runtime.Token.t array, Runtime.Lexer_engine.error) result =

@@ -65,6 +65,9 @@ type t = {
   max_errors : int;
   (* lazily computed panic-mode sync sets: rule -> terminals that can follow *)
   follow_cache : (int, (int, unit) Hashtbl.t) Hashtbl.t;
+  (* FIRST/nullability over the prepared grammar's BNF skeleton, computed on
+     the first recovery and reused for every sync set *)
+  mutable ff : Grammar.First_follow.t option;
 }
 
 let atn t = t.c.Llstar.Compiled.atn
@@ -105,7 +108,9 @@ let prediction_error t ~decision ~depth rule =
 let rec eval_synpred t (rule : int) : bool * int =
   let start = Token_stream.mark t.ts in
   let saved_hw = Token_stream.high_water t.ts in
-  Token_stream.set_high_water t.ts start;
+  (* [start - 1]: the speculation has examined nothing yet, so an empty
+     synpred fragment reports a reach of 0, not 1 *)
+  Token_stream.set_high_water t.ts (start - 1);
   t.speculating <- t.speculating + 1;
   let ok =
     match parse_rule t rule ~prec:0 ~building:false with
@@ -378,15 +383,38 @@ and parse_rule t (rule : int) ~prec ~building : Tree.t list =
 (* ------------------------------------------------------------------ *)
 (* Panic-mode recovery: sync to a token that can follow the current rule. *)
 
+let first_follow t : Grammar.First_follow.t =
+  match t.ff with
+  | Some ff -> ff
+  | None ->
+      let ff =
+        Grammar.First_follow.compute
+          (Grammar.Bnf.convert (atn t).Atn.grammar)
+      in
+      t.ff <- Some ff;
+      ff
+
 let follow_set t (rule : int) : (int, unit) Hashtbl.t =
   match Hashtbl.find_opt t.follow_cache rule with
   | Some s -> s
   | None ->
       let a = atn t in
+      let ff = first_follow t in
       let set = Hashtbl.create 8 in
       Hashtbl.replace set Grammar.Sym.eof ();
-      (* Terminals reachable (through epsilon closure, strong-LL style) from
-         any call site's follow state. *)
+      let add_term_name name =
+        if name = "." then Hashtbl.replace set Grammar.Sym.wildcard ()
+        else
+          match Grammar.Sym.find_term a.Atn.sym name with
+          | Some id -> Hashtbl.replace set id ()
+          | None -> ()
+      in
+      (* Terminals that can appear right after the rule in any calling
+         context: walk forward from every call site's follow state.  A
+         [Rule] edge contributes the callee's FIRST set and, when the
+         callee is nullable, continues past it to the state after the
+         call; a stop state continues into every caller of its rule
+         (transitive FOLLOW). *)
       let seen = Hashtbl.create 32 in
       let rec go s =
         if not (Hashtbl.mem seen s) then begin
@@ -401,9 +429,10 @@ let follow_set t (rule : int) : (int, unit) Hashtbl.t =
                 match edge with
                 | Atn.Term term -> Hashtbl.replace set term ()
                 | Atn.Rule { rule = callee; _ } ->
-                    go a.Atn.rules.(callee).Atn.r_entry
-                    (* conservative: also continue past nullable callees *)
-                    (* fallthrough below *)
+                    let cname = Atn.rule_name a callee in
+                    Grammar.First_follow.SS.iter add_term_name
+                      (Grammar.First_follow.first_of ff cname);
+                    if Grammar.First_follow.is_nullable ff cname then go tgt
                 | Atn.Eps | Atn.Pred _ | Atn.Act _ -> go tgt)
               a.Atn.trans.(s)
         end
@@ -414,9 +443,12 @@ let follow_set t (rule : int) : (int, unit) Hashtbl.t =
 
 let recover_to_follow t rule =
   let follow = follow_set t rule in
+  (* a wildcard in the sync set means any token can follow the rule *)
+  let any = Hashtbl.mem follow Grammar.Sym.wildcard in
   let rec skip () =
     let la1 = Token_stream.la t.ts 1 in
-    if la1 <> Grammar.Sym.eof && not (Hashtbl.mem follow la1) then begin
+    if la1 <> Grammar.Sym.eof && (not any) && not (Hashtbl.mem follow la1)
+    then begin
       ignore (Token_stream.consume t.ts);
       skip ()
     end
@@ -450,6 +482,7 @@ let create ?(env = default_env) ?profile ?(recover = false)
     errors = [];
     max_errors;
     follow_cache = Hashtbl.create 16;
+    ff = None;
   }
 
 let start_rule_id t = function

@@ -11,7 +11,8 @@ type t = {
   mutable hw : int; (* furthest index examined *)
 }
 
-let of_array toks = { toks; p = 0; hw = 0 }
+(* hw = -1: no index has been examined until the first [lt]/[la] call *)
+let of_array toks = { toks; p = 0; hw = -1 }
 
 let size t = Array.length t.toks
 

@@ -31,4 +31,6 @@ val seek : t -> int -> unit
 val at_eof : t -> bool
 
 val high_water : t -> int
+(** Furthest index examined so far; [-1] until the first [lt]/[la] call. *)
+
 val set_high_water : t -> int -> unit

@@ -238,6 +238,79 @@ let props =
             in
             r1 = r2
         | _ -> true);
+    (* The two differential-oracle invariants (lib/fuzz) restated as
+       properties over random grammars: PEG acceptance implies PEG-mode
+       LL-star acceptance (the DFA may resolve decisions PEG would
+       prefix-commit on, so LL-star can accept strictly more -- that is the
+       paper's pitch -- but never less), and on LL(1)-clean grammars
+       LL-star agrees with Earley in both directions. *)
+    qtest ~count:80 "packrat acceptance implies PEG-mode LL(*) acceptance"
+      (QCheck.pair arb_grammar_and_sentence
+         (QCheck.list_of_size (Gen.int_bound 6) (QCheck.int_bound 4)))
+      (fun ((g, sentence), word) ->
+        let peg =
+          {
+            g with
+            Grammar.Ast.options =
+              { g.Grammar.Ast.options with Grammar.Ast.backtrack = true };
+          }
+        in
+        match compile_rand peg with
+        | None -> true
+        | Some c ->
+            let pk = Baselines.Packrat.create ~memoize:true peg in
+            let agree names =
+              let toks = tokens_of_names c names in
+              let llstar =
+                match Runtime.Interp.recognize c toks with
+                | Ok () -> true
+                | Error _ -> false
+              in
+              match
+                Baselines.Packrat.recognize ~budget:500_000 pk
+                  (Llstar.Compiled.sym c) toks ()
+              with
+              | exception Baselines.Packrat.Give_up -> true (* fuel: skip *)
+              | packrat ->
+                  QCheck.(
+                    if packrat && not llstar then
+                      Test.fail_reportf "packrat=%b llstar=%b on %s" packrat
+                        llstar (String.concat " " names)
+                    else true)
+            in
+            let on_sentence =
+              match sentence with None -> true | Some s -> agree s
+            in
+            on_sentence && agree (List.map (fun i -> terminals.(i)) word));
+    qtest ~count:80 "Earley agreement on LL(1)-clean grammars"
+      (QCheck.pair arb_grammar_and_sentence
+         (QCheck.list_of_size (Gen.int_bound 6) (QCheck.int_bound 4)))
+      (fun ((g, sentence), word) ->
+        let t = Baselines.Ll1.of_grammar g in
+        if not (Baselines.Ll1.is_ll1 t) then true
+        else
+          match compile_rand g with
+          | None -> true
+          | Some c ->
+              let e = Baselines.Earley.of_grammar g in
+              let agree names =
+                let toks = tokens_of_names c names in
+                let llstar =
+                  match Runtime.Interp.recognize c toks with
+                  | Ok () -> true
+                  | Error _ -> false
+                in
+                let earley = Baselines.Earley.recognize e (Array.of_list names) in
+                QCheck.(
+                  if earley <> llstar then
+                    Test.fail_reportf "earley=%b llstar=%b on %s" earley llstar
+                      (String.concat " " names)
+                  else true)
+              in
+              let on_sentence =
+                match sentence with None -> true | Some s -> agree s
+              in
+              on_sentence && agree (List.map (fun i -> terminals.(i)) word));
     qtest ~count:80 "minimization preserves acceptance and yield"
       arb_grammar_and_sentence (fun (g, sentence) ->
         let opts_min =
