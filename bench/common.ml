@@ -105,6 +105,23 @@ let corpus ?(target_tokens = default_target_tokens) (spec : Workload.spec) :
       Hashtbl.add corpus_cache spec.name c;
       c
 
+(* Telemetry collection: every bench registers the machine-readable version
+   of what it printed under a stable key; [bench/main.ml --json FILE] wraps
+   the collected entries in an antlrkit-telemetry/1 document.  Keys are
+   "<bench>.<grammar-or-case>", and re-adding a key overwrites (last run
+   wins), so repeating a bench on the command line stays well-formed. *)
+module Tel = struct
+  let entries : (string, Obs.Json.t) Hashtbl.t = Hashtbl.create 64
+  let order : string list ref = ref []
+
+  let add (key : string) (doc : Obs.Json.t) : unit =
+    if not (Hashtbl.mem entries key) then order := key :: !order;
+    Hashtbl.replace entries key doc
+
+  let all () : (string * Obs.Json.t) list =
+    List.rev_map (fun k -> (k, Hashtbl.find entries k)) !order
+end
+
 let hr () = Fmt.pr "%s@." (String.make 78 '-')
 
 let section title =

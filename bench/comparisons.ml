@@ -162,7 +162,17 @@ let speed () =
           else "       n/a"
         in
         Fmt.pr "%-10s %8.1fms %10.1fms %7.2fx %s %8d ent %8d ent@." spec.name
-          (ll *. 1000.) (v2 *. 1000.) (v2 /. ll) pk ll_memo v2_memo
+          (ll *. 1000.) (v2 *. 1000.) (v2 /. ll) pk ll_memo v2_memo;
+        Common.Tel.add
+          ("speed." ^ spec.name)
+          (Obs.Json.obj
+             [
+               ("llstar_s", Obs.Json.float ll);
+               ("v2_s", Obs.Json.float v2);
+               ("v2_ratio", Obs.Json.float (v2 /. ll));
+               ("llstar_memo_entries", Obs.Json.int ll_memo);
+               ("v2_memo_entries", Obs.Json.int v2_memo);
+             ])
       end)
     specs;
   Fmt.pr
@@ -327,7 +337,7 @@ expr : INT | '-' expr ;
         (match Runtime.Interp.recognize ~profile c toks with
         | Ok () -> ()
         | Error _ -> Fmt.pr "  !! m=%d rejected input d=%d@." m d);
-        profile.Runtime.Profile.back_events
+        Runtime.Profile.back_events profile
       in
       let marks =
         List.map

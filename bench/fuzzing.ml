@@ -23,5 +23,14 @@ let run () =
             (float_of_int r.Fuzz.Driver.r_runs /. dt)
             r.Fuzz.Driver.r_accepted r.Fuzz.Driver.r_rejected
             r.Fuzz.Driver.r_explained
-            (List.length r.Fuzz.Driver.r_failures))
+            (List.length r.Fuzz.Driver.r_failures);
+          Common.Tel.add
+            ("fuzz." ^ spec.Workload.name)
+            (Obs.Json.obj
+               [
+                 ("wall_s", Obs.Json.float dt);
+                 ( "runs_per_s",
+                   Obs.Json.float (float_of_int r.Fuzz.Driver.r_runs /. dt) );
+                 ("report", Fuzz.Driver.report_to_json ~seed:42 r);
+               ]))
     Fuzz.Driver.all_specs

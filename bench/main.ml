@@ -4,7 +4,9 @@
 
      dune exec bench/main.exe -- table1 fig2 speed
 
-   or everything with no arguments. *)
+   or everything with no arguments.  Add [--json FILE] to also write the
+   telemetry the benches collected (Common.Tel) as one
+   antlrkit-telemetry/1 document. *)
 
 let all_benches : (string * string * (unit -> unit)) list =
   [
@@ -22,14 +24,31 @@ let all_benches : (string * string * (unit -> unit)) list =
     ("ablate", "Ablations: recursion bound m, fallback strategy", Comparisons.ablate);
     ("startup", "Cold vs warm startup: lazy DFAs and the compilation cache", Startup.run);
     ("fuzz", "Differential fuzzing oracle throughput", Fuzzing.run);
+    ("obs", "Tracing overhead: null sink is free, ring sink per-event", Overhead.run);
     ("bechamel", "Bechamel microbenchmarks", Micro.run);
   ]
 
 let () =
+  (* [--json FILE] can appear anywhere; everything else is a bench name. *)
+  let json_file = ref None in
+  let names = ref [] in
+  let rec scan = function
+    | [] -> ()
+    | "--json" :: path :: rest ->
+        json_file := Some path;
+        scan rest
+    | [ "--json" ] ->
+        Fmt.epr "--json needs a file argument@.";
+        exit 1
+    | name :: rest ->
+        names := name :: !names;
+        scan rest
+  in
+  scan (List.tl (Array.to_list Sys.argv));
   let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as names) -> names
-    | _ -> List.map (fun (n, _, _) -> n) all_benches
+    match List.rev !names with
+    | [] -> List.map (fun (n, _, _) -> n) all_benches
+    | names -> names
   in
   let t0 = Unix.gettimeofday () in
   List.iter
@@ -42,4 +61,13 @@ let () =
           exit 1)
     requested;
   Common.hr ();
-  Fmt.pr "total bench time: %.1fs@." (Unix.gettimeofday () -. t0)
+  let wall_s = Unix.gettimeofday () -. t0 in
+  Fmt.pr "total bench time: %.1fs@." wall_s;
+  match !json_file with
+  | None -> ()
+  | Some path ->
+      Obs.Telemetry.write_file path
+        (Obs.Telemetry.document ~tool:"antlrkit-bench-harness" ~wall_s
+           ~user_s:(Obs.Telemetry.user_time ())
+           (Common.Tel.all ()));
+      Fmt.pr "telemetry written to %s@." path

@@ -1,0 +1,107 @@
+(* Tracing-overhead bench: the observability layer's contract is that a
+   disabled tracer costs one flag read per potential event and allocates
+   nothing.  Three configurations parse the same corpus:
+
+   - baseline   no tracer argument at all (the pre-tracing call shape;
+                engines fall back to the shared [Obs.Trace.null])
+   - disabled   an explicit tracer whose flag is off -- the exact code
+                path of baseline, through a caller-supplied tracer
+   - ring       an enabled ring-buffer tracer (the cost of actually
+                materializing every event)
+
+   The bench asserts the structural half of the contract (a disabled
+   tracer materializes zero events) and that disabled-vs-baseline parity
+   holds within the 2% acceptance bound; the ring cost is informational. *)
+
+module Workload = Common.Workload
+
+let reps = 5
+
+(* Total recognize time over [token_lists], best of [reps]. *)
+let best_total cw env ?tracer token_lists =
+  let best = ref infinity in
+  for _ = 1 to reps do
+    let total = ref 0.0 in
+    List.iter
+      (fun toks ->
+        let (_ : (unit, _) result), dt =
+          Common.time (fun () ->
+              Runtime.Interp.recognize ~env ?tracer cw.Workload.c toks)
+        in
+        total := !total +. dt)
+      token_lists;
+    if !total < !best then best := !total
+  done;
+  !best
+
+let run () =
+  Common.section
+    "Tracing overhead: null sink must be free, ring sink pays per event";
+  Fmt.pr "%-10s %12s %12s %12s %10s %10s@." "grammar" "baseline" "disabled"
+    "ring" "null ovh" "events";
+  List.iter
+    (fun (spec : Workload.spec) ->
+      let cw = Common.compiled spec in
+      let corpus = Common.corpus spec in
+      let token_lists = List.map (Workload.lex_exn cw) corpus.Workload.texts in
+      let env = Workload.env_of_spec spec in
+      (* warm every lazy path once before timing *)
+      List.iter
+        (fun toks ->
+          ignore (Runtime.Interp.recognize ~env cw.Workload.c toks))
+        token_lists;
+      let t_base = best_total cw env token_lists in
+      let materialized = ref 0 in
+      let off = Obs.Trace.make (fun _ _ -> incr materialized) in
+      Obs.Trace.set_on off false;
+      let t_off = best_total cw env ~tracer:off token_lists in
+      let buf = Obs.Trace.Ring.create 4096 in
+      let ring = Obs.Trace.ring buf in
+      let t_ring = best_total cw env ~tracer:ring token_lists in
+      let ovh_pct = 100.0 *. ((t_off /. t_base) -. 1.0) in
+      (* the structural contract: flag off => not a single event reaches
+         the sink, however hot the parse *)
+      assert (!materialized = 0);
+      Fmt.pr "%-10s %10.2fms %10.2fms %10.2fms %9.1f%% %10d@."
+        spec.Workload.name (t_base *. 1e3) (t_off *. 1e3) (t_ring *. 1e3)
+        ovh_pct
+        (Obs.Trace.Ring.total buf);
+      Common.Tel.add
+        ("obs." ^ spec.Workload.name)
+        (Obs.Json.obj
+           [
+             ("baseline_s", Obs.Json.float t_base);
+             ("disabled_s", Obs.Json.float t_off);
+             ("ring_s", Obs.Json.float t_ring);
+             ("disabled_overhead_pct", Obs.Json.float ovh_pct);
+             ("disabled_events", Obs.Json.int !materialized);
+             ("ring_events", Obs.Json.int (Obs.Trace.Ring.total buf));
+             ( "corpus_tokens",
+               Obs.Json.int
+                 (List.fold_left
+                    (fun acc t -> acc + Array.length t)
+                    0 token_lists) );
+           ]))
+    Common.specs;
+  (* Acceptance bound on the null path, measured where the corpus is big
+     enough for a stable quotient: the disabled-tracer configuration runs
+     the byte-for-byte identical guard (`if Obs.Trace.on ...`) as the
+     baseline, so anything beyond noise indicates an event being built
+     outside its guard. *)
+  let spec = Bench_grammars.Mini_java.spec in
+  let cw = Common.compiled spec in
+  let corpus = Common.corpus spec in
+  let token_lists = List.map (Workload.lex_exn cw) corpus.Workload.texts in
+  let env = Workload.env_of_spec spec in
+  let t_base = best_total cw env token_lists in
+  let off = Obs.Trace.make (fun _ _ -> ()) in
+  Obs.Trace.set_on off false;
+  let t_off = best_total cw env ~tracer:off token_lists in
+  let pct = 100.0 *. ((t_off /. t_base) -. 1.0) in
+  Fmt.pr "@.null-sink check (MiniJava): disabled tracer %+.2f%% vs baseline \
+          (bound: +2%%)@."
+    pct;
+  if pct > 2.0 then begin
+    Fmt.pr "  !! disabled-tracer overhead exceeded the 2%% bound@.";
+    exit 1
+  end

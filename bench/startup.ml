@@ -30,14 +30,28 @@ let rm_rf dir =
     Sys.rmdir dir
   end
 
-let run () =
-  Common.section
-    "Startup: eager analysis vs lazy construction vs persistent-cache hit";
+(* Every measurement gets its own cache directory.  The harness previously
+   reused one directory across grammars and across the cold/warm phases, so
+   a measurement could observe blobs left behind by an earlier one (and a
+   crashed run could poison the next); a unique fresh directory per
+   measurement makes cold genuinely cold, and the directory is recorded in
+   the telemetry entry so a JSON consumer can tell measurements apart. *)
+let dir_counter = ref 0
+
+let fresh_cache_dir () =
+  incr dir_counter;
   let dir =
     Filename.concat
       (Filename.get_temp_dir_name ())
-      (Printf.sprintf "antlrkit-bench-cache-%d" (Unix.getpid ()))
+      (Printf.sprintf "antlrkit-bench-cache-%d-%d" (Unix.getpid ())
+         !dir_counter)
   in
+  rm_rf dir;
+  dir
+
+let run () =
+  Common.section
+    "Startup: eager analysis vs lazy construction vs persistent-cache hit";
   Fmt.pr "%-10s %11s %10s %13s %10s %9s@." "grammar" "eager(ms)" "lazy(ms)"
     "lazy+1st(ms)" "cache(ms)" "speedup";
   List.iter
@@ -66,7 +80,7 @@ let run () =
             in
             ignore (Runtime.Interp.recognize ~env c toks))
       in
-      rm_rf dir;
+      let dir = fresh_cache_dir () in
       (match Llstar.Compiled_cache.of_source ~dir src with
       | Ok (_, Llstar.Compiled_cache.Miss) -> ()
       | Ok (_, Llstar.Compiled_cache.Hit) | Error _ ->
@@ -78,10 +92,22 @@ let run () =
                 assert (Llstar.Compiled.from_cache c)
             | _ -> failwith "expected a cache hit")
       in
+      rm_rf dir;
       let ms x = x *. 1e3 in
       Fmt.pr "%-10s %11.2f %10.2f %13.2f %10.2f %8.1fx@." spec.Workload.name
         (ms t_eager) (ms t_lazy) (ms t_lazy_first) (ms t_cache)
-        (t_eager /. t_cache))
+        (t_eager /. t_cache);
+      Common.Tel.add
+        ("startup." ^ spec.Workload.name)
+        (Obs.Json.obj
+           [
+             ("eager_s", Obs.Json.float t_eager);
+             ("lazy_s", Obs.Json.float t_lazy);
+             ("lazy_first_parse_s", Obs.Json.float t_lazy_first);
+             ("cache_hit_s", Obs.Json.float t_cache);
+             ("speedup", Obs.Json.float (t_eager /. t_cache));
+             ("cache_dir", Obs.Json.str dir);
+             ("reps", Obs.Json.int reps);
+           ]))
     Common.specs;
-  rm_rf dir;
   Fmt.pr "speedup = eager analysis time / cache-hit load time@."

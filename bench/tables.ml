@@ -26,6 +26,7 @@ let table1 () =
       Fmt.pr "%-10s %7d %6d %6d %7d %10d %8.2fs@." spec.name
         (Llstar.Report.count_lines spec.grammar_text)
         r.n r.fixed r.cyclic r.backtrack dt;
+      Common.Tel.add ("table1." ^ spec.name) (Llstar.Report.to_json r);
       Fmt.pr "%-10s %6d] %5d] %5d] %6d] %9d] %7.1fs]@."
         ("[" ^ p)
         plines pn pfix pcyc pback pt)
@@ -110,6 +111,15 @@ let table3 () =
         (Runtime.Profile.back_k profile)
         (Runtime.Profile.max_k profile)
         (float_of_int corpus.lines /. dt);
+      Common.Tel.add
+        ("table3." ^ spec.name)
+        (Obs.Json.obj
+           [
+             ("corpus_lines", Obs.Json.int corpus.lines);
+             ("parse_s", Obs.Json.float dt);
+             ("lines_per_s", Obs.Json.float (float_of_int corpus.lines /. dt));
+             ("profile", Runtime.Profile.to_json profile);
+           ]);
       Fmt.pr "%-10s %26s %7.2f] %7.2f] %6d]@." ("[" ^ p) "" pavg pback pmax)
     specs;
   Fmt.pr
@@ -130,9 +140,19 @@ let table4 () =
       let pcan, pdid, pevpct, prate = paper_table4 p in
       Fmt.pr "%-10s %9d %9d %10d %10.2f%% %9.2f%%@." spec.name r.backtrack
         (Runtime.Profile.decisions_that_backtracked profile)
-        profile.Runtime.Profile.events
+        (Runtime.Profile.events profile)
         (Runtime.Profile.backtrack_event_rate profile)
         (Runtime.Profile.backtrack_rate_at_pbds profile);
+      Common.Tel.add
+        ("table4." ^ spec.name)
+        (Obs.Json.obj
+           [
+             ("can_back", Obs.Json.int r.backtrack);
+             ( "did_back",
+               Obs.Json.int (Runtime.Profile.decisions_that_backtracked profile)
+             );
+             ("profile", Runtime.Profile.to_json profile);
+           ]);
       Fmt.pr "%-10s %8d] %8d] %21.2f%%] %8.2f%%]@." ("[" ^ p) pcan pdid pevpct
         prate)
     specs;

@@ -25,7 +25,7 @@ let grammar_arg =
     & pos 0 (some file) None
     & info [] ~docv:"GRAMMAR" ~doc:"Grammar file in the ANTLR-like metalanguage.")
 
-let compile_grammar ?cache_dir ?(lazy_ = false) path =
+let compile_grammar ?cache_dir ?tracer ?(lazy_ = false) path =
   let strategy =
     if lazy_ then Llstar.Compiled.Lazy else Llstar.Compiled.Eager
   in
@@ -34,7 +34,7 @@ let compile_grammar ?cache_dir ?(lazy_ = false) path =
     match cache_dir with
     | None -> Llstar.Compiled.of_source ~strategy src
     | Some dir -> (
-        match Llstar.Compiled_cache.of_source ~strategy ~dir src with
+        match Llstar.Compiled_cache.of_source ?tracer ~strategy ~dir src with
         | Ok (c, outcome) ->
             Fmt.epr "[cache] %s@."
               (match outcome with
@@ -67,6 +67,46 @@ let lazy_arg =
         ~doc:
           "Build lookahead DFAs lazily at prediction time instead of \
            analyzing every decision up front.")
+
+(* --- structured tracing flags ------------------------------------------ *)
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write structured prediction-trace events to $(docv).  The \
+           default format is the Chrome trace_event JSON array: load it in \
+           Perfetto (ui.perfetto.dev) or chrome://tracing to see the parse \
+           as a timeline.")
+
+let trace_format_arg =
+  Arg.(
+    value
+    & opt (enum [ ("chrome", `Chrome); ("jsonl", `Jsonl) ]) `Chrome
+    & info [ "trace-format" ]
+        ~doc:
+          "Trace file format: $(b,chrome) (trace_event JSON array) or \
+           $(b,jsonl) (one JSON object per line).")
+
+(* The tracer for --trace plus a closer that finalizes the file; the closer
+   must run before the process exits, including on error paths. *)
+let make_tracer trace_file trace_format : Obs.Trace.t * (unit -> unit) =
+  match trace_file with
+  | None -> (Obs.Trace.null, fun () -> ())
+  | Some path -> (
+      let oc = open_out path in
+      match trace_format with
+      | `Chrome ->
+          let tr, close = Obs.Trace.chrome_sink oc in
+          ( tr,
+            fun () ->
+              close ();
+              close_out oc )
+      | `Jsonl ->
+          let tr = Obs.Trace.jsonl oc in
+          (tr, fun () -> close_out oc))
 
 (* --- lexer configuration flags ---------------------------------------- *)
 
@@ -186,15 +226,20 @@ let atn_cmd =
 (* --- parse ------------------------------------------------------------- *)
 
 let parse_cmd =
-  let run grammar input config start show_tree profile_flag recover cache_dir
-      lazy_ =
-    let c = compile_grammar ?cache_dir ~lazy_ grammar in
+  let run grammar input config start show_tree profile_flag verbose recover
+      cache_dir lazy_ trace_file trace_format =
+    let tracer, close_trace = make_tracer trace_file trace_format in
+    let quit code =
+      close_trace ();
+      exit code
+    in
+    let c = compile_grammar ?cache_dir ~tracer ~lazy_ grammar in
     let sym = Llstar.Compiled.sym c in
     let text = read_file input in
-    match Runtime.Lexer_engine.tokenize config sym text with
+    match Runtime.Lexer_engine.tokenize ~tracer config sym text with
     | Error e ->
         Fmt.epr "%s: lex error: %a@." input Runtime.Lexer_engine.pp_error e;
-        exit 1
+        quit 1
     | Ok toks -> (
         let profile = Runtime.Profile.create () in
         (* Re-save a lazy compilation after parsing: the blob then carries
@@ -205,18 +250,28 @@ let parse_cmd =
               ignore (Llstar.Compiled_cache.save ~dir c)
           | _ -> ()
         in
-        match Runtime.Interp.parse ~profile ~recover ?start c toks with
+        let show_profile () =
+          if profile_flag then begin
+            Fmt.pr "%a@." Runtime.Profile.pp profile;
+            if verbose then Fmt.pr "%a" Runtime.Profile.pp_decisions profile
+          end
+        in
+        match
+          Runtime.Interp.parse ~profile ~tracer ~recover ?start c toks
+        with
         | Ok tree ->
             Fmt.pr "parsed %d tokens@." (Array.length toks);
             if show_tree then
               Fmt.pr "%s@." (Runtime.Tree.to_string sym tree);
-            if profile_flag then Fmt.pr "%a@." Runtime.Profile.pp profile;
-            resave ()
+            show_profile ();
+            resave ();
+            close_trace ()
         | Error errors ->
             List.iter
               (fun e -> Fmt.epr "%a@." (Runtime.Parse_error.pp sym) e)
               errors;
-            exit 1)
+            show_profile ();
+            quit 1)
   in
   let input =
     Arg.(required & pos 1 (some file) None & info [] ~docv:"INPUT" ~doc:"Input file.")
@@ -226,12 +281,19 @@ let parse_cmd =
   in
   let tree = Arg.(value & flag & info [ "t"; "tree" ] ~doc:"Print the parse tree.") in
   let profile = Arg.(value & flag & info [ "p"; "profile" ] ~doc:"Print the decision profile.") in
+  let verbose =
+    Arg.(
+      value & flag
+      & info [ "v"; "verbose" ]
+          ~doc:"With --profile, also print the per-decision table.")
+  in
   let recover = Arg.(value & flag & info [ "recover" ] ~doc:"Recover from syntax errors.") in
   Cmd.v
     (Cmd.info "parse" ~doc:"Parse an input file with an LL(*) parser for the grammar.")
     Term.(
       const run $ grammar_arg $ input $ lexer_config_term $ start $ tree
-      $ profile $ recover $ cache_dir_arg $ lazy_arg)
+      $ profile $ verbose $ recover $ cache_dir_arg $ lazy_arg $ trace_arg
+      $ trace_format_arg)
 
 (* --- gen --------------------------------------------------------------- *)
 
@@ -274,7 +336,8 @@ let gen_cmd =
 (* --- fuzz -------------------------------------------------------------- *)
 
 let fuzz_cmd =
-  let run seed runs grammar mutate corpus_dir size =
+  let run seed runs grammar mutate corpus_dir size profile_flag json_file =
+    let t0 = Unix.gettimeofday () in
     let specs =
       match grammar with
       | None -> Fuzz.Driver.all_specs
@@ -291,10 +354,17 @@ let fuzz_cmd =
               exit 2)
     in
     let any_failure = ref false in
+    let bench_docs = ref [] in
     List.iter
       (fun (spec : Bench_grammars.Workload.spec) ->
+        let profile =
+          if profile_flag || json_file <> None then
+            Some (Runtime.Profile.create ())
+          else None
+        in
         match
-          Fuzz.Driver.run_spec ~size ~mutate ?corpus_dir ~seed ~runs spec
+          Fuzz.Driver.run_spec ~size ~mutate ?corpus_dir ?profile ~seed ~runs
+            spec
         with
         | Error e ->
             Fmt.epr "%s: %a@." spec.Bench_grammars.Workload.name
@@ -302,6 +372,14 @@ let fuzz_cmd =
             exit 2
         | Ok report ->
             Fmt.pr "%a@." Fuzz.Driver.pp_report report;
+            (if profile_flag then
+               match profile with
+               | Some p -> Fmt.pr "  %a@." Runtime.Profile.pp p
+               | None -> ());
+            bench_docs :=
+              ( spec.Bench_grammars.Workload.name,
+                Fuzz.Driver.report_to_json ?profile ~seed report )
+              :: !bench_docs;
             List.iter
               (fun (f : Fuzz.Driver.failure) ->
                 any_failure := true;
@@ -313,6 +391,14 @@ let fuzz_cmd =
                   f.Fuzz.Driver.f_file)
               report.Fuzz.Driver.r_failures)
       specs;
+    (match json_file with
+    | Some path ->
+        Obs.Telemetry.write_file path
+          (Obs.Telemetry.document ~tool:"antlrkit-fuzz"
+             ~wall_s:(Unix.gettimeofday () -. t0)
+             ~user_s:(Obs.Telemetry.user_time ())
+             (List.rev !bench_docs))
+    | None -> ());
     if !any_failure then begin
       Fmt.epr "fuzz: unexplained divergences found@.";
       exit 1
@@ -345,17 +431,147 @@ let fuzz_cmd =
   let size =
     Arg.(value & opt int 30 & info [ "size" ] ~doc:"Approximate sentence size.")
   in
+  let profile =
+    Arg.(
+      value & flag
+      & info [ "p"; "profile" ]
+          ~doc:"Print the LL(*) decision profile accumulated per grammar.")
+  in
+  let json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:
+            "Write a machine-readable telemetry document (per-grammar \
+             verdict counts, failures and decision profiles) to $(docv).")
+  in
   Cmd.v
     (Cmd.info "fuzz"
        ~doc:
          "Differential fuzzing: generated (and mutated) sentences are run \
           through the LL(*), packrat, Earley and LL(1) recognizers and any \
           unexplained disagreement, crash or hang is reported and shrunk.")
-    Term.(const run $ seed $ runs $ grammar $ mutate $ corpus_dir $ size)
+    Term.(
+      const run $ seed $ runs $ grammar $ mutate $ corpus_dir $ size $ profile
+      $ json)
+
+(* --- bench ------------------------------------------------------------- *)
+
+let bench_cmd =
+  let run grammar input config start iters warmup cache_dir lazy_ json_file =
+    let t0 = Unix.gettimeofday () in
+    let c = compile_grammar ?cache_dir ~lazy_ grammar in
+    let compile_s = Unix.gettimeofday () -. t0 in
+    let sym = Llstar.Compiled.sym c in
+    let text = read_file input in
+    match Runtime.Lexer_engine.tokenize config sym text with
+    | Error e ->
+        Fmt.epr "%s: lex error: %a@." input Runtime.Lexer_engine.pp_error e;
+        exit 1
+    | Ok toks ->
+        let profile = Runtime.Profile.create () in
+        let errors = ref 0 in
+        let once ~profile () =
+          match Runtime.Interp.recognize ?profile ?start c toks with
+          | Ok () -> ()
+          | Error _ -> incr errors
+        in
+        for _ = 1 to warmup do
+          once ~profile:None ()
+        done;
+        errors := 0;
+        let t1 = Unix.gettimeofday () in
+        for _ = 1 to iters do
+          once ~profile:(Some profile) ()
+        done;
+        let parse_s = Unix.gettimeofday () -. t1 in
+        let ntoks = Array.length toks in
+        let tokens_per_s =
+          if parse_s > 0.0 then float_of_int (ntoks * iters) /. parse_s
+          else 0.0
+        in
+        Fmt.pr
+          "%s: %d tokens x %d iters in %.4fs (%.0f tokens/s, compile %.4fs%s)@."
+          (Filename.basename input) ntoks iters parse_s tokens_per_s compile_s
+          (if !errors > 0 then Printf.sprintf ", %d parse errors" !errors
+           else "");
+        Fmt.pr "%a@." Runtime.Profile.pp profile;
+        (match json_file with
+        | Some path ->
+            let bench =
+              Obs.Json.obj
+                [
+                  ("grammar", Obs.Json.str (Filename.basename grammar));
+                  ("input", Obs.Json.str (Filename.basename input));
+                  ("tokens", Obs.Json.int ntoks);
+                  ("iters", Obs.Json.int iters);
+                  ("warmup", Obs.Json.int warmup);
+                  ("compile_s", Obs.Json.float compile_s);
+                  ("parse_s", Obs.Json.float parse_s);
+                  ("tokens_per_s", Obs.Json.float tokens_per_s);
+                  ("parse_errors", Obs.Json.int !errors);
+                  ("lazy", Obs.Json.bool lazy_);
+                  ( "cache_dir",
+                    match cache_dir with
+                    | Some d -> Obs.Json.str d
+                    | None -> Obs.Json.Null );
+                  ("profile", Runtime.Profile.to_json profile);
+                  ("report", Llstar.Report.to_json c.Llstar.Compiled.report);
+                  ( "metrics",
+                    Obs.Metrics.to_json (Runtime.Profile.registry profile) );
+                ]
+            in
+            Obs.Telemetry.write_file path
+              (Obs.Telemetry.document ~tool:"antlrkit-bench"
+                 ~wall_s:(Unix.gettimeofday () -. t0)
+                 ~user_s:(Obs.Telemetry.user_time ())
+                 [ (Filename.basename grammar, bench) ])
+        | None -> ())
+  in
+  let input =
+    Arg.(required & pos 1 (some file) None & info [] ~docv:"INPUT" ~doc:"Input file.")
+  in
+  let start =
+    Arg.(value & opt (some string) None & info [ "s"; "start" ] ~doc:"Start rule.")
+  in
+  let iters =
+    Arg.(value & opt int 20 & info [ "iters" ] ~doc:"Measured parse iterations.")
+  in
+  let warmup =
+    Arg.(value & opt int 2 & info [ "warmup" ] ~doc:"Unmeasured warmup iterations.")
+  in
+  let json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:
+            "Write an antlrkit-telemetry/1 document (wall/user time, \
+             decision events, lookahead depths, lazy/cached DFA state \
+             counts, full metrics registry) to $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "bench"
+       ~doc:
+         "Compile a grammar, parse an input repeatedly, and report \
+          throughput plus the decision profile; --json emits the \
+          machine-readable telemetry document.")
+    Term.(
+      const run $ grammar_arg $ input $ lexer_config_term $ start $ iters
+      $ warmup $ cache_dir_arg $ lazy_arg $ json)
 
 let () =
   let doc = "LL(*) grammar analysis and parsing (Parr & Fisher, PLDI 2011)" in
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "antlrkit" ~version:"1.0.0" ~doc)
-          [ analyze_cmd; dot_cmd; atn_cmd; parse_cmd; gen_cmd; fuzz_cmd ]))
+          [
+            analyze_cmd;
+            dot_cmd;
+            atn_cmd;
+            parse_cmd;
+            gen_cmd;
+            fuzz_cmd;
+            bench_cmd;
+          ]))

@@ -31,10 +31,12 @@ type t = {
   stats : stats;
   sem_pred : string -> bool;
   action : string -> unit;
+  tracer : Obs.Trace.t;
 }
 
 let create ?(memoize = true) ?(sem_pred = fun _ -> true)
-    ?(action = fun _ -> ()) (grammar : Grammar.Ast.t) : t =
+    ?(action = fun _ -> ()) ?(tracer = Obs.Trace.null)
+    (grammar : Grammar.Ast.t) : t =
   let rules = Hashtbl.create 16 in
   List.iter (fun r -> Hashtbl.replace rules r.name r) grammar.rules;
   {
@@ -45,6 +47,7 @@ let create ?(memoize = true) ?(sem_pred = fun _ -> true)
     stats = { steps = 0; memo_hits = 0; memo_entries = 0; max_pos = 0 };
     sem_pred;
     action;
+    tracer;
   }
 
 let reset t =
@@ -86,8 +89,12 @@ let parse ?(budget = max_int) (t : t) (sym : Grammar.Sym.t)
       match Hashtbl.find_opt t.memo key with
       | Some res ->
           t.stats.memo_hits <- t.stats.memo_hits + 1;
+          if Obs.Trace.on t.tracer then
+            Obs.Trace.emit t.tracer (Obs.Trace.Memo_hit { rule = name; pos });
           res
       | None ->
+          if Obs.Trace.on t.tracer then
+            Obs.Trace.emit t.tracer (Obs.Trace.Memo_miss { rule = name; pos });
           let res = parse_rule_raw name pos in
           Hashtbl.replace t.memo key res;
           t.stats.memo_entries <- t.stats.memo_entries + 1;

@@ -91,44 +91,52 @@ let save ~dir (c : Compiled.t) : (string, string) result =
   with e -> Error (Printexc.to_string e)
 
 (* Load the blob for key [k]; any validation failure means a rebuild. *)
-let load_key ~dir (k : string) : Compiled.t option =
+let load_key ?(tracer = Obs.Trace.null) ~dir (k : string) : Compiled.t option
+    =
   let path = cache_file ~dir k in
-  match open_in_bin path with
-  | exception _ -> None
-  | ic ->
-      let result =
-        try
-          let m = really_input_string ic (String.length magic) in
-          if m <> magic then None
-          else
-            let file_key = really_input_string ic (String.length k) in
-            if file_key <> k then None
+  let result =
+    match open_in_bin path with
+    | exception _ -> None
+    | ic ->
+        let result =
+          try
+            let m = really_input_string ic (String.length magic) in
+            if m <> magic then None
             else
-              let digest = really_input_string ic 32 in
-              let len = in_channel_length ic - pos_in ic in
-              if len <= 0 then None
+              let file_key = really_input_string ic (String.length k) in
+              if file_key <> k then None
               else
-                let payload = really_input_string ic len in
-                if Digest.to_hex (Digest.string payload) <> digest then None
+                let digest = really_input_string ic 32 in
+                let len = in_channel_length ic - pos_in ic in
+                if len <= 0 then None
                 else
-                  let c : Compiled.t = Marshal.from_string payload 0 in
-                  Some (Compiled.with_origin c Compiled.From_cache)
-        with _ -> None
-      in
-      close_in_noerr ic;
-      result
+                  let payload = really_input_string ic len in
+                  if Digest.to_hex (Digest.string payload) <> digest then None
+                  else
+                    let c : Compiled.t = Marshal.from_string payload 0 in
+                    Some (Compiled.with_origin c Compiled.From_cache)
+          with _ -> None
+        in
+        close_in_noerr ic;
+        result
+  in
+  if Obs.Trace.on tracer then
+    Obs.Trace.emit tracer
+      (Obs.Trace.Cache_load { key = k; hit = result <> None });
+  result
 
-let load ?analysis_opts ?strategy ~dir (g : Grammar.Ast.t) :
+let load ?tracer ?analysis_opts ?strategy ~dir (g : Grammar.Ast.t) :
     Compiled.t option =
-  load_key ~dir (key ?analysis_opts ?strategy g)
+  load_key ?tracer ~dir (key ?analysis_opts ?strategy g)
 
 (* ------------------------------------------------------------------ *)
 (* Load-or-rebuild entry points *)
 
-let compile ?analysis_opts ?grammar_source ?(strategy = Compiled.Eager) ~dir
-    (g : Grammar.Ast.t) : (Compiled.t * outcome, Compiled.error) result =
+let compile ?tracer ?analysis_opts ?grammar_source
+    ?(strategy = Compiled.Eager) ~dir (g : Grammar.Ast.t) :
+    (Compiled.t * outcome, Compiled.error) result =
   let k = key ?analysis_opts ~strategy g in
-  match load_key ~dir k with
+  match load_key ?tracer ~dir k with
   | Some c -> Ok (c, Hit)
   | None -> (
       match Compiled.compile ?analysis_opts ?grammar_source ~strategy g with
@@ -139,12 +147,13 @@ let compile ?analysis_opts ?grammar_source ?(strategy = Compiled.Eager) ~dir
           ignore (save ~dir c);
           Ok (c, Miss))
 
-let of_source ?analysis_opts ?strategy ~dir (src : string) :
+let of_source ?tracer ?analysis_opts ?strategy ~dir (src : string) :
     (Compiled.t * outcome, Compiled.error) result =
   match Grammar.Meta_parser.parse_result src with
   | Error msg -> Error (Compiled.Message msg)
   | Ok surface ->
-      compile ?analysis_opts ~grammar_source:src ?strategy ~dir surface
+      compile ?tracer ?analysis_opts ~grammar_source:src ?strategy ~dir
+        surface
 
 let of_source_exn ?analysis_opts ?strategy ~dir src =
   match of_source ?analysis_opts ?strategy ~dir src with

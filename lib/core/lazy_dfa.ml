@@ -55,6 +55,10 @@ type t = {
     (* warnings logically preceding the builder's own, e.g. the
        [Non_ll_regular] reason emitted when the Bounded fallback engages *)
   mutable snapshot : Analysis.result; (* current frozen view *)
+  (* observability counters: states discovered at prediction time and
+     abandon-to-eager events, surfaced in telemetry snapshots *)
+  mutable sprouted : int;
+  mutable rebuilds : int;
 }
 
 let snapshot_of_builder t (b : Analysis.builder) : Analysis.result =
@@ -75,6 +79,7 @@ let go_eager t : unit =
   let r = Analysis.analyze_decision ~opts:t.opts t.atn t.decision in
   t.phase <- Done;
   t.fallback <- r.Analysis.fallback;
+  t.rebuilds <- t.rebuilds + 1;
   t.snapshot <- r
 
 let engage_bounded t (b : Analysis.builder) : unit =
@@ -121,6 +126,8 @@ let create ?opts (atn : Atn.t) (decision : Atn.decision) : t =
             warnings = [];
             fallback = false;
           };
+      sprouted = 0;
+      rebuilds = 0;
     }
   in
   let start allow_multi =
@@ -150,6 +157,12 @@ let result t : Analysis.result = t.snapshot
 let is_complete t = match t.phase with Done -> true | Building _ -> false
 let materialized t = (current t).Look_dfa.nstates
 
+(* Construction-effort counters for telemetry: states discovered on demand
+   at prediction time, and how often incremental construction was abandoned
+   for the full eager analysis. *)
+let sprouted t = t.sprouted
+let rebuilds t = t.rebuilds
+
 (* Materialize the missing transition of [state] over [term], if any. *)
 let sprout t ~(state : int) ~(term : int) : sprout =
   match t.phase with
@@ -173,6 +186,7 @@ let sprout t ~(state : int) ~(term : int) : sprout =
             match Analysis.step_terminal b d term with
             | Some (d', fresh) ->
                 refresh t b;
+                if fresh then t.sprouted <- t.sprouted + 1;
                 Edge { target = d'.Analysis.id; fresh }
             | None -> No_edge
             | exception Analysis.Non_ll_regular_exn ->

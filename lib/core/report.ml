@@ -90,6 +90,47 @@ let pct_fixed t = pct t.fixed t.n
 let pct_ll1 t =
   pct (Option.value ~default:0 (List.assoc_opt 1 t.fixed_by_k)) t.n
 
+(* Machine-readable report snapshot, embedded in bench telemetry documents
+   (DFA sizes per decision give the static half of the paper's Table 1). *)
+let to_json (t : t) : Obs.Json.t =
+  let klass_str = function
+    | Analysis.Fixed k -> Printf.sprintf "LL(%d)" k
+    | Analysis.Cyclic -> "cyclic"
+    | Analysis.Backtrack -> "backtrack"
+  in
+  Obs.Json.obj
+    [
+      ("grammar", Obs.Json.str t.grammar_name);
+      ("lines", Obs.Json.int t.grammar_lines);
+      ("decisions", Obs.Json.int t.n);
+      ("fixed", Obs.Json.int t.fixed);
+      ("cyclic", Obs.Json.int t.cyclic);
+      ("backtrack", Obs.Json.int t.backtrack);
+      ( "fixed_by_k",
+        Obs.Json.obj
+          (List.map
+             (fun (k, c) -> (string_of_int k, Obs.Json.int c))
+             t.fixed_by_k) );
+      ("analysis_s", Obs.Json.float t.analysis_time);
+      ( "dfa_states",
+        Obs.Json.int
+          (Array.fold_left (fun acc d -> acc + d.dfa_states) 0 t.decisions) );
+      ( "per_decision",
+        Obs.Json.list
+          (Array.to_list
+             (Array.map
+                (fun d ->
+                  Obs.Json.obj
+                    [
+                      ("decision", Obs.Json.int d.decision);
+                      ("rule", Obs.Json.str d.rule);
+                      ("class", Obs.Json.str (klass_str d.klass));
+                      ("dfa_states", Obs.Json.int d.dfa_states);
+                      ("counted", Obs.Json.bool d.counted);
+                    ])
+                t.decisions)) );
+    ]
+
 let pp ppf (t : t) =
   Fmt.pf ppf "grammar %s: %d decisions: %d fixed, %d cyclic, %d backtrack@."
     t.grammar_name t.n t.fixed t.cyclic t.backtrack;

@@ -106,11 +106,42 @@ let read_reproducer (file : string) : (reproducer, string) result =
 let replay (o : Oracle.t) (rp : reproducer) : Oracle.divergence list =
   snd (Oracle.check o rp.rp_tokens)
 
+(* Machine-readable session report (the fuzz CLI's --json). *)
+let report_to_json ?profile ~seed (r : report) : Obs.Json.t =
+  let failure_json (f : failure) =
+    Obs.Json.obj
+      [
+        ("kind", Obs.Json.str f.f_divergence.Oracle.d_kind);
+        ("detail", Obs.Json.str f.f_divergence.Oracle.d_detail);
+        ("run", Obs.Json.int f.f_run);
+        ("shrunk_tokens", Obs.Json.list (List.map Obs.Json.str f.f_shrunk));
+        ( "file",
+          match f.f_file with
+          | Some p -> Obs.Json.str p
+          | None -> Obs.Json.Null );
+      ]
+  in
+  Obs.Json.obj
+    ([
+       ("grammar", Obs.Json.str r.r_grammar);
+       ("seed", Obs.Json.int seed);
+       ("runs", Obs.Json.int r.r_runs);
+       ("accepted", Obs.Json.int r.r_accepted);
+       ("rejected", Obs.Json.int r.r_rejected);
+       ("mutated", Obs.Json.int r.r_mutated);
+       ("normalized", Obs.Json.int r.r_explained);
+       ("failures", Obs.Json.list (List.map failure_json r.r_failures));
+     ]
+    @
+    match profile with
+    | Some p -> [ ("profile", Runtime.Profile.to_json p) ]
+    | None -> [])
+
 (* One fuzzing session over a single grammar spec. *)
 let run_spec ?(size = 30) ?(mutate = true) ?fuel ?time_cap ?corpus_dir
-    ~(seed : int) ~(runs : int) (spec : Workload.spec) :
+    ?profile ~(seed : int) ~(runs : int) (spec : Workload.spec) :
     (report, Llstar.Compiled.error) result =
-  match Oracle.create ?fuel ?time_cap spec with
+  match Oracle.create ?fuel ?time_cap ?profile spec with
   | Error e -> Error e
   | Ok o ->
       let vocab = Oracle.(o.vocab) in

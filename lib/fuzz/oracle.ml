@@ -67,10 +67,13 @@ type t = {
   vocab : string array;
   fuel : int; (* packrat step / Earley item budget *)
   time_cap : float; (* per-backend wall-clock guard, seconds *)
+  profile : Runtime.Profile.t option;
+    (* when set, the LL-star backend's decision profile accumulates across
+       every checked input (the fuzz CLI's --profile/--json) *)
 }
 
-let create ?(fuel = 3_000_000) ?(time_cap = 2.0) (spec : Workload.spec) :
-    (t, Llstar.Compiled.error) result =
+let create ?(fuel = 3_000_000) ?(time_cap = 2.0) ?profile
+    (spec : Workload.spec) : (t, Llstar.Compiled.error) result =
   match Workload.compile_result spec with
   | Error e -> Error e
   | Ok cw ->
@@ -109,6 +112,7 @@ let create ?(fuel = 3_000_000) ?(time_cap = 2.0) (spec : Workload.spec) :
             Array.of_list (Grammar.Sentence_gen.vocabulary cw.Workload.gen);
           fuel;
           time_cap;
+          profile;
         }
 
 (* Render terminal spellings to a token array against the compiled
@@ -167,7 +171,10 @@ let check (t : t) (names : string list) : outcome * divergence list =
   in
   let llstar =
     guarded t slow "llstar" (fun () ->
-        match Runtime.Interp.recognize ~env:t.env t.cw.Workload.c toks with
+        match
+          Runtime.Interp.recognize ~env:t.env ?profile:t.profile
+            t.cw.Workload.c toks
+        with
         | Ok () -> Accept
         | Error _ -> Reject)
   in

@@ -1,0 +1,261 @@
+(* Minimal JSON document type and printer for the observability layer.
+
+   The repo deliberately carries no JSON dependency; every machine-readable
+   artifact (trace files, metrics snapshots, bench telemetry) goes through
+   this module so escaping and number formatting are uniform.  Output is
+   deterministic: object fields print in the order they were assembled. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+let obj fields = Obj fields
+let list items = List items
+let str s = String s
+let int n = Int n
+let float f = Float f
+let bool b = Bool b
+
+(* JSON string escaping: the two mandatory escapes plus control characters
+   (RFC 8259 section 7).  Non-ASCII bytes pass through untouched; all our
+   producers emit UTF-8 or plain ASCII. *)
+let escape (s : string) : string =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* Floats must stay valid JSON: no [nan]/[infinity] literals, and always a
+   decimal point or exponent so readers do not reparse them as integers. *)
+let float_repr (f : float) : string =
+  match Float.classify_float f with
+  | Float.FP_nan -> "null"
+  | Float.FP_infinite -> if f > 0.0 then "1e308" else "-1e308"
+  | _ ->
+      let s = Printf.sprintf "%.12g" f in
+      if
+        String.exists (fun c -> c = '.' || c = 'e' || c = 'E' || c = 'n') s
+      then s
+      else s ^ ".0"
+
+let rec write (buf : Buffer.t) (j : t) : unit =
+  match j with
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int n -> Buffer.add_string buf (string_of_int n)
+  | Float f -> Buffer.add_string buf (float_repr f)
+  | String s ->
+      Buffer.add_char buf '"';
+      Buffer.add_string buf (escape s);
+      Buffer.add_char buf '"'
+  | List items ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_char buf ',';
+          write buf item)
+        items;
+      Buffer.add_char buf ']'
+  | Obj fields ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          Buffer.add_char buf '"';
+          Buffer.add_string buf (escape k);
+          Buffer.add_string buf "\":";
+          write buf v)
+        fields;
+      Buffer.add_char buf '}'
+
+let to_string (j : t) : string =
+  let buf = Buffer.create 256 in
+  write buf j;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* A small validating parser.  Not used on any hot path: it exists so tests
+   and the CLI can check that emitted artifacts (Chrome traces, telemetry
+   documents) are well-formed JSON without an external dependency. *)
+
+exception Parse_error of string
+
+let parse (s : string) : (t, string) result =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Parse_error (Printf.sprintf "%s at %d" msg !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let skip_ws () =
+    while
+      !pos < n
+      && (s.[!pos] = ' ' || s.[!pos] = '\t' || s.[!pos] = '\n'
+        || s.[!pos] = '\r')
+    do
+      incr pos
+    done
+  in
+  let expect c =
+    if !pos < n && s.[!pos] = c then incr pos
+    else fail (Printf.sprintf "expected %C" c)
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string"
+      else
+        match s.[!pos] with
+        | '"' -> incr pos
+        | '\\' ->
+            if !pos + 1 >= n then fail "truncated escape";
+            (match s.[!pos + 1] with
+            | '"' -> Buffer.add_char buf '"'
+            | '\\' -> Buffer.add_char buf '\\'
+            | '/' -> Buffer.add_char buf '/'
+            | 'n' -> Buffer.add_char buf '\n'
+            | 'r' -> Buffer.add_char buf '\r'
+            | 't' -> Buffer.add_char buf '\t'
+            | 'b' -> Buffer.add_char buf '\b'
+            | 'f' -> Buffer.add_char buf '\012'
+            | 'u' ->
+                if !pos + 5 >= n then fail "truncated \\u escape";
+                let hex = String.sub s (!pos + 2) 4 in
+                (match int_of_string_opt ("0x" ^ hex) with
+                | Some _ -> Buffer.add_string buf ("\\u" ^ hex)
+                | None -> fail "bad \\u escape");
+                pos := !pos + 4
+            | _ -> fail "bad escape");
+            pos := !pos + 2;
+            go ()
+        | c ->
+            Buffer.add_char buf c;
+            incr pos;
+            go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '"' -> String (parse_string ())
+    | Some '{' ->
+        incr pos;
+        skip_ws ();
+        if peek () = Some '}' then begin
+          incr pos;
+          Obj []
+        end
+        else begin
+          let fields = ref [] in
+          let rec members () =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            fields := (k, v) :: !fields;
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                incr pos;
+                members ()
+            | Some '}' -> incr pos
+            | _ -> fail "expected ',' or '}'"
+          in
+          members ();
+          Obj (List.rev !fields)
+        end
+    | Some '[' ->
+        incr pos;
+        skip_ws ();
+        if peek () = Some ']' then begin
+          incr pos;
+          List []
+        end
+        else begin
+          let items = ref [] in
+          let rec elements () =
+            let v = parse_value () in
+            items := v :: !items;
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                incr pos;
+                elements ()
+            | Some ']' -> incr pos
+            | _ -> fail "expected ',' or ']'"
+          in
+          elements ();
+          List (List.rev !items)
+        end
+    | Some 't' ->
+        if !pos + 4 <= n && String.sub s !pos 4 = "true" then begin
+          pos := !pos + 4;
+          Bool true
+        end
+        else fail "bad literal"
+    | Some 'f' ->
+        if !pos + 5 <= n && String.sub s !pos 5 = "false" then begin
+          pos := !pos + 5;
+          Bool false
+        end
+        else fail "bad literal"
+    | Some 'n' ->
+        if !pos + 4 <= n && String.sub s !pos 4 = "null" then begin
+          pos := !pos + 4;
+          Null
+        end
+        else fail "bad literal"
+    | Some _ ->
+        let start = !pos in
+        if peek () = Some '-' then incr pos;
+        while
+          !pos < n
+          && (match s.[!pos] with
+             | '0' .. '9' | '.' | 'e' | 'E' | '+' | '-' -> true
+             | _ -> false)
+        do
+          incr pos
+        done;
+        let lit = String.sub s start (!pos - start) in
+        if lit = "" then fail "unexpected character"
+        else (
+          match int_of_string_opt lit with
+          | Some i -> Int i
+          | None -> (
+              match float_of_string_opt lit with
+              | Some f -> Float f
+              | None -> fail "bad number"))
+  in
+  match
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing garbage";
+    v
+  with
+  | v -> Ok v
+  | exception Parse_error msg -> Error msg
+
+let is_valid (s : string) : bool =
+  match parse s with Ok _ -> true | Error _ -> false
+
+(* Field lookup on parsed documents (tests, schema checks). *)
+let member (k : string) (j : t) : t option =
+  match j with Obj fields -> List.assoc_opt k fields | _ -> None

@@ -1,0 +1,181 @@
+(* Metrics registry: named counters and lookahead-depth histograms with
+   label sets (grammar, decision, rule, ...).
+
+   This is the aggregation layer under the runtime's [Profile] view and the
+   bench telemetry documents.  Design constraints:
+
+   - hot-path friendly: [counter]/[histogram] intern a metric once and hand
+     back the mutable cell; recording is then a field update with no string
+     hashing ([Profile] caches cells per decision exactly like its old
+     per-decision hashtable);
+   - snapshotable: [to_json] freezes the whole registry into a stable,
+     deterministic document (registration order), which is what benches
+     embed in their [--json] output;
+   - resettable in place: [reset] zeroes every cell without invalidating
+     references held by callers. *)
+
+type labels = (string * string) list
+
+type counter = { mutable count : int }
+
+(* Histograms record small non-negative integers (lookahead depths, state
+   counts).  Buckets are powers of two: bucket [i] counts observations [v]
+   with [2^(i-1) < v <= 2^i] (bucket 0 counts [v <= 0] and [v = 1] lands in
+   bucket 1), the last bucket is unbounded.  Exact sum/max/count ride along
+   so averages need no bucket interpolation. *)
+let num_buckets = 12 (* .. 1024, then +inf *)
+
+type histogram = {
+  mutable n : int;
+  mutable sum : int;
+  mutable hmax : int;
+  buckets : int array;
+}
+
+let bucket_of (v : int) : int =
+  if v <= 0 then 0
+  else begin
+    let rec go i bound =
+      if i >= num_buckets - 1 then num_buckets - 1
+      else if v <= bound then i
+      else go (i + 1) (bound * 2)
+    in
+    go 1 1
+  end
+
+type metric = Counter of counter | Histogram of histogram
+
+type t = {
+  tbl : (string * labels, metric) Hashtbl.t;
+  mutable order : (string * labels) list; (* reverse registration order *)
+}
+
+let create () : t = { tbl = Hashtbl.create 64; order = [] }
+
+let sort_labels (l : labels) : labels =
+  List.sort (fun (a, _) (b, _) -> compare a b) l
+
+let register (t : t) (name : string) (labels : labels) (make : unit -> metric)
+    : metric =
+  let key = (name, sort_labels labels) in
+  match Hashtbl.find_opt t.tbl key with
+  | Some m -> m
+  | None ->
+      let m = make () in
+      Hashtbl.add t.tbl key m;
+      t.order <- key :: t.order;
+      m
+
+let counter (t : t) ?(labels : labels = []) (name : string) : counter =
+  match register t name labels (fun () -> Counter { count = 0 }) with
+  | Counter c -> c
+  | Histogram _ ->
+      invalid_arg
+        (Printf.sprintf "Metrics.counter: %s is already a histogram" name)
+
+let histogram (t : t) ?(labels : labels = []) (name : string) : histogram =
+  match
+    register t name labels (fun () ->
+        Histogram
+          { n = 0; sum = 0; hmax = 0; buckets = Array.make num_buckets 0 })
+  with
+  | Histogram h -> h
+  | Counter _ ->
+      invalid_arg
+        (Printf.sprintf "Metrics.histogram: %s is already a counter" name)
+
+let add (c : counter) (n : int) = c.count <- c.count + n
+let incr (c : counter) = add c 1
+let value (c : counter) = c.count
+
+let observe (h : histogram) (v : int) =
+  h.n <- h.n + 1;
+  h.sum <- h.sum + v;
+  if v > h.hmax then h.hmax <- v;
+  let b = bucket_of v in
+  h.buckets.(b) <- h.buckets.(b) + 1
+
+let h_count (h : histogram) = h.n
+let h_sum (h : histogram) = h.sum
+let h_max (h : histogram) = h.hmax
+let h_avg (h : histogram) =
+  if h.n = 0 then 0.0 else float_of_int h.sum /. float_of_int h.n
+
+let reset (t : t) =
+  Hashtbl.iter
+    (fun _ m ->
+      match m with
+      | Counter c -> c.count <- 0
+      | Histogram h ->
+          h.n <- 0;
+          h.sum <- 0;
+          h.hmax <- 0;
+          Array.fill h.buckets 0 num_buckets 0)
+    t.tbl
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots *)
+
+let bucket_bound (i : int) : string =
+  if i = 0 then "0"
+  else if i = num_buckets - 1 then "+inf"
+  else string_of_int (1 lsl (i - 1))
+
+let metric_json (m : metric) : Json.t =
+  match m with
+  | Counter c -> Json.obj [ ("type", Json.str "counter"); ("value", Json.int c.count) ]
+  | Histogram h ->
+      Json.obj
+        [
+          ("type", Json.str "histogram");
+          ("count", Json.int h.n);
+          ("sum", Json.int h.sum);
+          ("max", Json.int h.hmax);
+          ("avg", Json.float (h_avg h));
+          ( "buckets",
+            Json.obj
+              (List.init num_buckets (fun i ->
+                   (bucket_bound i, Json.int h.buckets.(i)))) );
+        ]
+
+let labels_json (l : labels) : Json.t =
+  Json.obj (List.map (fun (k, v) -> (k, Json.str v)) l)
+
+(* Full registry snapshot: a list of metric points in registration order. *)
+let to_json (t : t) : Json.t =
+  Json.list
+    (List.rev_map
+       (fun ((name, labels) as key) ->
+         let m = Hashtbl.find t.tbl key in
+         let base = [ ("name", Json.str name) ] in
+         let base =
+           if labels = [] then base
+           else base @ [ ("labels", labels_json labels) ]
+         in
+         Json.obj (base @ [ ("metric", metric_json m) ]))
+       t.order)
+
+let fold (f : string -> labels -> metric -> 'a -> 'a) (t : t) (init : 'a) : 'a
+    =
+  List.fold_left
+    (fun acc ((name, labels) as key) ->
+      f name labels (Hashtbl.find t.tbl key) acc)
+    init (List.rev t.order)
+
+let pp ppf (t : t) =
+  fold
+    (fun name labels m () ->
+      let plabels ppf = function
+        | [] -> ()
+        | l ->
+            Fmt.pf ppf "{%a}"
+              (Fmt.list ~sep:(Fmt.any ",") (fun ppf (k, v) ->
+                   Fmt.pf ppf "%s=%s" k v))
+              l
+      in
+      match m with
+      | Counter c -> Fmt.pf ppf "%s%a %d@." name plabels labels c.count
+      | Histogram h ->
+          Fmt.pf ppf "%s%a count=%d avg=%.2f max=%d@." name plabels labels h.n
+            (h_avg h) h.hmax)
+    t ()

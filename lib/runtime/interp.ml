@@ -58,6 +58,7 @@ type t = {
   env : env;
   ts : Token_stream.t;
   profile : Profile.t option;
+  tracer : Obs.Trace.t;
   memo : (int * int * int, memo_entry) Hashtbl.t option; (* rule, pos, prec *)
   mutable speculating : int;
   recover : bool;
@@ -71,6 +72,11 @@ type t = {
 }
 
 let atn t = t.c.Llstar.Compiled.atn
+
+(* Structured tracing: every emission is guarded by [tr_on] at the call site
+   so the disabled path costs one flag read and never allocates an event. *)
+let tr_on t = Obs.Trace.on t.tracer
+let emit t ev = Obs.Trace.emit t.tracer ev
 
 let error t kind rule =
   let tok = Token_stream.lt t.ts 1 in
@@ -107,6 +113,9 @@ let prediction_error t ~decision ~depth rule =
 
 let rec eval_synpred t (rule : int) : bool * int =
   let start = Token_stream.mark t.ts in
+  if tr_on t then
+    emit t
+      (Obs.Trace.Synpred_enter { rule = Atn.rule_name (atn t) rule; pos = start });
   let saved_hw = Token_stream.high_water t.ts in
   (* [start - 1]: the speculation has examined nothing yet, so an empty
      synpred fragment reports a reach of 0, not 1 *)
@@ -121,6 +130,10 @@ let rec eval_synpred t (rule : int) : bool * int =
   let reach = max 0 (Token_stream.high_water t.ts - start + 1) in
   Token_stream.seek t.ts start;
   Token_stream.set_high_water t.ts (max saved_hw (Token_stream.high_water t.ts));
+  if tr_on t then
+    emit t
+      (Obs.Trace.Synpred_exit
+         { rule = Atn.rule_name (atn t) rule; ok; reach; pos = start });
   (ok, reach)
 
 (* Evaluate a prediction-DFA predicate edge. *)
@@ -138,6 +151,14 @@ and eval_pred t (p : Atn.pred) ~prec : bool * int * bool =
    from the current position. *)
 
 and predict t (decision : int) ~prec ~rule : int =
+  if tr_on t then
+    emit t
+      (Obs.Trace.Decision_enter
+         {
+           decision;
+           rule = Atn.rule_name (atn t) rule;
+           pos = Token_stream.index t.ts;
+         });
   let eng = Llstar.Compiled.engine t.c decision in
   let spec_reach = ref 0 in
   let backtracked = ref false in
@@ -163,7 +184,9 @@ and predict t (decision : int) ~prec ~rule : int =
                let holds, reach, was_syn = eval_pred t p ~prec in
                if was_syn then begin
                  backtracked := true;
-                 spec_reach := max !spec_reach (depth + reach)
+                 spec_reach := max !spec_reach (depth + reach);
+                 if tr_on t then
+                   emit t (Obs.Trace.Backtrack { decision; depth })
                end;
                if holds then chosen := e.Llstar.Look_dfa.alt);
         incr i
@@ -181,28 +204,30 @@ and predict t (decision : int) ~prec ~rule : int =
            resolved purely by predicates have no terminal edges, and
            fragment-end defaults must only fire when lookahead runs off the
            end of a syntactic-predicate fragment. *)
-        match
-          Llstar.Look_dfa.lookup_edge dfa state
-            (Token_stream.la t.ts (depth + 1))
-        with
-        | Some tgt -> walk dfa tgt (depth + 1)
+        let term = Token_stream.la t.ts (depth + 1) in
+        match Llstar.Look_dfa.lookup_edge dfa state term with
+        | Some tgt ->
+            if tr_on t then
+              emit t (Obs.Trace.Dfa_edge { decision; state; term; target = tgt });
+            walk dfa tgt (depth + 1)
         | None -> (
             (* No materialized transition.  In lazy mode ask the engine to
                sprout it before falling through to predicate edges, so the
                walk only ever sees transitions the eager DFA would have. *)
             match eng with
             | Some e when not (Llstar.Lazy_dfa.is_complete e) -> (
-                match
-                  Llstar.Lazy_dfa.sprout e ~state
-                    ~term:(Token_stream.la t.ts (depth + 1))
-                with
+                match Llstar.Lazy_dfa.sprout e ~state ~term with
                 | Llstar.Lazy_dfa.Edge { target; fresh } ->
-                    if fresh then (
-                      match t.profile with
+                    if fresh then begin
+                      (match t.profile with
                       | Some p ->
                           Profile.record_dfa_built p ~decision ~cached:false
                             ~n:1
                       | None -> ());
+                      if tr_on t then
+                        emit t
+                          (Obs.Trace.Lazy_sprout { decision; state; term; target })
+                    end;
                     walk (Llstar.Lazy_dfa.current e) target (depth + 1)
                 | Llstar.Lazy_dfa.Resolved ->
                     (* the state acquired an accept or predicate edges *)
@@ -211,13 +236,28 @@ and predict t (decision : int) ~prec ~rule : int =
                     (* incremental construction gave way to the full eager
                        fallback DFA; prediction consumed nothing, so restart
                        the walk from its start state *)
+                    if tr_on t then emit t (Obs.Trace.Dfa_rebuild { decision });
                     let dfa' = Llstar.Compiled.dfa t.c decision in
                     walk dfa' dfa'.Llstar.Look_dfa.start 0
                 | Llstar.Lazy_dfa.No_edge -> try_preds dfa state depth)
             | _ -> try_preds dfa state depth))
   in
   let dfa = Llstar.Compiled.dfa t.c decision in
-  let alt, depth = walk dfa dfa.Llstar.Look_dfa.start 0 in
+  let alt, depth =
+    try walk dfa dfa.Llstar.Look_dfa.start 0
+    with e ->
+      (* keep the decision span balanced on the no-viable-alternative path;
+         alt 0 marks a failed prediction *)
+      if tr_on t then
+        emit t
+          (Obs.Trace.Decision_exit
+             { decision; alt = 0; k = 0; pos = Token_stream.index t.ts });
+      raise e
+  in
+  if tr_on t then
+    emit t
+      (Obs.Trace.Decision_exit
+         { decision; alt; k = depth; pos = Token_stream.index t.ts });
   if !trace then
     Fmt.epr "[trace]%s d%d @%d -> alt %d (k=%d)@."
       (String.make t.speculating '>')
@@ -241,9 +281,16 @@ and parse_rule t (rule : int) ~prec ~building : Tree.t list =
   let memo_key =
     if use_memo then (rule, Token_stream.index t.ts, prec) else (0, 0, 0)
   in
-  match
+  let memo_entry =
     if use_memo then Hashtbl.find_opt (Option.get t.memo) memo_key else None
-  with
+  in
+  if use_memo && tr_on t then
+    emit t
+      (let pos = Token_stream.index t.ts in
+       match memo_entry with
+       | Some _ -> Obs.Trace.Memo_hit { rule = ri.Atn.r_name; pos }
+       | None -> Obs.Trace.Memo_miss { rule = ri.Atn.r_name; pos });
+  match memo_entry with
   | Some Failed -> raise Spec_fail
   | Some (Succeeded stop) ->
       (* Valid because speculation builds no tree and runs no actions. *)
@@ -445,21 +492,32 @@ let recover_to_follow t rule =
   let follow = follow_set t rule in
   (* a wildcard in the sync set means any token can follow the rule *)
   let any = Hashtbl.mem follow Grammar.Sym.wildcard in
+  let skipped = ref 0 in
   let rec skip () =
     let la1 = Token_stream.la t.ts 1 in
     if la1 <> Grammar.Sym.eof && (not any) && not (Hashtbl.mem follow la1)
     then begin
       ignore (Token_stream.consume t.ts);
+      incr skipped;
       skip ()
     end
   in
-  skip ()
+  skip ();
+  if tr_on t then
+    emit t
+      (Obs.Trace.Error_sync
+         {
+           rule = Atn.rule_name (atn t) rule;
+           skipped = !skipped;
+           pos = Token_stream.index t.ts;
+         })
 
 (* ------------------------------------------------------------------ *)
 (* Entry points *)
 
-let create ?(env = default_env) ?profile ?(recover = false)
-    ?(max_errors = 25) (c : Llstar.Compiled.t) (toks : Token.t array) : t =
+let create ?(env = default_env) ?profile ?(tracer = Obs.Trace.null)
+    ?(recover = false) ?(max_errors = 25) (c : Llstar.Compiled.t)
+    (toks : Token.t array) : t =
   let memoize = (Llstar.Compiled.options c).Grammar.Ast.memoize in
   (* A cache-loaded compilation arrives with DFA states already
      materialized (statically, or by earlier runs in lazy mode): credit
@@ -476,6 +534,7 @@ let create ?(env = default_env) ?profile ?(recover = false)
     env;
     ts = Token_stream.of_array toks;
     profile;
+    tracer;
     memo = (if memoize then Some (Hashtbl.create 1024) else None);
     speculating = 0;
     recover;
@@ -531,9 +590,9 @@ let run (t : t) ?start () : (Tree.t, Parse_error.t list) result =
   | Some tree when t.errors = [] -> Ok tree
   | _ -> Error (List.rev t.errors)
 
-let parse ?env ?profile ?recover ?start (c : Llstar.Compiled.t)
+let parse ?env ?profile ?tracer ?recover ?start (c : Llstar.Compiled.t)
     (toks : Token.t array) : (Tree.t, Parse_error.t list) result =
-  let t = create ?env ?profile ?recover c toks in
+  let t = create ?env ?profile ?tracer ?recover c toks in
   run t ?start ()
 
 (* Recognizer: no tree construction (used by benchmarks). *)
@@ -554,9 +613,9 @@ let recognize_run (t : t) ?start () : (unit, Parse_error.t list) result =
       else Ok ()
   | exception Parse_error.Error e -> Error [ e ]
 
-let recognize ?env ?profile ?start (c : Llstar.Compiled.t)
+let recognize ?env ?profile ?tracer ?start (c : Llstar.Compiled.t)
     (toks : Token.t array) : (unit, Parse_error.t list) result =
-  let t = create ?env ?profile c toks in
+  let t = create ?env ?profile ?tracer c toks in
   recognize_run t ?start ()
 
 (* Number of (rule, position) results currently memoized; the paper's

@@ -74,8 +74,8 @@ let split_literals config (sym : Grammar.Sym.t) =
 
 let contains s c = String.contains s c
 
-let tokenize (config : config) (sym : Grammar.Sym.t) (src : string) :
-    (Token.t array, error) result =
+let tokenize ?(tracer = Obs.Trace.null) (config : config)
+    (sym : Grammar.Sym.t) (src : string) : (Token.t array, error) result =
   let keywords, ops = split_literals config sym in
   let find_term name = Grammar.Sym.find_term sym name in
   let n = String.length src in
@@ -115,6 +115,18 @@ let tokenize (config : config) (sym : Grammar.Sym.t) (src : string) :
     incr count
   in
   let fail msg = err := Some { msg; line = !line; col = !col } in
+  (* Mode-switch tracing: the sub-scanners (block comments, strings,
+     characters) are the engine's equivalent of ANTLR lexer modes. *)
+  let mode_enter mode =
+    if Obs.Trace.on tracer then
+      Obs.Trace.emit tracer
+        (Obs.Trace.Lexer_mode_enter { mode; line = !line; col = !col })
+  in
+  let mode_exit mode =
+    if Obs.Trace.on tracer then
+      Obs.Trace.emit tracer
+        (Obs.Trace.Lexer_mode_exit { mode; line = !line; col = !col })
+  in
   let token_for_word w =
     let key =
       if config.case_insensitive_keywords then String.lowercase_ascii w else w
@@ -162,6 +174,7 @@ let tokenize (config : config) (sym : Grammar.Sym.t) (src : string) :
       List.exists (fun (o, _) -> starts_with o) config.block_comments
     then begin
       let o, cl = List.find (fun (o, _) -> starts_with o) config.block_comments in
+      mode_enter "block_comment";
       advance_n (String.length o);
       let closed = ref false in
       while (not !closed) && !pos < n do
@@ -171,6 +184,7 @@ let tokenize (config : config) (sym : Grammar.Sym.t) (src : string) :
         end
         else advance ()
       done;
+      mode_exit "block_comment";
       if not !closed then fail "unterminated block comment"
     end
     else if c = '@' && config.at_ident_token <> None then begin
@@ -223,6 +237,7 @@ let tokenize (config : config) (sym : Grammar.Sym.t) (src : string) :
     end
     else if c = config.string_quote && config.string_token <> None then begin
       let buf = Buffer.create 16 in
+      mode_enter "string";
       advance ();
       let closed = ref false in
       while (not !closed) && !pos < n do
@@ -240,6 +255,7 @@ let tokenize (config : config) (sym : Grammar.Sym.t) (src : string) :
           advance ()
         end
       done;
+      mode_exit "string";
       if not !closed then fail "unterminated string literal"
       else
         match find_term (Option.get config.string_token) with
@@ -248,6 +264,7 @@ let tokenize (config : config) (sym : Grammar.Sym.t) (src : string) :
     end
     else if c = '\'' && config.char_token <> None then begin
       let buf = Buffer.create 4 in
+      mode_enter "char";
       advance ();
       let closed = ref false in
       while (not !closed) && !pos < n do
@@ -265,6 +282,7 @@ let tokenize (config : config) (sym : Grammar.Sym.t) (src : string) :
           advance ()
         end
       done;
+      mode_exit "char";
       if not !closed then fail "unterminated character literal"
       else
         match find_term (Option.get config.char_token) with
@@ -284,7 +302,7 @@ let tokenize (config : config) (sym : Grammar.Sym.t) (src : string) :
   | Some e -> Error e
   | None -> Ok (Array.of_list (List.rev !out))
 
-let tokenize_exn config sym src =
-  match tokenize config sym src with
+let tokenize_exn ?tracer config sym src =
+  match tokenize ?tracer config sym src with
   | Ok toks -> toks
   | Error e -> failwith (Fmt.str "lex error: %a" pp_error e)

@@ -36,8 +36,15 @@ type error = { msg : string; line : int; col : int }
 val pp_error : Format.formatter -> error -> unit
 
 val tokenize :
-  config -> Grammar.Sym.t -> string -> (Token.t array, error) result
+  ?tracer:Obs.Trace.t ->
+  config ->
+  Grammar.Sym.t ->
+  string ->
+  (Token.t array, error) result
 (** Tokenize [src] against a grammar's vocabulary.  Keywords are matched
-    before identifiers; operators by maximal munch. *)
+    before identifiers; operators by maximal munch.  [tracer] receives
+    [Lexer_mode_enter]/[Lexer_mode_exit] events around the block-comment,
+    string and character sub-scanners. *)
 
-val tokenize_exn : config -> Grammar.Sym.t -> string -> Token.t array
+val tokenize_exn :
+  ?tracer:Obs.Trace.t -> config -> Grammar.Sym.t -> string -> Token.t array

@@ -49,3 +49,12 @@ let pp sym ppf e =
         (tokstr e.token)
 
 let to_string sym e = Fmt.str "%a" (pp sym) e
+
+(* Stable machine-readable tag for telemetry documents and error-rate
+   metrics (no symbol table needed). *)
+let kind_label e =
+  match e.kind with
+  | Mismatched_token _ -> "mismatched_token"
+  | No_viable_alt _ -> "no_viable_alt"
+  | Failed_predicate _ -> "failed_predicate"
+  | Extraneous_input -> "extraneous_input"

@@ -1,6 +1,15 @@
 (* Runtime decision profiling: the counters behind the paper's Tables 3
    and 4, plus lazy-DFA construction counters.
 
+   Since the observability layer landed, this module is a *view* over an
+   [Obs.Metrics] registry rather than a bag of ad-hoc mutable fields: every
+   quantity lives in a named counter or histogram (labeled by decision for
+   the per-decision stats), so the same numbers that feed [pp] also appear
+   verbatim in bench telemetry snapshots ([Obs.Metrics.to_json]).  The hot
+   path keeps its old cost: metric cells are interned once and cached, so
+   [record] performs one int-keyed hashtable probe plus field updates,
+   exactly like the previous hand-rolled implementation.
+
    A decision *event* is one execution of a prediction (loop decisions fire
    once per iteration).  Two lookahead depths are tracked separately:
 
@@ -10,70 +19,59 @@
      counting speculation for events that evaluated a syntactic predicate
      ([avg_k]/[max_k], the paper's Table 3 "avg k").
 
-   Earlier versions folded speculation reach into the DFA depth inside
-   [record], double-counting it when callers pre-mixed the two; the caller
-   now reports each depth once and the mixing happens here, in one place.
-   [back k] averages speculation depth over backtracking events only. *)
+   [back_k] averages speculation depth over backtracking events only. *)
 
-type dstats = {
-  mutable d_events : int;
-  mutable d_backtracks : int;
-  mutable d_lazy_states : int;
-  mutable d_cached_states : int;
+module M = Obs.Metrics
+
+(* Per-decision metric cells, interned on first sight of the decision. *)
+type dcells = {
+  d_events : M.counter;
+  d_backtracks : M.counter;
+  d_lazy : M.counter;
+  d_cached : M.counter;
+  d_k : M.histogram; (* effective lookahead depth at this decision *)
 }
 
 type t = {
-  mutable events : int;
-  mutable look_sum : int; (* effective depth: max(dfa, speculation) *)
-  mutable look_max : int;
-  mutable dfa_look_sum : int; (* DFA-only depth *)
-  mutable dfa_look_max : int;
-  mutable back_events : int;
-  mutable back_look_sum : int;
-  mutable back_look_max : int;
-  mutable dfa_lazy_states : int; (* DFA states built on demand *)
-  mutable dfa_cached_states : int; (* DFA states loaded from a cache *)
-  per_decision : (int, dstats) Hashtbl.t;
+  registry : M.t;
+  look : M.histogram; (* effective depth: max(dfa, speculation) *)
+  dfa_look : M.histogram; (* DFA-only depth *)
+  spec : M.histogram; (* speculation reach, backtracking events only *)
+  lazy_states : M.counter; (* DFA states built on demand *)
+  cached_states : M.counter; (* DFA states loaded from a cache *)
+  per_decision : (int, dcells) Hashtbl.t;
 }
 
+let registry t = t.registry
+
 let create () =
+  let registry = M.create () in
   {
-    events = 0;
-    look_sum = 0;
-    look_max = 0;
-    dfa_look_sum = 0;
-    dfa_look_max = 0;
-    back_events = 0;
-    back_look_sum = 0;
-    back_look_max = 0;
-    dfa_lazy_states = 0;
-    dfa_cached_states = 0;
+    registry;
+    look = M.histogram registry "parse_lookahead_k";
+    dfa_look = M.histogram registry "parse_dfa_lookahead_k";
+    spec = M.histogram registry "parse_speculation_k";
+    lazy_states = M.counter registry "dfa_lazy_states";
+    cached_states = M.counter registry "dfa_cached_states";
     per_decision = Hashtbl.create 64;
   }
 
 let reset t =
-  t.events <- 0;
-  t.look_sum <- 0;
-  t.look_max <- 0;
-  t.dfa_look_sum <- 0;
-  t.dfa_look_max <- 0;
-  t.back_events <- 0;
-  t.back_look_sum <- 0;
-  t.back_look_max <- 0;
-  t.dfa_lazy_states <- 0;
-  t.dfa_cached_states <- 0;
+  M.reset t.registry;
   Hashtbl.reset t.per_decision
 
 let dstats_of t decision =
   match Hashtbl.find_opt t.per_decision decision with
   | Some ds -> ds
   | None ->
+      let labels = [ ("decision", string_of_int decision) ] in
       let ds =
         {
-          d_events = 0;
-          d_backtracks = 0;
-          d_lazy_states = 0;
-          d_cached_states = 0;
+          d_events = M.counter t.registry ~labels "decision_events";
+          d_backtracks = M.counter t.registry ~labels "decision_backtracks";
+          d_lazy = M.counter t.registry ~labels "decision_lazy_states";
+          d_cached = M.counter t.registry ~labels "decision_cached_states";
+          d_k = M.histogram t.registry ~labels "decision_lookahead_k";
         }
       in
       Hashtbl.add t.per_decision decision ds;
@@ -82,66 +80,51 @@ let dstats_of t decision =
 (* [depth] is the DFA lookahead depth alone; [spec_depth] the furthest token
    reached by speculation (0 when [backtracked] is false). *)
 let record t ~decision ~depth ~backtracked ~spec_depth =
-  t.events <- t.events + 1;
-  t.dfa_look_sum <- t.dfa_look_sum + depth;
-  if depth > t.dfa_look_max then t.dfa_look_max <- depth;
+  M.observe t.dfa_look depth;
   let effective = if backtracked then max depth spec_depth else depth in
-  t.look_sum <- t.look_sum + effective;
-  if effective > t.look_max then t.look_max <- effective;
-  if backtracked then begin
-    t.back_events <- t.back_events + 1;
-    t.back_look_sum <- t.back_look_sum + spec_depth;
-    if spec_depth > t.back_look_max then t.back_look_max <- spec_depth
-  end;
+  M.observe t.look effective;
+  if backtracked then M.observe t.spec spec_depth;
   let ds = dstats_of t decision in
-  ds.d_events <- ds.d_events + 1;
-  if backtracked then ds.d_backtracks <- ds.d_backtracks + 1
+  M.incr ds.d_events;
+  M.observe ds.d_k effective;
+  if backtracked then M.incr ds.d_backtracks
 
 (* [n] DFA states became available for [decision]: built on demand by the
    lazy engine ([cached=false]) or loaded from a compilation cache. *)
 let record_dfa_built t ~decision ~cached ~n =
   if n > 0 then begin
-    if cached then t.dfa_cached_states <- t.dfa_cached_states + n
-    else t.dfa_lazy_states <- t.dfa_lazy_states + n;
+    if cached then M.add t.cached_states n else M.add t.lazy_states n;
     let ds = dstats_of t decision in
-    if cached then ds.d_cached_states <- ds.d_cached_states + n
-    else ds.d_lazy_states <- ds.d_lazy_states + n
+    if cached then M.add ds.d_cached n else M.add ds.d_lazy n
   end
 
 (* --- Table 3 quantities --- *)
 
+let events t = M.h_count t.look
+let back_events t = M.h_count t.spec
 let decisions_covered t = Hashtbl.length t.per_decision
-
-let avg_k t =
-  if t.events = 0 then 0.0 else float_of_int t.look_sum /. float_of_int t.events
-
-let avg_dfa_k t =
-  if t.events = 0 then 0.0
-  else float_of_int t.dfa_look_sum /. float_of_int t.events
-
-let back_k t =
-  if t.back_events = 0 then 0.0
-  else float_of_int t.back_look_sum /. float_of_int t.back_events
-
-let max_k t = t.look_max
-let dfa_max_k t = t.dfa_look_max
+let avg_k t = M.h_avg t.look
+let avg_dfa_k t = M.h_avg t.dfa_look
+let back_k t = M.h_avg t.spec
+let max_k t = M.h_max t.look
+let dfa_max_k t = M.h_max t.dfa_look
 
 (* --- Lazy-construction quantities --- *)
 
-let lazy_dfa_states t = t.dfa_lazy_states
-let cached_dfa_states t = t.dfa_cached_states
+let lazy_dfa_states t = M.value t.lazy_states
+let cached_dfa_states t = M.value t.cached_states
 
 (* --- Table 4 quantities --- *)
 
 (* Distinct decisions that backtracked at least once. *)
 let decisions_that_backtracked t =
   Hashtbl.fold
-    (fun _ ds acc -> if ds.d_backtracks > 0 then acc + 1 else acc)
+    (fun _ ds acc -> if M.value ds.d_backtracks > 0 then acc + 1 else acc)
     t.per_decision 0
 
 let backtrack_event_rate t =
-  if t.events = 0 then 0.0
-  else 100.0 *. float_of_int t.back_events /. float_of_int t.events
+  if events t = 0 then 0.0
+  else 100.0 *. float_of_int (back_events t) /. float_of_int (events t)
 
 (* Likelihood that an event at a decision that ever backtracks actually
    backtracked (the paper's "back. rate"). *)
@@ -149,7 +132,8 @@ let backtrack_rate_at_pbds t =
   let ev, bk =
     Hashtbl.fold
       (fun _ ds (ev, bk) ->
-        if ds.d_backtracks > 0 then (ev + ds.d_events, bk + ds.d_backtracks)
+        if M.value ds.d_backtracks > 0 then
+          (ev + M.value ds.d_events, bk + M.value ds.d_backtracks)
         else (ev, bk))
       t.per_decision (0, 0)
   in
@@ -159,10 +143,48 @@ let pp ppf t =
   Fmt.pf ppf
     "decision events=%d covered=%d avg k=%.2f (dfa %.2f) back k=%.2f max k=%d \
      backtracked=%.2f%% (at PBDs: %.2f%%)"
-    t.events (decisions_covered t) (avg_k t) (avg_dfa_k t) (back_k t)
-    t.look_max
+    (events t) (decisions_covered t) (avg_k t) (avg_dfa_k t) (back_k t)
+    (max_k t)
     (backtrack_event_rate t)
     (backtrack_rate_at_pbds t);
-  if t.dfa_lazy_states > 0 || t.dfa_cached_states > 0 then
-    Fmt.pf ppf "; dfa states lazy=%d cached=%d" t.dfa_lazy_states
-      t.dfa_cached_states
+  if lazy_dfa_states t > 0 || cached_dfa_states t > 0 then
+    Fmt.pf ppf "; dfa states lazy=%d cached=%d" (lazy_dfa_states t)
+      (cached_dfa_states t)
+
+(* Verbose per-decision table (the CLI's [--profile -v]): the per-decision
+   stats were historically collected but never rendered anywhere. *)
+let pp_decisions ppf t =
+  let rows =
+    Hashtbl.fold (fun d ds acc -> (d, ds) :: acc) t.per_decision []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  Fmt.pf ppf "%8s %8s %10s %7s %6s %6s %7s@." "decision" "events"
+    "backtracks" "avg k" "max k" "lazy" "cached";
+  List.iter
+    (fun (d, ds) ->
+      Fmt.pf ppf "%8d %8d %10d %7.2f %6d %6d %7d@." d (M.value ds.d_events)
+        (M.value ds.d_backtracks) (M.h_avg ds.d_k) (M.h_max ds.d_k)
+        (M.value ds.d_lazy) (M.value ds.d_cached))
+    rows
+
+(* Summary document for telemetry: the headline Table 3/4 quantities plus
+   construction counters.  The full registry (per-decision points included)
+   is available via [registry] + [Obs.Metrics.to_json]. *)
+let to_json t : Obs.Json.t =
+  Obs.Json.obj
+    [
+      ("decision_events", Obs.Json.int (events t));
+      ("decisions_covered", Obs.Json.int (decisions_covered t));
+      ("avg_k", Obs.Json.float (avg_k t));
+      ("max_k", Obs.Json.int (max_k t));
+      ("avg_dfa_k", Obs.Json.float (avg_dfa_k t));
+      ("dfa_max_k", Obs.Json.int (dfa_max_k t));
+      ("back_k", Obs.Json.float (back_k t));
+      ("backtrack_events", Obs.Json.int (back_events t));
+      ("backtrack_event_pct", Obs.Json.float (backtrack_event_rate t));
+      ("backtrack_rate_at_pbds", Obs.Json.float (backtrack_rate_at_pbds t));
+      ( "decisions_that_backtracked",
+        Obs.Json.int (decisions_that_backtracked t) );
+      ("lazy_dfa_states", Obs.Json.int (lazy_dfa_states t));
+      ("cached_dfa_states", Obs.Json.int (cached_dfa_states t));
+    ]

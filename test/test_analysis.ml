@@ -196,13 +196,13 @@ let fig2_tests =
         | Ok _ -> ()
         | Error _ -> Alcotest.fail "parse failed");
         check int "no backtracking on single dash" 0
-          profile.Runtime.Profile.back_events;
+          (Runtime.Profile.back_events profile);
         let profile2 = Runtime.Profile.create () in
         (match Runtime.Interp.parse ~profile:profile2 c (lex c "- - 1") with
         | Ok _ -> ()
         | Error _ -> Alcotest.fail "parse failed");
         check bool "backtracks on double dash" true
-          (profile2.Runtime.Profile.back_events > 0));
+          ((Runtime.Profile.back_events profile2) > 0));
   ]
 
 (* ------------------------------------------------------------------ *)

@@ -1,0 +1,317 @@
+(* Observability layer: the JSON codec, the metrics registry, the trace
+   sinks, and the tracing contract of the interpreter (spans balance, the
+   null sink materializes nothing, the Chrome sink emits valid JSON). *)
+
+open Helpers
+module J = Obs.Json
+module M = Obs.Metrics
+module T = Obs.Trace
+
+(* ------------------------------------------------------------------ *)
+(* JSON codec *)
+
+let json_tests =
+  [
+    test "round-trips a nested document" (fun () ->
+        let doc =
+          J.obj
+            [
+              ("a", J.int 3);
+              ("b", J.list [ J.str "x\"y"; J.bool true; J.Null ]);
+              ("c", J.obj [ ("nested", J.float 1.5) ]);
+            ]
+        in
+        match J.parse (J.to_string doc) with
+        | Ok (J.Obj fields) ->
+            check int "fields" 3 (List.length fields);
+            check bool "a" true (List.assoc "a" fields = J.Int 3)
+        | Ok _ -> Alcotest.fail "expected an object"
+        | Error e -> Alcotest.failf "parse failed: %s" e);
+    test "escapes control characters" (fun () ->
+        let s = J.to_string (J.str "a\nb\tc\"d\\e\x01f") in
+        check bool "valid" true (J.is_valid s));
+    test "non-finite floats stay valid JSON" (fun () ->
+        check bool "nan" true (J.is_valid (J.to_string (J.float Float.nan)));
+        check bool "inf" true
+          (J.is_valid (J.to_string (J.float Float.infinity))));
+    test "rejects trailing garbage" (fun () ->
+        check bool "garbage" false (J.is_valid "{\"a\":1} x");
+        check bool "bare" false (J.is_valid "nope"));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Metrics registry *)
+
+let metrics_tests =
+  [
+    test "counters intern by (name, labels)" (fun () ->
+        let r = M.create () in
+        let c1 = M.counter r "hits" ~labels:[ ("d", "1") ] in
+        let c2 = M.counter r "hits" ~labels:[ ("d", "1") ] in
+        let c3 = M.counter r "hits" ~labels:[ ("d", "2") ] in
+        M.incr c1;
+        M.add c2 4;
+        M.incr c3;
+        check int "same cell" 5 (M.value c1);
+        check int "distinct labels" 1 (M.value c3));
+    test "label order does not split a metric" (fun () ->
+        let r = M.create () in
+        let a = M.counter r "x" ~labels:[ ("p", "1"); ("q", "2") ] in
+        let b = M.counter r "x" ~labels:[ ("q", "2"); ("p", "1") ] in
+        M.incr a;
+        check int "one cell" 1 (M.value b));
+    test "histogram aggregates" (fun () ->
+        let r = M.create () in
+        let h = M.histogram r "k" in
+        List.iter (M.observe h) [ 1; 2; 3; 10 ];
+        check int "count" 4 (M.h_count h);
+        check int "sum" 16 (M.h_sum h);
+        check int "max" 10 (M.h_max h);
+        check (Alcotest.float 1e-9) "avg" 4.0 (M.h_avg h));
+    test "reset zeroes in place, cells stay live" (fun () ->
+        let r = M.create () in
+        let c = M.counter r "n" in
+        let h = M.histogram r "k" in
+        M.incr c;
+        M.observe h 5;
+        M.reset r;
+        check int "counter" 0 (M.value c);
+        check int "histogram" 0 (M.h_count h);
+        (* the interned references survive a reset *)
+        M.incr c;
+        M.observe h 2;
+        check int "counter live" 1 (M.value c);
+        check int "histogram live" 1 (M.h_count h));
+    test "snapshot is valid JSON in registration order" (fun () ->
+        let r = M.create () in
+        M.incr (M.counter r "first");
+        M.observe (M.histogram r "second") 3;
+        let s = J.to_string (M.to_json r) in
+        match J.parse s with
+        | Ok (J.List [ m1; m2 ]) ->
+            check bool "first" true (J.member "name" m1 = Some (J.str "first"));
+            check bool "second" true
+              (J.member "name" m2 = Some (J.str "second"))
+        | Ok _ -> Alcotest.fail "expected a two-point list"
+        | Error e -> Alcotest.failf "snapshot unparsable: %s" e);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Ring buffer *)
+
+let ev_i i = T.Backtrack { decision = i; depth = 1 }
+
+let ring_tests =
+  [
+    test "keeps the newest entries on overflow" (fun () ->
+        let b = T.Ring.create 3 in
+        for i = 1 to 5 do
+          T.Ring.push b 0.0 (ev_i i)
+        done;
+        check int "total counts everything" 5 (T.Ring.total b);
+        check int "capacity" 3 (T.Ring.capacity b);
+        let ids =
+          List.map
+            (function T.Backtrack { decision; _ } -> decision | _ -> -1)
+            (T.Ring.events b)
+        in
+        check bool "oldest-first window" true (ids = [ 3; 4; 5 ]));
+    test "clear empties the window" (fun () ->
+        let b = T.Ring.create 4 in
+        T.Ring.push b 0.0 (ev_i 1);
+        T.Ring.clear b;
+        check int "total" 0 (T.Ring.total b);
+        check bool "empty" true (T.Ring.events b = []));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Tracing a real parse *)
+
+(* Rule t backtracks (m=1 cannot bound the '-'* vs expr overlap); while its
+   synpred speculates over rule s's first alternative, prediction of t's own
+   decision re-enters speculation, so synpred spans nest. *)
+let backtracking_grammar =
+  "grammar N; options { backtrack=true; m=1; } s : t ID | t INT ; t : ('-')* \
+   ID | expr ; expr : INT | '-' expr ;"
+
+let traced_events input =
+  let c = compile backtracking_grammar in
+  let buf = T.Ring.create 65536 in
+  let tracer = T.ring buf in
+  (match Runtime.Interp.parse ~tracer c (lex c input) with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "parse failed");
+  T.Ring.events buf
+
+let count p evs = List.length (List.filter p evs)
+
+let synpred_max_depth evs =
+  let d = ref 0 and dmax = ref 0 in
+  List.iter
+    (fun ev ->
+      match ev with
+      | T.Synpred_enter _ ->
+          incr d;
+          if !d > !dmax then dmax := !d
+      | T.Synpred_exit _ -> decr d
+      | _ -> ())
+    evs;
+  !dmax
+
+let trace_tests =
+  [
+    test "spans balance across nested synpreds" (fun () ->
+        let evs = traced_events "- - x x" in
+        check bool "events captured" true (evs <> []);
+        check bool "balanced" true (T.spans_balanced evs);
+        check bool "synpreds nest" true (synpred_max_depth evs >= 2);
+        check int "enter/exit pair up"
+          (count (function T.Decision_enter _ -> true | _ -> false) evs)
+          (count (function T.Decision_exit _ -> true | _ -> false) evs));
+    test "speculation leaves backtrack and memo events" (fun () ->
+        let evs = traced_events "- - x 3" in
+        check bool "backtrack observed" true
+          (count (function T.Backtrack _ -> true | _ -> false) evs > 0);
+        check bool "memo misses while speculating" true
+          (count (function T.Memo_miss _ -> true | _ -> false) evs > 0));
+    test "synpred exits report reach and verdict" (fun () ->
+        let evs = traced_events "- - x x" in
+        let exits =
+          List.filter_map
+            (function T.Synpred_exit { ok; reach; _ } -> Some (ok, reach) | _ -> None)
+            evs
+        in
+        check bool "some synpred ran" true (exits <> []);
+        check bool "every reach non-negative" true
+          (List.for_all (fun (_, reach) -> reach >= 0) exits);
+        check bool "a synpred succeeded" true
+          (List.exists (fun (ok, _) -> ok) exits));
+    test "null sink materializes nothing" (fun () ->
+        let c = compile backtracking_grammar in
+        let toks = lex c "- - x x" in
+        let materialized = ref 0 in
+        let off = T.make (fun _ _ -> incr materialized) in
+        T.set_on off false;
+        (match Runtime.Interp.parse ~tracer:off c toks with
+        | Ok _ -> ()
+        | Error _ -> Alcotest.fail "parse failed");
+        check int "no events reach a disabled sink" 0 !materialized;
+        (* and the shared null tracer is off by construction *)
+        check bool "Trace.null is off" false (T.on T.null));
+    test "unbalanced sequences are rejected" (fun () ->
+        let enter = T.Decision_enter { decision = 0; rule = "s"; pos = 0 } in
+        let exit_ = T.Decision_exit { decision = 0; alt = 1; k = 1; pos = 1 } in
+        let sp = T.Synpred_enter { rule = "t"; pos = 0 } in
+        check bool "dangling enter" false (T.spans_balanced [ enter ]);
+        check bool "interleaved" false
+          (T.spans_balanced [ enter; sp; exit_ ]);
+        check bool "balanced pair" true (T.spans_balanced [ enter; exit_ ]));
+    test "lexer mode spans balance" (fun () ->
+        let c = compile "grammar L; s : ID ;" in
+        let buf = T.Ring.create 1024 in
+        let tracer = T.ring buf in
+        (match
+           Runtime.Lexer_engine.tokenize ~tracer
+             Runtime.Lexer_engine.default_config
+             (Llstar.Compiled.sym c)
+             "/* one */ x /* two */ y"
+         with
+        | Ok _ -> ()
+        | Error _ -> Alcotest.fail "tokenize failed");
+        let evs = T.Ring.events buf in
+        check bool "modes traced" true
+          (count (function T.Lexer_mode_enter _ -> true | _ -> false) evs >= 2);
+        check bool "balanced" true (T.spans_balanced evs));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Chrome sink *)
+
+let chrome_tests =
+  [
+    test "emits a valid Perfetto-loadable array" (fun () ->
+        let path = Filename.temp_file "antlrkit-test-trace" ".json" in
+        let oc = open_out path in
+        let tracer, close = T.chrome_sink oc in
+        let c = compile backtracking_grammar in
+        (match Runtime.Interp.parse ~tracer c (lex c "- - x x") with
+        | Ok _ -> ()
+        | Error _ -> Alcotest.fail "parse failed");
+        close ();
+        close_out oc;
+        let ic = open_in path in
+        let len = in_channel_length ic in
+        let s = really_input_string ic len in
+        close_in ic;
+        Sys.remove path;
+        match J.parse s with
+        | Error e -> Alcotest.failf "trace unparsable: %s" e
+        | Ok (J.List events) ->
+            check bool "non-empty" true (events <> []);
+            List.iter
+              (fun ev ->
+                let has k = J.member k ev <> None in
+                check bool "name" true (has "name");
+                check bool "ph" true (has "ph");
+                check bool "ts" true (has "ts");
+                check bool "pid" true (has "pid");
+                check bool "args" true (has "args");
+                (* instant events carry a scope *)
+                match J.member "ph" ev with
+                | Some (J.String "i") -> check bool "scope" true (has "s")
+                | _ -> ())
+              events
+        | Ok _ -> Alcotest.fail "expected a JSON array");
+    test "close is idempotent and ends the array" (fun () ->
+        let path = Filename.temp_file "antlrkit-test-trace" ".json" in
+        let oc = open_out path in
+        let tracer, close = T.chrome_sink oc in
+        T.emit tracer (ev_i 1);
+        close ();
+        close ();
+        (* events after close are dropped, not appended past the ']' *)
+        T.emit tracer (ev_i 2);
+        close_out oc;
+        let ic = open_in path in
+        let s = really_input_string ic (in_channel_length ic) in
+        close_in ic;
+        Sys.remove path;
+        match J.parse s with
+        | Ok (J.List [ _ ]) -> ()
+        | Ok _ -> Alcotest.fail "expected exactly one event"
+        | Error e -> Alcotest.failf "unparsable after close: %s" e);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Telemetry documents *)
+
+let telemetry_tests =
+  [
+    test "document carries schema, env and benches" (fun () ->
+        let doc =
+          Obs.Telemetry.document ~tool:"test" ~wall_s:1.0 ~user_s:0.5
+            [ ("b1", J.obj [ ("x", J.int 1) ]) ]
+        in
+        let s = J.to_string doc in
+        match J.parse s with
+        | Error e -> Alcotest.failf "unparsable: %s" e
+        | Ok d ->
+            check bool "schema" true
+              (J.member "schema" d = Some (J.str "antlrkit-telemetry/1"));
+            check bool "tool" true (J.member "tool" d = Some (J.str "test"));
+            check bool "env present" true (J.member "env" d <> None);
+            check bool "bench present" true
+              (match J.member "benches" d with
+              | Some (J.Obj fields) -> List.mem_assoc "b1" fields
+              | _ -> false));
+  ]
+
+let suite =
+  [
+    ("obs_json", json_tests);
+    ("obs_metrics", metrics_tests);
+    ("obs_ring", ring_tests);
+    ("obs_trace", trace_tests);
+    ("obs_chrome", chrome_tests);
+    ("obs_telemetry", telemetry_tests);
+  ]

@@ -51,13 +51,13 @@ let profile_tests =
         | Ok _ -> ()
         | Error _ -> Alcotest.fail "parse");
         (* 4 loop events (3 enters + exit) + 3 rule-x events *)
-        check int "events" 7 profile.Runtime.Profile.events;
+        check int "events" 7 (Runtime.Profile.events profile);
         check int "covered" 2 (Runtime.Profile.decisions_covered profile);
         check int "max k" 2 (Runtime.Profile.max_k profile);
         check bool "avg k between 1 and 2" true
           (Runtime.Profile.avg_k profile > 1.0
           && Runtime.Profile.avg_k profile < 2.0);
-        check int "no backtracking" 0 profile.Runtime.Profile.back_events);
+        check int "no backtracking" 0 (Runtime.Profile.back_events profile));
     test "backtracking events tracked per decision" (fun () ->
         let c =
           compile
@@ -68,7 +68,7 @@ let profile_tests =
         (match Runtime.Interp.parse ~profile c (lex c "- - - x") with
         | Ok _ -> ()
         | Error _ -> Alcotest.fail "parse");
-        check bool "backtracked" true (profile.Runtime.Profile.back_events > 0);
+        check bool "backtracked" true ((Runtime.Profile.back_events profile) > 0);
         check int "one decision backtracked" 1
           (Runtime.Profile.decisions_that_backtracked profile);
         check bool "back rate at PBDs positive" true
@@ -80,7 +80,7 @@ let profile_tests =
         Runtime.Profile.record p ~decision:3 ~depth:2 ~backtracked:true
           ~spec_depth:5;
         Runtime.Profile.reset p;
-        check int "events" 0 p.Runtime.Profile.events;
+        check int "events" 0 (Runtime.Profile.events p);
         check int "covered" 0 (Runtime.Profile.decisions_covered p));
   ]
 
