@@ -1,0 +1,104 @@
+(* Perf-regression gate over the hot-path set telemetry.
+
+     gate.exe BASELINE.json FRESH.json
+
+   Both files are antlrkit-telemetry/1 documents; the committed baseline is
+   BENCH_hotpath.json at the repo root, the fresh file comes from the CI
+   bench-smoke run.  For every "sets.<grammar>" entry in the baseline, each
+   bitset-side timing field is compared against the fresh run and the gate
+   fails on more than a 2x slowdown.  A small absolute slack keeps sub-ms
+   rows from tripping on scheduler noise, and only the bitset/analysis
+   columns gate: the reference columns exist to document the speedup, and
+   CI hardware differences cancel out of neither side alone.
+
+   Exit status: 0 clean, 1 regression or malformed/missing input. *)
+
+let gated_fields =
+  [
+    "bitset_compute_ms";
+    "bitset_first_seq_ms";
+    "bitset_first1_ms";
+    "bitset_first2_ms";
+    "analysis_ms";
+  ]
+
+let slowdown_limit = 2.0
+let slack_ms = 2.0
+
+let die fmt = Fmt.kstr (fun s -> Fmt.epr "gate: %s@." s; exit 1) fmt
+
+let read_doc path : Obs.Json.t =
+  let contents =
+    try
+      let ic = open_in_bin path in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      s
+    with Sys_error e -> die "cannot read %s: %s" path e
+  in
+  match Obs.Json.parse contents with
+  | Ok j -> j
+  | Error e -> die "%s: invalid JSON: %s" path e
+
+let benches path doc =
+  match Obs.Json.member "benches" doc with
+  | Some (Obs.Json.Obj fields) -> fields
+  | _ -> die "%s: no \"benches\" object" path
+
+let float_field entry name =
+  match Obs.Json.member name entry with
+  | Some (Obs.Json.Float f) -> Some f
+  | Some (Obs.Json.Int n) -> Some (float_of_int n)
+  | _ -> None
+
+let () =
+  let base_path, fresh_path =
+    match Sys.argv with
+    | [| _; b; f |] -> (b, f)
+    | _ -> die "usage: gate.exe BASELINE.json FRESH.json"
+  in
+  let base = benches base_path (read_doc base_path) in
+  let fresh = benches fresh_path (read_doc fresh_path) in
+  let failures = ref 0 in
+  let checked = ref 0 in
+  List.iter
+    (fun (key, base_entry) ->
+      if String.length key >= 5 && String.sub key 0 5 = "sets." then
+        match List.assoc_opt key fresh with
+        | None ->
+            incr failures;
+            Fmt.pr "FAIL %-18s missing from fresh telemetry@." key
+        | Some fresh_entry ->
+            List.iter
+              (fun field ->
+                match
+                  (float_field base_entry field, float_field fresh_entry field)
+                with
+                | Some b, Some f ->
+                    incr checked;
+                    let limit = (slowdown_limit *. b) +. slack_ms in
+                    if f > limit then begin
+                      incr failures;
+                      Fmt.pr
+                        "FAIL %-18s %-22s %8.3fms -> %8.3fms (limit %.3fms)@."
+                        key field b f limit
+                    end
+                    else
+                      Fmt.pr
+                        "ok   %-18s %-22s %8.3fms -> %8.3fms@."
+                        key field b f
+                | Some _, None ->
+                    incr failures;
+                    Fmt.pr "FAIL %-18s %-22s missing from fresh entry@." key
+                      field
+                | None, _ -> ())
+              gated_fields)
+    base;
+  if !checked = 0 then die "no sets.* entries found in %s" base_path;
+  if !failures > 0 then begin
+    Fmt.pr "gate: %d regression(s) across %d checks@." !failures !checked;
+    exit 1
+  end;
+  Fmt.pr "gate: clean (%d checks, limit %.1fx + %.1fms slack)@." !checked
+    slowdown_limit slack_ms

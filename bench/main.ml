@@ -23,6 +23,7 @@ let all_benches : (string * string * (unit -> unit)) list =
     ("complexity", "Sections 1/7: LL(*) vs Earley growth", Comparisons.complexity);
     ("ablate", "Ablations: recursion bound m, fallback strategy", Comparisons.ablate);
     ("startup", "Cold vs warm startup: lazy DFAs and the compilation cache", Startup.run);
+    ("sets", "Hot-path sets: interned bitsets vs the string-set reference", Sets.run);
     ("fuzz", "Differential fuzzing oracle throughput", Fuzzing.run);
     ("obs", "Tracing overhead: null sink is free, ring sink per-event", Overhead.run);
     ("bechamel", "Bechamel microbenchmarks", Micro.run);

@@ -4,61 +4,94 @@
    Serves two purposes: a correctness oracle for LL(1) grammars (agreement
    with the LL-star interpreter is property-tested) and a speed baseline
    showing LL-star decisions that are LL(1) cost about the same as a plain
-   LL(1) parser. *)
+   LL(1) parser.
 
-module SS = Grammar.First_follow.SS
+   The table is a dense [int array] indexed by
+   [nonterm_id * num_terms + term_id] over the interned symbol spaces of
+   [First_follow]; construction iterates bitsets instead of string sets,
+   and the stack machine compares ids.  Conflict reports stay in terms of
+   symbol names. *)
+
+module FF = Grammar.First_follow
 
 type conflict = { nonterm : string; term : string; prods : int list }
 
 type t = {
   bnf : Grammar.Bnf.t;
   prods : Grammar.Bnf.prod array;
-  table : (string * string, int) Hashtbl.t;
+  ff : FF.t;
+  table : int array; (* nonterm_id * num_terms + term_id -> prod, -1 empty *)
+  prod_rhs : int list array; (* symbol codes, for the stack machine *)
   conflicts : conflict list;
 }
 
 let build (bnf : Grammar.Bnf.t) : t =
-  let ff = Grammar.First_follow.compute bnf in
+  let ff = FF.compute bnf in
   let prods = Array.of_list bnf.prods in
-  let table = Hashtbl.create 256 in
+  let nterms = FF.num_terms ff in
+  let table = Array.make (FF.num_nonterms ff * nterms) (-1) in
   let conflicts = ref [] in
-  let add nonterm term prod =
-    let key = (nonterm, term) in
-    match Hashtbl.find_opt table key with
-    | Some other when other <> prod ->
-        conflicts := { nonterm; term; prods = [ other; prod ] } :: !conflicts
-    | Some _ -> ()
-    | None -> Hashtbl.add table key prod
+  let add nt term prod =
+    let key = (nt * nterms) + term in
+    let other = table.(key) in
+    if other < 0 then table.(key) <- prod
+    else if other <> prod then
+      conflicts :=
+        {
+          nonterm = FF.nonterm_name ff nt;
+          term = FF.term_name ff term;
+          prods = [ other; prod ];
+        }
+        :: !conflicts
   in
-  Array.iteri
-    (fun i (p : Grammar.Bnf.prod) ->
-      let first, nullable = Grammar.First_follow.first_seq ff p.rhs in
-      SS.iter (fun a -> add p.lhs a i) first;
-      if nullable then
-        SS.iter (fun a -> add p.lhs a i) (Grammar.First_follow.follow_of ff p.lhs))
-    prods;
-  { bnf; prods; table; conflicts = List.rev !conflicts }
+  let prod_rhs = Array.map (fun i -> Array.to_list (FF.prod_rhs_ids ff i))
+                   (Array.init (FF.num_prods ff) (fun i -> i))
+  in
+  for i = 0 to FF.num_prods ff - 1 do
+    let lhs = FF.prod_lhs_id ff i in
+    let first, nullable = FF.first_seq_ids ff (FF.prod_rhs_ids ff i) ~pos:0 in
+    Bitset.iter (fun a -> add lhs a i) first;
+    if nullable then Bitset.iter (fun a -> add lhs a i) (FF.follow_ids ff lhs)
+  done;
+  { bnf; prods; ff; table; prod_rhs; conflicts = List.rev !conflicts }
 
 let of_grammar (g : Grammar.Ast.t) : t = build (Grammar.Bnf.convert g)
 
 let is_ll1 t = t.conflicts = []
 
-(* Recognize a sentence of terminal names with the predictive stack machine. *)
+(* Recognize a sentence of terminal names with the predictive stack machine.
+   Input names are interned once up front; a name the grammar never
+   mentions gets a sentinel id that matches nothing but the wildcard. *)
 let recognize ?(start : string option) (t : t) (input : string array) : bool =
+  let ff = t.ff in
+  let nterms = FF.num_terms ff in
   let n = Array.length input in
-  let la i = if i < n then input.(i) else Grammar.First_follow.eof_name in
-  let start = match start with Some s -> s | None -> t.bnf.start in
-  let rec go stack i =
-    match stack with
-    | [] -> i = n
-    | Grammar.Bnf.T a :: rest ->
-        if la i = a || (a = "." && i < n) then go rest (i + 1) else false
-    | Grammar.Bnf.N x :: rest -> (
-        match Hashtbl.find_opt t.table (x, la i) with
-        | None -> false
-        | Some pi -> go (t.prods.(pi).rhs @ rest) i)
+  let ids =
+    Array.map
+      (fun name -> match FF.term_id ff name with Some i -> i | None -> -2)
+      input
   in
-  go [ Grammar.Bnf.N start ] 0
+  let la i = if i < n then ids.(i) else FF.eof in
+  let wild = match FF.term_id ff "." with Some i -> i | None -> -3 in
+  let start = match start with Some s -> s | None -> t.bnf.start in
+  match FF.nonterm_id ff start with
+  | None -> false
+  | Some s ->
+      let rec go stack i =
+        match stack with
+        | [] -> i = n
+        | c :: rest when FF.is_term_code c ->
+            if la i = c || (c = wild && i < n) then go rest (i + 1) else false
+        | c :: rest -> (
+            let x = FF.nonterm_of_code c in
+            let l = la i in
+            if l < 0 then false
+            else
+              match t.table.((x * nterms) + l) with
+              | -1 -> false
+              | pi -> go (t.prod_rhs.(pi) @ rest) i)
+      in
+      go [ FF.code_of_nonterm s ] 0
 
 let recognize_tokens ?start (t : t) (sym : Grammar.Sym.t)
     (toks : Runtime.Token.t array) : bool =

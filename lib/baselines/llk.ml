@@ -7,9 +7,14 @@
    super-linear lookahead impractical (paper sections 2 and 7: LPG core
    dumps at large k on the [a : b A+ X | c A+ Y] grammar, while LL-star
    builds a small cyclic DFA).  The [Blowup] escape hatch reproduces that
-   failure mode deterministically. *)
+   failure mode deterministically.
+
+   Sequences are terminal-id tuples ([First_follow.first_k_ids]); the
+   per-(k, budget) fixpoint table is shared across the productions of the
+   rule instead of being recomputed per production. *)
 
 module SeqSet = Grammar.First_follow.SeqSet
+module IdSeqSet = Grammar.First_follow.IdSeqSet
 
 type verdict =
   | Distinguishable of int (* minimal k; the decision is LL(k) *)
@@ -30,29 +35,42 @@ let sets_conflict s1 s2 =
     | x :: xs, y :: ys -> x = y && is_prefix xs ys
     | _ :: _, [] -> false
   in
-  SeqSet.exists
-    (fun x -> SeqSet.exists (fun y -> is_prefix x y || is_prefix y x) s2)
+  IdSeqSet.exists
+    (fun x -> IdSeqSet.exists (fun y -> is_prefix x y || is_prefix y x) s2)
     s1
 
 let analyze_rule ?(k_max = 8) ?(max_set_size = 100_000) (g : Grammar.Ast.t)
     (rule_name : string) : report =
   let bnf = Grammar.Bnf.convert g in
   let ff = Grammar.First_follow.compute bnf in
-  let prods = Grammar.Bnf.prods_of bnf rule_name in
+  let code_of = function
+    | Grammar.Bnf.T a -> (
+        match Grammar.First_follow.term_id ff a with
+        | Some id -> Grammar.First_follow.code_of_term id
+        | None -> assert false (* BNF terminals are always interned *))
+    | Grammar.Bnf.N n -> (
+        match Grammar.First_follow.nonterm_id ff n with
+        | Some id -> Grammar.First_follow.code_of_nonterm id
+        | None -> assert false)
+  in
+  let prods =
+    List.map
+      (fun (p : Grammar.Bnf.prod) -> Array.of_list (List.map code_of p.rhs))
+      (Grammar.Bnf.prods_of bnf rule_name)
+  in
   let steps = ref [] in
   let rec try_k k =
     if k > k_max then Not_within k_max
     else
       match
         List.map
-          (fun (p : Grammar.Bnf.prod) ->
-            Grammar.First_follow.first_k ~max_set_size ff k p.rhs)
+          (fun rhs -> Grammar.First_follow.first_k_ids ~max_set_size ff k rhs)
           prods
       with
       | exception Grammar.First_follow.Blowup size -> Blowup { k; size }
       | sets ->
           steps :=
-            { k; set_sizes = List.map SeqSet.cardinal sets } :: !steps;
+            { k; set_sizes = List.map IdSeqSet.cardinal sets } :: !steps;
           let arr = Array.of_list sets in
           let ok = ref true in
           for i = 0 to Array.length arr - 1 do

@@ -18,9 +18,14 @@
    construction ([Non_ll_regular], section 5.4) and the decision falls back
    to a depth-1 (LL(1)) DFA, resolved with predicates/backtracking when
    available.  A configurable state budget guards against the exponential
-   "land mines" the paper mentions; exceeding it also falls back. *)
+   "land mines" the paper mentions; exceeding it also falls back.
 
-module IntSet = Set.Make (Int)
+   Alternative sets and terminal sets are [Bitset.t] over the decision's
+   alternative count and the interned token-type universe respectively:
+   the subset construction manipulates these sets on every closure and
+   every discovered state, and the flat representation keeps that
+   bookkeeping allocation-light.  Closures of already-seen seed
+   configurations are memoized per builder (see [closure]). *)
 
 type warning =
   | Ambiguity of { decision : int; alts : int list; path : int list }
@@ -83,6 +88,17 @@ type wstate = {
   path : int list; (* sample terminal path from D0, reversed *)
 }
 
+(* Cached closure of a single seed configuration: the significant
+   configurations its walk reaches, whether the walk hit the recursion
+   bound, and the alternatives it found left-recursing.  Only completed
+   walks are cached, so a cached entry is independent of the busy-set and
+   [allow_multi_recursion] state at the time it was recorded. *)
+type closure_memo_entry = {
+  cm_reached : Config.t list;
+  cm_overflow : bool;
+  cm_rec_alts : int list;
+}
+
 type builder = {
   atn : Atn.t;
   opts : options;
@@ -91,13 +107,16 @@ type builder = {
   mutable nstates : int;
   dedup : (Config.t list, int) Hashtbl.t;
   by_id : (int, wstate) Hashtbl.t; (* state id -> state, for O(1) lookup *)
-  mutable recursive_alts : IntSet.t;
+  recursive_alts : Bitset.t; (* universe: d_nalts + 1 *)
+  closure_memo : (Config.t, closure_memo_entry) Hashtbl.t;
   mutable warnings : warning list;
   mutable uses_synpred : bool;
   mutable allow_multi_recursion : bool;
     (* true in fallback mode; the lazy engine flips it mid-construction to
        continue with the Bounded strategy instead of restarting *)
 }
+
+let alt_universe (d : Atn.decision) = d.Atn.d_nalts + 1
 
 let warn b w = b.warnings <- w :: b.warnings
 
@@ -106,13 +125,28 @@ let warn b w = b.warnings <- w :: b.warnings
 
 (* Compute the closure of [seed] configurations.  [overflowed] is set when
    the recursion bound is reached.  The busy set prevents infinite loops
-   through epsilon cycles (EBNF loops) and redundant work. *)
+   through epsilon cycles (EBNF loops) and redundant work.
+
+   Each seed's walk is independent (fresh busy set) and deterministic in
+   the seed configuration alone, so completed walks are memoized on the
+   builder: distinct (state, terminal) steps that move onto the same
+   configuration replay its recorded closure instead of re-walking the
+   ATN.  The final [Config.canonicalize] (sort + dedup) makes the
+   per-seed decomposition produce exactly the configuration sets the
+   shared-walk formulation did.  Walks are not cached while hoisting
+   predicates (the start state's closure) -- the [sem]/[free]/[crossed]
+   collection differs there and D0 is built once per decision anyway --
+   nor when aborted by [Non_ll_regular_exn]. *)
 let closure ?(collect_preds = false) (b : builder) (seed : Config.t list) :
     Config.t list * bool =
-  let busy : (Config.t, unit) Hashtbl.t = Hashtbl.create 64 in
   let acc = ref [] in
   let overflowed = ref false in
   let atn = b.atn in
+  let note_recursion alt =
+    Bitset.add b.recursive_alts alt;
+    if Bitset.cardinal b.recursive_alts > 1 && not b.allow_multi_recursion
+    then raise Non_ll_regular_exn
+  in
   (* Predicate hoisting discipline (section 5.5): see the [free] and
      [crossed] flags on configurations.  Semantic predicates are hoisted
      from arbitrarily deep in the derivation chain (that is what makes C's
@@ -121,7 +155,12 @@ let closure ?(collect_preds = false) (b : builder) (seed : Config.t list) :
      closure passes a nested decision state.  Neither is collected after a
      configuration escapes its alternative's derivation through an
      empty-stack pop. *)
-  let rec go (c : Config.t) =
+  let run_seed (seed_c : Config.t) =
+    let busy : (Config.t, unit) Hashtbl.t = Hashtbl.create 64 in
+    let reached = ref [] in
+    let walk_overflow = ref false in
+    let rec_alts = ref [] in
+    let rec go (c : Config.t) =
     if not (Hashtbl.mem busy c) then begin
       Hashtbl.add busy c ();
       (* Only configurations at *significant* states -- stop states and
@@ -140,7 +179,7 @@ let closure ?(collect_preds = false) (b : builder) (seed : Config.t list) :
                match edge with Atn.Term _ -> true | _ -> false)
              atn.trans.(c.state)
       in
-      if significant then acc := c :: !acc;
+      if significant then reached := c :: !reached;
       let c =
         if (not c.crossed) && Atn.decision_of atn c.state >= 0 then
           { c with crossed = true }
@@ -192,18 +231,15 @@ let closure ?(collect_preds = false) (b : builder) (seed : Config.t list) :
                     0 c.stack
                 in
                 if depth >= 1 then begin
-                  b.recursive_alts <- IntSet.add c.alt b.recursive_alts;
-                  if
-                    IntSet.cardinal b.recursive_alts > 1
-                    && not b.allow_multi_recursion
-                  then raise Non_ll_regular_exn
+                  rec_alts := c.alt :: !rec_alts;
+                  note_recursion c.alt
                 end;
                 if depth >= b.opts.m then begin
-                  overflowed := true;
+                  walk_overflow := true;
                   (* Keep the cut configuration itself even though its state
                      is a pass-through: it is the only evidence that this
                      alternative remains viable beyond the bound. *)
-                  acc := c :: !acc
+                  reached := c :: !reached
                 end
                 else
                   go
@@ -214,8 +250,30 @@ let closure ?(collect_preds = false) (b : builder) (seed : Config.t list) :
                     })
           atn.trans.(c.state)
     end
+    in
+    go seed_c;
+    (* the walk completed: safe to cache *)
+    if not collect_preds then
+      Hashtbl.replace b.closure_memo seed_c
+        {
+          cm_reached = !reached;
+          cm_overflow = !walk_overflow;
+          cm_rec_alts = !rec_alts;
+        };
+    acc := List.rev_append !reached !acc;
+    if !walk_overflow then overflowed := true
   in
-  List.iter go seed;
+  List.iter
+    (fun c ->
+      match
+        if collect_preds then None else Hashtbl.find_opt b.closure_memo c
+      with
+      | Some e ->
+          List.iter note_recursion e.cm_rec_alts;
+          acc := List.rev_append e.cm_reached !acc;
+          if e.cm_overflow then overflowed := true
+      | None -> run_seed c)
+    seed;
   (Config.canonicalize !acc, !overflowed)
 
 (* ------------------------------------------------------------------ *)
@@ -235,30 +293,31 @@ let move (atn : Atn.t) (configs : Config.t list) (a : int) : Config.t list =
              | _ -> None))
     configs
 
-(* Terminals with outgoing edges from any configuration of [configs]. *)
+(* Terminals with outgoing edges from any configuration of [configs];
+   ascending (bitset iteration order). *)
 let outgoing_terminals (atn : Atn.t) (configs : Config.t list) : int list =
-  let seen = Hashtbl.create 8 in
+  let seen = Bitset.create (Grammar.Sym.num_terms atn.sym) in
   List.iter
     (fun (c : Config.t) ->
       Array.iter
         (fun (edge, _) ->
-          match edge with
-          | Atn.Term t -> if not (Hashtbl.mem seen t) then Hashtbl.add seen t ()
-          | _ -> ())
+          match edge with Atn.Term t -> Bitset.add seen t | _ -> ())
         atn.trans.(c.state))
     configs;
-  Hashtbl.fold (fun t () acc -> t :: acc) seen [] |> List.sort compare
+  Bitset.elements seen
 
 (* ------------------------------------------------------------------ *)
 (* Resolve (Algorithms 10 and 11) *)
 
-let viable_alts (configs : Config.t list) : IntSet.t =
-  List.fold_left (fun s (c : Config.t) -> IntSet.add c.alt s) IntSet.empty
-    configs
+let viable_alts (b : builder) (configs : Config.t list) : Bitset.t =
+  let s = Bitset.create (alt_universe b.decision) in
+  List.iter (fun (c : Config.t) -> Bitset.add s c.alt) configs;
+  s
 
 (* The conflict set of a configuration set (Definition 7), together with the
    configurations that participate in a conflicting pair. *)
-let conflict_info (configs : Config.t list) : IntSet.t * (Config.t, unit) Hashtbl.t =
+let conflict_info (b : builder) (configs : Config.t list) :
+    Bitset.t * (Config.t, unit) Hashtbl.t =
   (* Group by state; within a group, quadratic scan (groups are small). *)
   let by_state = Hashtbl.create 16 in
   List.iter
@@ -269,31 +328,28 @@ let conflict_info (configs : Config.t list) : IntSet.t * (Config.t, unit) Hashtb
       Hashtbl.replace by_state c.state (c :: cur))
     configs;
   let participants = Hashtbl.create 16 in
-  let alts =
-    Hashtbl.fold
-      (fun _ group acc ->
-        let rec pairs acc = function
-          | [] -> acc
-          | c :: rest ->
-              let acc =
-                List.fold_left
-                  (fun acc c' ->
-                    if Config.conflicts c c' then begin
-                      Hashtbl.replace participants c ();
-                      Hashtbl.replace participants c' ();
-                      IntSet.add c.Config.alt (IntSet.add c'.Config.alt acc)
-                    end
-                    else acc)
-                  acc rest
-              in
-              pairs acc rest
-        in
-        pairs acc group)
-      by_state IntSet.empty
-  in
+  let alts = Bitset.create (alt_universe b.decision) in
+  Hashtbl.iter
+    (fun _ group ->
+      let rec pairs = function
+        | [] -> ()
+        | c :: rest ->
+            List.iter
+              (fun c' ->
+                if Config.conflicts c c' then begin
+                  Hashtbl.replace participants c ();
+                  Hashtbl.replace participants c' ();
+                  Bitset.add alts c.Config.alt;
+                  Bitset.add alts c'.Config.alt
+                end)
+              rest;
+            pairs rest
+      in
+      pairs group)
+    by_state;
   (alts, participants)
 
-let conflict_set configs = fst (conflict_info configs)
+let conflict_set b configs = fst (conflict_info b configs)
 
 (* Try to resolve the alternatives in [alts] with predicates
    (Algorithm 11, resolveWithPreds).  Each alternative needs a
@@ -313,10 +369,10 @@ let debug_resolve = ref false
 
 let resolve_with_preds (b : builder) (d : wstate)
     ?(participants : (Config.t, unit) Hashtbl.t = Hashtbl.create 0)
-    (alts : IntSet.t) : bool =
+    (alts : Bitset.t) : bool =
   if !debug_resolve then begin
     Fmt.epr "[resolve] decision %d state %d alts {%a}@." b.decision.d_id d.id
-      Fmt.(list ~sep:(any ", ") int) (IntSet.elements alts);
+      Fmt.(list ~sep:(any ", ") int) (Bitset.elements alts);
     List.iter
       (fun (c : Config.t) ->
         Fmt.epr "  cfg %a@." (Config.pp b.atn.sym) c)
@@ -355,21 +411,19 @@ let resolve_with_preds (b : builder) (d : wstate)
   let guard_for alt =
     if d.overflow then []
     else begin
-      let set = Hashtbl.create 8 in
+      let set = Bitset.create (Grammar.Sym.num_terms b.atn.sym) in
       List.iter
         (fun (c : Config.t) ->
           if c.alt = alt then
             Array.iter
               (fun (edge, _) ->
-                match edge with
-                | Atn.Term t -> Hashtbl.replace set t ()
-                | _ -> ())
+                match edge with Atn.Term t -> Bitset.add set t | _ -> ())
               b.atn.trans.(c.state))
         d.configs;
-      Hashtbl.fold (fun t () acc -> t :: acc) set [] |> List.sort compare
+      Bitset.elements set
     end
   in
-  let alt_list = IntSet.elements alts in
+  let alt_list = Bitset.elements alts in
   let with_preds, without =
     List.partition (fun a -> pred_for a <> None) alt_list
   in
@@ -380,7 +434,7 @@ let resolve_with_preds (b : builder) (d : wstate)
   | [] ->
       d.pred_edges <- List.map edge alt_list;
       true
-  | [ dflt ] when dflt = IntSet.max_elt alts && with_preds <> [] ->
+  | [ dflt ] when Some dflt = Bitset.max_elt_opt alts && with_preds <> [] ->
       d.pred_edges <-
         List.map edge with_preds @ [ { guard = []; pred = None; alt = dflt } ];
       true
@@ -390,13 +444,13 @@ let resolve_with_preds (b : builder) (d : wstate)
    (Algorithm 10).  Mutates the state: either installs predicate edges or
    prunes configurations of losing alternatives. *)
 let resolve (b : builder) (d : wstate) : unit =
-  let conflicts, participants = conflict_info d.configs in
-  let needs_resolution = (not (IntSet.is_empty conflicts)) || d.overflow in
+  let conflicts, participants = conflict_info b d.configs in
+  let needs_resolution = (not (Bitset.is_empty conflicts)) || d.overflow in
   if needs_resolution then begin
     let target_alts =
-      if IntSet.is_empty conflicts then viable_alts d.configs else conflicts
+      if Bitset.is_empty conflicts then viable_alts b d.configs else conflicts
     in
-    if IntSet.cardinal target_alts <= 1 then ()
+    if Bitset.cardinal target_alts <= 1 then ()
     else if resolve_with_preds b d ~participants target_alts then
       List.iter
         (fun (e : Look_dfa.pred_edge) ->
@@ -413,11 +467,11 @@ let resolve (b : builder) (d : wstate) : unit =
          follow terminals when only its wrap-around path conflicts).  On
          recursion overflow there are no conflict pairs, so the losing
          alternatives are pruned wholesale as in the paper. *)
-      let keep = IntSet.min_elt target_alts in
+      let keep = Option.get (Bitset.min_elt_opt target_alts) in
       let doomed (c : Config.t) =
         c.alt <> keep
-        && IntSet.mem c.alt target_alts
-        && (Hashtbl.mem participants c || IntSet.is_empty conflicts)
+        && Bitset.mem target_alts c.alt
+        && (Hashtbl.mem participants c || Bitset.is_empty conflicts)
       in
       d.configs <- List.filter (fun c -> not (doomed c)) d.configs;
       if d.overflow then
@@ -427,7 +481,7 @@ let resolve (b : builder) (d : wstate) : unit =
           (Ambiguity
              {
                decision = b.decision.d_id;
-               alts = IntSet.elements target_alts;
+               alts = Bitset.elements target_alts;
                path = List.rev d.path;
              })
     end
@@ -439,23 +493,27 @@ let resolve (b : builder) (d : wstate) : unit =
    input (section 4.1), so reaching the fragment's end means the predicate
    holds regardless of what follows; such alternatives become a gated
    default tried after the state's terminal edges. *)
-let fragment_end_alts (atn : Atn.t) (configs : Config.t list) : IntSet.t =
-  List.fold_left
-    (fun acc (c : Config.t) ->
-      if c.stack = [] && Atn.is_stop_state atn c.state then
+let fragment_end_alts (b : builder) (configs : Config.t list) : Bitset.t =
+  let atn = b.atn in
+  let acc = Bitset.create (alt_universe b.decision) in
+  List.iter
+    (fun (c : Config.t) ->
+      if c.stack = [] && Atn.is_stop_state atn c.state then begin
         let rule = atn.state_rule.(c.state) in
-        if atn.callers.(rule) = [] then IntSet.add c.alt acc else acc
-      else acc)
-    IntSet.empty configs
+        if atn.callers.(rule) = [] then Bitset.add acc c.alt
+      end)
+    configs;
+  acc
 
 (* Install the fragment-end default on a state that is not otherwise
    resolved; the state keeps expanding its terminal edges. *)
 let attach_fragment_end (b : builder) (d : wstate) : unit =
   if d.accept = 0 && d.pred_edges = [] then
-    match IntSet.min_elt_opt (fragment_end_alts b.atn d.configs) with
+    match Bitset.min_elt_opt (fragment_end_alts b d.configs) with
     | Some alt ->
-        let others = IntSet.remove alt (viable_alts d.configs) in
-        if not (IntSet.is_empty others) then
+        let others = viable_alts b d.configs in
+        Bitset.remove others alt;
+        if not (Bitset.is_empty others) then
           d.pred_edges <- [ { Look_dfa.guard = []; pred = None; alt } ]
     | None -> ()
 
@@ -554,7 +612,7 @@ let should_expand (d : wstate) =
    alternative survives resolution, and attach the fragment-end default. *)
 let settle_fresh (b : builder) (d : wstate) : unit =
   resolve b d;
-  (match IntSet.elements (viable_alts d.configs) with
+  (match Bitset.elements (viable_alts b d.configs) with
   | [ j ] when d.pred_edges = [] -> d.accept <- j
   | _ -> ());
   attach_fragment_end b d
@@ -564,7 +622,7 @@ let settle_fresh (b : builder) (d : wstate) : unit =
    its D0; it keeps using [build_d0] directly. *)
 let init_d0 (b : builder) : wstate =
   let d0 = build_d0 b in
-  (match IntSet.elements (viable_alts d0.configs) with
+  (match Bitset.elements (viable_alts b d0.configs) with
   | [ j ] when d0.pred_edges = [] -> d0.accept <- j
   | _ -> ());
   attach_fragment_end b d0;
@@ -573,14 +631,14 @@ let init_d0 (b : builder) : wstate =
 (* User-capped depth (the grammar's k option): force a resolution at this
    state instead of expanding it further. *)
 let force_cap_resolution (b : builder) (d : wstate) : unit =
-  let alts = viable_alts d.configs in
+  let alts = viable_alts b d.configs in
   if not (resolve_with_preds b d alts) then begin
-    d.accept <- IntSet.min_elt alts;
+    d.accept <- Option.get (Bitset.min_elt_opt alts);
     warn b
       (Ambiguity
          {
            decision = b.decision.d_id;
-           alts = IntSet.elements alts;
+           alts = Bitset.elements alts;
            path = List.rev d.path;
          })
   end
@@ -637,7 +695,7 @@ let create_dfa_exn (b : builder) : Look_dfa.t =
 
 let create_fallback (b : builder) : Look_dfa.t =
   let d0 = build_d0 b in
-  (match IntSet.elements (viable_alts d0.configs) with
+  (match Bitset.elements (viable_alts b d0.configs) with
   | [ j ] when d0.pred_edges = [] -> d0.accept <- j
   | _ -> ());
   if d0.accept = 0 && d0.pred_edges = [] then
@@ -650,8 +708,9 @@ let create_fallback (b : builder) : Look_dfa.t =
             new_wstate b ~depth:1 ~path:[ a ] configs overflow
           in
           if fresh then begin
-            let alts = viable_alts d'.configs in
-            if IntSet.cardinal alts = 1 then d'.accept <- IntSet.min_elt alts
+            let alts = viable_alts b d'.configs in
+            if Bitset.cardinal alts = 1 then
+              d'.accept <- Option.get (Bitset.min_elt_opt alts)
             else if resolve_with_preds b d' alts then
               List.iter
                 (fun (e : Look_dfa.pred_edge) ->
@@ -660,12 +719,12 @@ let create_fallback (b : builder) : Look_dfa.t =
                   | _ -> ())
                 d'.pred_edges
             else begin
-              d'.accept <- IntSet.min_elt alts;
+              d'.accept <- Option.get (Bitset.min_elt_opt alts);
               warn b
                 (Ambiguity
                    {
                      decision = b.decision.d_id;
-                     alts = IntSet.elements alts;
+                     alts = Bitset.elements alts;
                      path = [ a ];
                    })
             end
@@ -686,7 +745,8 @@ let make_builder atn opts decision ~allow_multi_recursion =
     nstates = 0;
     dedup = Hashtbl.create 64;
     by_id = Hashtbl.create 64;
-    recursive_alts = IntSet.empty;
+    recursive_alts = Bitset.create (alt_universe decision);
+    closure_memo = Hashtbl.create 256;
     warnings = [];
     uses_synpred = false;
     allow_multi_recursion;

@@ -1,0 +1,231 @@
+(* Flat Bytes-backed bitsets over dense interned-id universes.
+
+   Bit [i] lives in byte [i lsr 3] at mask [1 lsl (i land 7)].  The byte
+   granularity keeps the representation portable across 32/64-bit words and
+   lets union/inter run as straight byte loops the compiler unrolls well;
+   universes here are small (symbol vocabularies, alternative counts), so
+   the constant factor of byte-at-a-time vs word-at-a-time is irrelevant
+   next to the allocation-free membership and in-place-union wins over
+   [Set.Make(String)]. *)
+
+type t = { bits : Bytes.t; universe : int }
+
+(* Popcount per byte, for O(bytes) cardinal. *)
+let popcount8 =
+  let tbl = Bytes.create 256 in
+  for i = 0 to 255 do
+    let rec count n = if n = 0 then 0 else (n land 1) + count (n lsr 1) in
+    Bytes.unsafe_set tbl i (Char.chr (count i))
+  done;
+  tbl
+
+let nbytes universe = (universe + 7) lsr 3
+
+let create universe =
+  if universe < 0 then invalid_arg "Bitset.create: negative universe";
+  { bits = Bytes.make (nbytes universe) '\000'; universe }
+
+let universe t = t.universe
+
+let copy t = { bits = Bytes.copy t.bits; universe = t.universe }
+
+let check_range name t i =
+  if i < 0 || i >= t.universe then
+    invalid_arg
+      (Printf.sprintf "Bitset.%s: %d outside universe [0,%d)" name i t.universe)
+
+let add t i =
+  check_range "add" t i;
+  let b = i lsr 3 in
+  Bytes.unsafe_set t.bits b
+    (Char.unsafe_chr
+       (Char.code (Bytes.unsafe_get t.bits b) lor (1 lsl (i land 7))))
+
+let remove t i =
+  check_range "remove" t i;
+  let b = i lsr 3 in
+  Bytes.unsafe_set t.bits b
+    (Char.unsafe_chr
+       (Char.code (Bytes.unsafe_get t.bits b) land lnot (1 lsl (i land 7))))
+
+let mem t i =
+  i >= 0 && i < t.universe
+  && Char.code (Bytes.unsafe_get t.bits (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+let is_empty t =
+  let n = Bytes.length t.bits in
+  let rec go i = i >= n || (Bytes.unsafe_get t.bits i = '\000' && go (i + 1)) in
+  go 0
+
+let cardinal t =
+  let n = Bytes.length t.bits in
+  let acc = ref 0 in
+  for i = 0 to n - 1 do
+    acc :=
+      !acc
+      + Char.code (Bytes.unsafe_get popcount8 (Char.code (Bytes.unsafe_get t.bits i)))
+  done;
+  !acc
+
+let same_universe name a b =
+  if a.universe <> b.universe then
+    invalid_arg
+      (Printf.sprintf "Bitset.%s: universes differ (%d vs %d)" name a.universe
+         b.universe)
+
+let equal a b = same_universe "equal" a b; Bytes.equal a.bits b.bits
+
+let subset a b =
+  same_universe "subset" a b;
+  let n = Bytes.length a.bits in
+  let rec go i =
+    i >= n
+    ||
+    let x = Char.code (Bytes.unsafe_get a.bits i) in
+    let y = Char.code (Bytes.unsafe_get b.bits i) in
+    x land lnot y = 0 && go (i + 1)
+  in
+  go 0
+
+let singleton ~universe i =
+  let t = create universe in
+  add t i;
+  t
+
+let of_list ~universe xs =
+  let t = create universe in
+  List.iter (add t) xs;
+  t
+
+let map2 name f a b =
+  same_universe name a b;
+  let n = Bytes.length a.bits in
+  let bits = Bytes.create n in
+  for i = 0 to n - 1 do
+    Bytes.unsafe_set bits i
+      (Char.unsafe_chr
+         (f
+            (Char.code (Bytes.unsafe_get a.bits i))
+            (Char.code (Bytes.unsafe_get b.bits i))
+         land 0xff))
+  done;
+  { bits; universe = a.universe }
+
+let union a b = map2 "union" (fun x y -> x lor y) a b
+let inter a b = map2 "inter" (fun x y -> x land y) a b
+let diff a b = map2 "diff" (fun x y -> x land lnot y) a b
+
+(* Complement within the universe: mask the last byte's slack bits so they
+   stay zero (iteration and cardinal rely on that invariant). *)
+let complement t =
+  let n = Bytes.length t.bits in
+  let bits = Bytes.create n in
+  for i = 0 to n - 1 do
+    Bytes.unsafe_set bits i
+      (Char.unsafe_chr (lnot (Char.code (Bytes.unsafe_get t.bits i)) land 0xff))
+  done;
+  let slack = t.universe land 7 in
+  if slack <> 0 && n > 0 then
+    Bytes.unsafe_set bits (n - 1)
+      (Char.unsafe_chr (Char.code (Bytes.unsafe_get bits (n - 1)) land ((1 lsl slack) - 1)));
+  { bits; universe = t.universe }
+
+let union_into ~into src =
+  same_universe "union_into" into src;
+  let n = Bytes.length into.bits in
+  let changed = ref false in
+  for i = 0 to n - 1 do
+    let x = Char.code (Bytes.unsafe_get into.bits i) in
+    let y = Char.code (Bytes.unsafe_get src.bits i) in
+    let m = x lor y in
+    if m <> x then begin
+      changed := true;
+      Bytes.unsafe_set into.bits i (Char.unsafe_chr m)
+    end
+  done;
+  !changed
+
+let iter f t =
+  let n = Bytes.length t.bits in
+  for b = 0 to n - 1 do
+    let byte = Char.code (Bytes.unsafe_get t.bits b) in
+    if byte <> 0 then
+      for bit = 0 to 7 do
+        if byte land (1 lsl bit) <> 0 then f ((b lsl 3) lor bit)
+      done
+  done
+
+let fold f t init =
+  let acc = ref init in
+  iter (fun i -> acc := f i !acc) t;
+  !acc
+
+let elements t = List.rev (fold (fun i acc -> i :: acc) t [])
+
+let min_elt_opt t =
+  let exception Found of int in
+  match iter (fun i -> raise (Found i)) t with
+  | () -> None
+  | exception Found i -> Some i
+
+let max_elt_opt t = fold (fun i _ -> Some i) t None
+
+let choose_opt = min_elt_opt
+
+let pp ppf t =
+  Format.fprintf ppf "{%s}"
+    (String.concat "," (List.map string_of_int (elements t)))
+
+module Growable = struct
+  type fixed = t
+
+  let fixed_create = create
+  let fixed_add = add
+
+  type t = { mutable bits : Bytes.t; mutable cap : int }
+
+  let granule = 64 (* ids; 8 bytes *)
+
+  let create ?(initial = granule) () =
+    let initial = max granule initial in
+    { bits = Bytes.make (nbytes initial) '\000'; cap = initial }
+
+  let universe t = t.cap
+
+  let ensure t i =
+    if i >= t.cap then begin
+      let cap = ref (max t.cap granule) in
+      while i >= !cap do
+        cap := !cap * 2
+      done;
+      let bits = Bytes.make (nbytes !cap) '\000' in
+      Bytes.blit t.bits 0 bits 0 (Bytes.length t.bits);
+      t.bits <- bits;
+      t.cap <- !cap
+    end
+
+  let add t i =
+    if i < 0 then invalid_arg "Bitset.Growable.add: negative id";
+    ensure t i;
+    let b = i lsr 3 in
+    Bytes.unsafe_set t.bits b
+      (Char.unsafe_chr
+         (Char.code (Bytes.unsafe_get t.bits b) lor (1 lsl (i land 7))))
+
+  let mem t i =
+    i >= 0 && i < t.cap
+    && Char.code (Bytes.unsafe_get t.bits (i lsr 3)) land (1 lsl (i land 7))
+       <> 0
+
+  let as_fixed t : fixed = { bits = t.bits; universe = t.cap }
+
+  let cardinal t = cardinal (as_fixed t)
+  let is_empty t = is_empty (as_fixed t)
+  let iter f t = iter f (as_fixed t)
+  let elements t = elements (as_fixed t)
+
+  let snapshot ~universe:u t : fixed =
+    let s = fixed_create u in
+    iter (fun i -> if i < u then fixed_add s i) t;
+    s
+end

@@ -1,0 +1,80 @@
+(** Flat [Bytes]-backed bitsets over dense interned-id universes.
+
+    The analysis and runtime hot paths (FIRST/FOLLOW fixpoints, subset
+    construction, panic-mode sync sets, LL(1)/LL(k) table building) operate
+    on sets of interned symbol ids.  A fixed-universe bitvector makes
+    membership, union and intersection O(universe/64) word operations with
+    zero allocation on the mutating paths, replacing the tree-backed
+    [Set.Make(String)] machinery whose constant factors dominated analysis
+    time (cf. LL(finite) and the packrat literature: representation, not
+    algorithm, decides the constants).
+
+    All elements live in [0, universe); [add]/[remove] raise
+    [Invalid_argument] outside that range, while [mem] simply answers
+    [false].  Iteration is always in ascending id order.  The {!Growable}
+    variant resizes its universe on demand, for vocabularies still being
+    interned while sets are built. *)
+
+type t
+
+val create : int -> t
+(** [create n] is the empty set over universe [0..n-1].  [n >= 0]. *)
+
+val universe : t -> int
+val copy : t -> t
+
+val add : t -> int -> unit
+val remove : t -> int -> unit
+val mem : t -> int -> bool
+val is_empty : t -> bool
+val cardinal : t -> int
+val equal : t -> t -> bool
+val subset : t -> t -> bool
+(** [subset a b] is true when every element of [a] is in [b]. *)
+
+val singleton : universe:int -> int -> t
+val of_list : universe:int -> int list -> t
+
+val union : t -> t -> t
+val inter : t -> t -> t
+val diff : t -> t -> t
+val complement : t -> t
+(** Complement within the universe. *)
+
+val union_into : into:t -> t -> bool
+(** [union_into ~into src] adds every element of [src] to [into] in place
+    and reports whether [into] changed -- the primitive the FIRST/FOLLOW
+    and closure fixpoints iterate on.  Universes must match. *)
+
+val iter : (int -> unit) -> t -> unit
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+val elements : t -> int list
+(** Ascending. *)
+
+val min_elt_opt : t -> int option
+val max_elt_opt : t -> int option
+val choose_opt : t -> int option
+
+val pp : Format.formatter -> t -> unit
+
+(** Growable-universe variant: [add] beyond the current universe resizes
+    the backing store instead of raising.  Used where the id universe is
+    still being interned while sets accumulate. *)
+module Growable : sig
+  type fixed := t
+  type t
+
+  val create : ?initial:int -> unit -> t
+  val universe : t -> int
+  (** Current capacity: one past the largest id ever added, rounded up to
+      the allocation granule. *)
+
+  val add : t -> int -> unit
+  val mem : t -> int -> bool
+  val cardinal : t -> int
+  val is_empty : t -> bool
+  val iter : (int -> unit) -> t -> unit
+  val elements : t -> int list
+  val snapshot : universe:int -> t -> fixed
+  (** Freeze into a fixed-universe set; elements [>= universe] are dropped. *)
+end

@@ -64,16 +64,31 @@ type t = {
 let snapshot_of_builder t (b : Analysis.builder) : Analysis.result =
   (* [~fallback:false]: that flag marks the LL(1) depth-1 fallback DFA
      only; a Bounded retry is still a full subset-construction DFA (the
-     eager path does the same), and [result.fallback] records the retry. *)
+     eager path does the same), and [result.fallback] records the retry.
+
+     The snapshot's [warnings] are deliberately left empty: warnings live
+     in [pre_warnings] and the builder until they are assembled on demand
+     ([result]) or once at completion.  Re-concatenating the lists here --
+     on every sprout -- made warning bookkeeping quadratic in the number
+     of lazily discovered states. *)
   let dfa = Analysis.freeze b ~fallback:false in
   {
     Analysis.dfa;
     klass = Analysis.classify dfa;
-    warnings = t.pre_warnings @ List.rev b.Analysis.warnings;
+    warnings = [];
     fallback = t.fallback;
   }
 
 let refresh t b = t.snapshot <- snapshot_of_builder t b
+
+(* The Bounded-fallback engagement reason.  Set-once: engagement can be
+   attempted from several paths (initial D0 construction, a sprout, the
+   completion drive), and appending unconditionally would duplicate the
+   [Non_ll_regular] warning. *)
+let note_non_ll_regular t =
+  let w = Analysis.Non_ll_regular { decision = t.decision.Atn.d_id } in
+  if not (List.mem w t.pre_warnings) then
+    t.pre_warnings <- t.pre_warnings @ [ w ]
 
 let go_eager t : unit =
   let r = Analysis.analyze_decision ~opts:t.opts t.atn t.decision in
@@ -84,9 +99,7 @@ let go_eager t : unit =
 
 let engage_bounded t (b : Analysis.builder) : unit =
   t.fallback <- true;
-  t.pre_warnings <-
-    t.pre_warnings
-    @ [ Analysis.Non_ll_regular { decision = t.decision.Atn.d_id } ];
+  note_non_ll_regular t;
   b.Analysis.allow_multi_recursion <- true
 
 let create ?opts (atn : Atn.t) (decision : Atn.decision) : t =
@@ -145,15 +158,25 @@ let create ?opts (atn : Atn.t) (decision : Atn.decision) : t =
       match opts.Analysis.fallback with
       | Analysis.Bounded ->
           t.fallback <- true;
-          t.pre_warnings <-
-            [ Analysis.Non_ll_regular { decision = decision.Atn.d_id } ];
+          note_non_ll_regular t;
           start true
       | Analysis.Ll1 -> go_eager t)
   | exception Analysis.Too_big -> go_eager t);
   t
 
 let current t : Look_dfa.t = t.snapshot.Analysis.dfa
-let result t : Analysis.result = t.snapshot
+
+(* Assemble warnings on demand while building: the stored snapshot keeps
+   them empty (see [snapshot_of_builder]); a completed or eagerly rebuilt
+   engine has them baked into the snapshot. *)
+let result t : Analysis.result =
+  match t.phase with
+  | Done -> t.snapshot
+  | Building b ->
+      {
+        t.snapshot with
+        Analysis.warnings = t.pre_warnings @ List.rev b.Analysis.warnings;
+      }
 let is_complete t = match t.phase with Done -> true | Building _ -> false
 let materialized t = (current t).Look_dfa.nstates
 

@@ -1,5 +1,11 @@
 (** FIRST / FOLLOW / FIRST_k over the BNF skeleton.
 
+    The computation interns every terminal and nonterminal into dense
+    integer ids at {!compute} time and runs its fixpoints over
+    [Bitset.t] vectors; the string-keyed functions below are thin
+    compatibility views kept for validation, pretty-printing and tests.
+    Hot paths should use the [_ids] API.
+
     FIRST_k works with sets of terminal sequences of length <= k under
     truncating concatenation; it is the substrate of the fixed-k LL(k)
     baseline and of the LPG blow-up demonstration (paper section 2). *)
@@ -8,11 +14,66 @@ module SS : Set.S with type elt = string
 
 module SeqSet : Set.S with type elt = string list
 
+module IdSeqSet : Set.S with type elt = int list
+(** Terminal-id sequences, for the id-based FIRST_k. *)
+
 type t
 
 val eof_name : string
 
+val eof : int
+(** Interned terminal id of [eof_name]; always [0]. *)
+
 val compute : Bnf.t -> t
+
+(** {1 Interned symbol spaces}
+
+    Terminals occupy ids [0 .. num_terms-1] (EOF is id 0); nonterminals
+    occupy a separate space [0 .. num_nonterms-1].  In compiled
+    productions both spaces share one [int] code: a terminal id is coded
+    as itself ([>= 0]) and a nonterminal id [n] as [lnot n] ([< 0]). *)
+
+val num_terms : t -> int
+val num_nonterms : t -> int
+val term_id : t -> string -> int option
+val term_name : t -> int -> string
+val nonterm_id : t -> string -> int option
+val nonterm_name : t -> int -> string
+
+val code_of_term : int -> int
+val code_of_nonterm : int -> int
+val is_term_code : int -> bool
+val nonterm_of_code : int -> int
+
+val num_prods : t -> int
+(** Productions are indexed in [Bnf.t.prods] order. *)
+
+val prod_lhs_id : t -> int -> int
+val prod_rhs_ids : t -> int -> int array
+(** The compiled rhs of production [i]; symbol codes, not to be
+    mutated. *)
+
+(** {1 Id-based hot-path API} *)
+
+val nullable_id : t -> int -> bool
+val first_ids : t -> int -> Bitset.t
+(** FIRST set of a nonterminal id, universe [num_terms].  The returned
+    set is the computation's own vector: do not mutate it. *)
+
+val follow_ids : t -> int -> Bitset.t
+(** FOLLOW set of a nonterminal id; same ownership rule as
+    {!first_ids}. *)
+
+val first_seq_ids : t -> int array -> pos:int -> Bitset.t * bool
+(** FIRST of the coded symbol-sequence suffix starting at [pos], plus
+    whether that suffix is nullable.  The result is freshly allocated and
+    owned by the caller. *)
+
+val first_k_ids : ?max_set_size:int -> t -> int -> int array -> IdSeqSet.t
+(** Id-based FIRST_k over a coded symbol sequence.  The per-nonterminal
+    fixpoint table is memoized per [(k, max_set_size)] on [t]. *)
+
+(** {1 String-keyed compatibility views} *)
 
 val is_nullable : t -> string -> bool
 val first_of : t -> string -> SS.t
@@ -28,6 +89,8 @@ exception Blowup of int
 
 val concat_k : int -> SeqSet.t -> SeqSet.t -> SeqSet.t
 (** Truncating concatenation of sequence sets. *)
+
+val concat_k_ids : int -> IdSeqSet.t -> IdSeqSet.t -> IdSeqSet.t
 
 val first_k : ?max_set_size:int -> t -> int -> Bnf.symbol list -> SeqSet.t
 (** All terminal sequences of length <= k that can begin a derivation of the

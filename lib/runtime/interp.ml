@@ -63,12 +63,18 @@ type t = {
   mutable speculating : int;
   recover : bool;
   mutable errors : Parse_error.t list;
+  (* length of [errors], maintained incrementally: the recovery loop tests
+     the cap once per recorded error, and [List.length] there made error
+     processing quadratic in the error count *)
+  mutable n_errors : int;
   max_errors : int;
-  (* lazily computed panic-mode sync sets: rule -> terminals that can follow *)
-  follow_cache : (int, (int, unit) Hashtbl.t) Hashtbl.t;
+  (* lazily computed panic-mode sync sets: rule -> terminals that can
+     follow, as a bitset over the token-type universe *)
+  follow_cache : (int, Bitset.t) Hashtbl.t;
   (* FIRST/nullability over the prepared grammar's BNF skeleton, computed on
-     the first recovery and reused for every sync set *)
-  mutable ff : Grammar.First_follow.t option;
+     the first recovery and reused for every sync set, paired with the
+     ff-terminal-id -> token-type translation (-1: not a lexed token) *)
+  mutable ff : (Grammar.First_follow.t * int array) option;
 }
 
 let atn t = t.c.Llstar.Compiled.atn
@@ -430,31 +436,51 @@ and parse_rule t (rule : int) ~prec ~building : Tree.t list =
 (* ------------------------------------------------------------------ *)
 (* Panic-mode recovery: sync to a token that can follow the current rule. *)
 
-let first_follow t : Grammar.First_follow.t =
+let first_follow t : Grammar.First_follow.t * int array =
   match t.ff with
-  | Some ff -> ff
+  | Some pair -> pair
   | None ->
+      let a = atn t in
       let ff =
-        Grammar.First_follow.compute
-          (Grammar.Bnf.convert (atn t).Atn.grammar)
+        Grammar.First_follow.compute (Grammar.Bnf.convert a.Atn.grammar)
       in
-      t.ff <- Some ff;
-      ff
+      (* Translate interned FIRST/FOLLOW terminal ids to the lexer's token
+         types once; sync-set construction then unions bitsets without any
+         name lookups.  The grammar-level "." maps to the wildcard token. *)
+      let map =
+        Array.init (Grammar.First_follow.num_terms ff) (fun i ->
+            let name = Grammar.First_follow.term_name ff i in
+            if name = "." then Grammar.Sym.wildcard
+            else
+              match Grammar.Sym.find_term a.Atn.sym name with
+              | Some id -> id
+              | None -> -1)
+      in
+      t.ff <- Some (ff, map);
+      (ff, map)
 
-let follow_set t (rule : int) : (int, unit) Hashtbl.t =
+let follow_set t (rule : int) : Bitset.t =
   match Hashtbl.find_opt t.follow_cache rule with
   | Some s -> s
   | None ->
       let a = atn t in
-      let ff = first_follow t in
-      let set = Hashtbl.create 8 in
-      Hashtbl.replace set Grammar.Sym.eof ();
-      let add_term_name name =
-        if name = "." then Hashtbl.replace set Grammar.Sym.wildcard ()
-        else
-          match Grammar.Sym.find_term a.Atn.sym name with
-          | Some id -> Hashtbl.replace set id ()
-          | None -> ()
+      let ff, term_map = first_follow t in
+      let set = Bitset.create (Grammar.Sym.num_terms a.Atn.sym) in
+      Bitset.add set Grammar.Sym.eof;
+      let add_first_of callee =
+        match Grammar.First_follow.nonterm_id ff (Atn.rule_name a callee) with
+        | None -> ()
+        | Some n ->
+            Bitset.iter
+              (fun fid ->
+                let sid = term_map.(fid) in
+                if sid >= 0 then Bitset.add set sid)
+              (Grammar.First_follow.first_ids ff n)
+      in
+      let callee_nullable callee =
+        match Grammar.First_follow.nonterm_id ff (Atn.rule_name a callee) with
+        | Some n -> Grammar.First_follow.nullable_id ff n
+        | None -> false
       in
       (* Terminals that can appear right after the rule in any calling
          context: walk forward from every call site's follow state.  A
@@ -474,12 +500,10 @@ let follow_set t (rule : int) : (int, unit) Hashtbl.t =
             Array.iter
               (fun (edge, tgt) ->
                 match edge with
-                | Atn.Term term -> Hashtbl.replace set term ()
+                | Atn.Term term -> Bitset.add set term
                 | Atn.Rule { rule = callee; _ } ->
-                    let cname = Atn.rule_name a callee in
-                    Grammar.First_follow.SS.iter add_term_name
-                      (Grammar.First_follow.first_of ff cname);
-                    if Grammar.First_follow.is_nullable ff cname then go tgt
+                    add_first_of callee;
+                    if callee_nullable callee then go tgt
                 | Atn.Eps | Atn.Pred _ | Atn.Act _ -> go tgt)
               a.Atn.trans.(s)
         end
@@ -491,11 +515,11 @@ let follow_set t (rule : int) : (int, unit) Hashtbl.t =
 let recover_to_follow t rule =
   let follow = follow_set t rule in
   (* a wildcard in the sync set means any token can follow the rule *)
-  let any = Hashtbl.mem follow Grammar.Sym.wildcard in
+  let any = Bitset.mem follow Grammar.Sym.wildcard in
   let skipped = ref 0 in
   let rec skip () =
     let la1 = Token_stream.la t.ts 1 in
-    if la1 <> Grammar.Sym.eof && (not any) && not (Hashtbl.mem follow la1)
+    if la1 <> Grammar.Sym.eof && (not any) && not (Bitset.mem follow la1)
     then begin
       ignore (Token_stream.consume t.ts);
       incr skipped;
@@ -539,6 +563,7 @@ let create ?(env = default_env) ?profile ?(tracer = Obs.Trace.null)
     speculating = 0;
     recover;
     errors = [];
+    n_errors = 0;
     max_errors;
     follow_cache = Hashtbl.create 16;
     ff = None;
@@ -551,42 +576,54 @@ let start_rule_id t = function
       | None -> invalid_arg (Printf.sprintf "Interp: no rule '%s'" name))
   | None -> (atn t).Atn.start_rule
 
+let record_error t e =
+  t.errors <- e :: t.errors;
+  t.n_errors <- t.n_errors + 1
+
 (* Parse from [start] (default: the grammar's start rule) and require EOF.
    With [recover=false] the first error aborts; with [recover=true] the
    parser records the error, resynchronizes, and continues, returning
-   [Error] with everything it found. *)
+   [Error] with everything it found.
+
+   The retry loop is iterative: with recovery on, a pathological input can
+   produce one error per token, and a recursive attempt per error would
+   both grow the stack linearly and (before [n_errors]) scan the error
+   list per error, turning recovery quadratic. *)
 let run (t : t) ?start () : (Tree.t, Parse_error.t list) result =
   let rule = start_rule_id t start in
-  let rec attempt () =
+  let tree = ref None in
+  let continue_ = ref true in
+  while !continue_ do
+    continue_ := false;
     match parse_rule t rule ~prec:0 ~building:true with
-    | [ tree ] ->
+    | [ tr ] ->
+        tree := Some tr;
         if Token_stream.la t.ts 1 <> Grammar.Sym.eof then begin
           let tok = Token_stream.lt t.ts 1 in
           let e =
             Parse_error.{ kind = Extraneous_input; token = tok; rule }
           in
-          if t.recover && List.length t.errors < t.max_errors then begin
-            t.errors <- e :: t.errors;
+          let retry = t.recover && t.n_errors < t.max_errors in
+          record_error t e;
+          if retry then begin
             ignore (Token_stream.consume t.ts);
-            if Token_stream.la t.ts 1 <> Grammar.Sym.eof then ignore (attempt ())
+            if Token_stream.la t.ts 1 <> Grammar.Sym.eof then
+              continue_ := true
           end
-          else t.errors <- e :: t.errors
-        end;
-        Some tree
-    | _ -> None
+        end
+    | _ -> tree := None
     | exception Parse_error.Error e ->
-        t.errors <- e :: t.errors;
-        if t.recover && List.length t.errors < t.max_errors then begin
+        tree := None;
+        record_error t e;
+        if t.recover && t.n_errors < t.max_errors then begin
           recover_to_follow t e.Parse_error.rule;
           if
             Token_stream.la t.ts 1 <> Grammar.Sym.eof
             && Token_stream.index t.ts < Token_stream.size t.ts
-          then attempt ()
-          else None
+          then continue_ := true
         end
-        else None
-  in
-  match attempt () with
+  done;
+  match !tree with
   | Some tree when t.errors = [] -> Ok tree
   | _ -> Error (List.rev t.errors)
 

@@ -34,7 +34,12 @@ let consume t =
   if not (Token.is_eof tok) then t.p <- t.p + 1;
   tok
 
-let seek t i = t.p <- i
+(* Clamp to [0, size]: [size] is the legal post-EOF cursor.  Marks always
+   come from [mark]/[index] and are in range, but seek is also reachable
+   from memoized stop positions and recovery logic; an out-of-range cursor
+   silently accepted here surfaced later as [prev] reading outside the
+   array or lookahead running from a negative index. *)
+let seek t i = t.p <- max 0 (min i (Array.length t.toks))
 
 let mark t = t.p
 

@@ -27,7 +27,11 @@ val prev : t -> Token.t option
 (** The most recently consumed token. *)
 
 val mark : t -> int
+
 val seek : t -> int -> unit
+(** Reposition the cursor.  Out-of-range targets are clamped to
+    [0, size] ([size] being the post-EOF position). *)
+
 val at_eof : t -> bool
 
 val high_water : t -> int

@@ -36,7 +36,7 @@ let rule_id c name =
 let mem_follow c t rule term =
   let set = Runtime.Interp.follow_set t (rule_id c rule) in
   match Grammar.Sym.find_term (Llstar.Compiled.sym c) term with
-  | Some id -> Hashtbl.mem set id
+  | Some id -> Bitset.mem set id
   | None -> Alcotest.failf "no terminal %s" term
 
 let recovery_tests =

@@ -128,6 +128,48 @@ let small_cases =
         | Error _ -> Alcotest.fail "second parse failed");
         check int "warm parse adds no states" after
           (Llstar.Lazy_dfa.materialized eng));
+    test "repeated sprouts yield exactly one non-LL-regular warning"
+      (fun () ->
+        (* Section 5.4 grammar: recursion in both alternatives of [s]
+           engages the Bounded fallback.  The engagement reason used to be
+           re-appended on every sprout refresh, so N discovered states
+           produced N copies of the warning (and re-concatenated the list
+           each time).  It must appear exactly once, mid-build and after
+           completion, matching the eager analysis. *)
+        let src = "grammar F; s : a 'c' | a 'd' ; a : 'a' a | 'b' ;" in
+        let c =
+          Llstar.Compiled.of_source_exn ~strategy:Llstar.Compiled.Lazy src
+        in
+        let d = rule_decision c "s" in
+        let eng = Option.get (Llstar.Compiled.engine c d) in
+        let count_nlr (r : Llstar.Analysis.result) =
+          List.length
+            (List.filter
+               (function Llstar.Analysis.Non_ll_regular _ -> true | _ -> false)
+               r.Llstar.Analysis.warnings)
+        in
+        (* D0's closure stops at terminal edges, so the recursion is only
+           discovered while sprouting deeper states *)
+        check int "no warning at creation" 0
+          (count_nlr (Llstar.Lazy_dfa.result eng));
+        (* several predictions from distinct lookahead depths: each sprouts
+           new states *)
+        List.iter
+          (fun input ->
+            match Runtime.Interp.parse c (lex c input) with
+            | Ok _ -> ()
+            | Error _ -> Alcotest.failf "parse of %S failed" input)
+          [ "b c"; "a b d"; "a a b c"; "a a a b c" ];
+        check bool "sprouted several states" true
+          (Llstar.Lazy_dfa.sprouted eng >= 2);
+        check int "still one warning mid-build" 1
+          (count_nlr (Llstar.Lazy_dfa.result eng));
+        let r = Llstar.Lazy_dfa.complete eng in
+        check int "one warning when complete" 1 (count_nlr r);
+        let eager = Llstar.Compiled.of_source_exn src in
+        check bool "warnings equal eager" true
+          (r.Llstar.Analysis.warnings
+          = eager.Llstar.Compiled.results.(d).Llstar.Analysis.warnings));
   ]
 
 let suite =

@@ -6,4 +6,5 @@ let () =
    @ Test_baselines.suite @ Test_minimize.suite @ Test_report.suite
    @ Test_bench_grammars.suite
    @ Test_lazy.suite @ Test_cache.suite @ Test_profile.suite
-   @ Test_props.suite @ Test_fuzz.suite @ Test_obs.suite)
+   @ Test_props.suite @ Test_fuzz.suite @ Test_obs.suite
+   @ Test_bitset.suite)

@@ -37,6 +37,28 @@ let stream_tests =
         Runtime.Token_stream.seek ts m;
         check int "rewound" 0 (Runtime.Token_stream.index ts);
         check bool "high water >= 6" true (Runtime.Token_stream.high_water ts >= 6));
+    test "seek clamps out-of-range targets" (fun () ->
+        let ts = Runtime.Token_stream.of_array (mk_tokens 3) in
+        Runtime.Token_stream.seek ts 100;
+        check int "clamped to size" 3 (Runtime.Token_stream.index ts);
+        check bool "at eof" true (Runtime.Token_stream.at_eof ts);
+        check int "la past end is EOF" Grammar.Sym.eof
+          (Runtime.Token_stream.la ts 1);
+        Runtime.Token_stream.seek ts (-5);
+        check int "clamped to 0" 0 (Runtime.Token_stream.index ts);
+        check int "la 1 after clamp" 2 (Runtime.Token_stream.la ts 1));
+    test "prev after seek 0 is None" (fun () ->
+        let ts = Runtime.Token_stream.of_array (mk_tokens 3) in
+        ignore (Runtime.Token_stream.consume ts);
+        ignore (Runtime.Token_stream.consume ts);
+        check bool "prev set" true (Runtime.Token_stream.prev ts <> None);
+        Runtime.Token_stream.seek ts 0;
+        check bool "prev cleared" true (Runtime.Token_stream.prev ts = None);
+        (* and again after a clamped negative seek *)
+        ignore (Runtime.Token_stream.consume ts);
+        Runtime.Token_stream.seek ts (-1);
+        check bool "prev cleared by clamp" true
+          (Runtime.Token_stream.prev ts = None));
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -150,6 +172,37 @@ let tree_tests =
         match Runtime.Interp.parse ~recover:true c (lex c "a = 1 ; b = ; c = 3 ;") with
         | Ok _ -> Alcotest.fail "expected errors"
         | Error errs -> check bool "at least one error" true (List.length errs >= 1));
+    test "recovery cost is linear in the error count" (fun () ->
+        (* One extraneous-input error per leftover token: with the error
+           limit tested via [List.length t.errors] this loop was quadratic
+           (~5e9 list-node visits at this size, ~9s); the mutable counter
+           makes it linear, comfortably inside the wall-clock bound. *)
+        let c = compile "grammar T; s : A ; junk : B ;" in
+        let a =
+          match Grammar.Sym.find_term (Llstar.Compiled.sym c) "A" with
+          | Some id -> id
+          | None -> Alcotest.fail "no terminal A"
+        in
+        let max_errors = 100_000 in
+        (* each retry consumes two tokens: the A that [s] matched plus the
+           extraneous one skipped by recovery *)
+        let toks =
+          Array.init ((2 * max_errors) + 10) (fun i ->
+              Runtime.Token.make ~index:i a "A")
+        in
+        let t0 = Unix.gettimeofday () in
+        let t = Runtime.Interp.create ~recover:true ~max_errors c toks in
+        let errs =
+          match Runtime.Interp.run t () with
+          | Ok _ -> Alcotest.fail "expected errors"
+          | Error errs -> errs
+        in
+        let elapsed = Unix.gettimeofday () -. t0 in
+        check bool "error limit reached" true
+          (List.length errs >= max_errors);
+        check bool
+          (Printf.sprintf "linear recovery (%.2fs)" elapsed)
+          true (elapsed < 5.0));
   ]
 
 (* ------------------------------------------------------------------ *)
