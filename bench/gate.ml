@@ -1,15 +1,24 @@
-(* Perf-regression gate over the hot-path set telemetry.
+(* Perf-regression gate over bench telemetry.
 
      gate.exe BASELINE.json FRESH.json
 
-   Both files are antlrkit-telemetry/1 documents; the committed baseline is
-   BENCH_hotpath.json at the repo root, the fresh file comes from the CI
-   bench-smoke run.  For every "sets.<grammar>" entry in the baseline, each
-   bitset-side timing field is compared against the fresh run and the gate
-   fails on more than a 2x slowdown.  A small absolute slack keeps sub-ms
-   rows from tripping on scheduler noise, and only the bitset/analysis
-   columns gate: the reference columns exist to document the speedup, and
-   CI hardware differences cancel out of neither side alone.
+   Both files are antlrkit-telemetry/1 documents; committed baselines are
+   BENCH_hotpath.json / BENCH_parallel.json at the repo root, the fresh
+   file comes from the CI bench-smoke run.  Two kinds of checks, selected
+   by which entries the baseline contains:
+
+   - "sets.<grammar>": each bitset-side timing field is compared against
+     the fresh run and the gate fails on more than a 2x slowdown.  A small
+     absolute slack keeps sub-ms rows from tripping on scheduler noise,
+     and only the bitset/analysis columns gate: the reference columns
+     exist to document the speedup, and CI hardware differences cancel out
+     of neither side alone.
+
+   - "parallel.<grammar>": the fresh run's [digest_match] must be true --
+     parallel DFA analysis produced a byte-identical compilation at every
+     job count.  Speedup numbers are deliberately NOT gated: they are a
+     property of the runner's core count (recorded in the entry), not of
+     the code.
 
    Exit status: 0 clean, 1 regression or malformed/missing input. *)
 
@@ -52,6 +61,9 @@ let float_field entry name =
   | Some (Obs.Json.Int n) -> Some (float_of_int n)
   | _ -> None
 
+let has_prefix p s =
+  String.length s >= String.length p && String.sub s 0 (String.length p) = p
+
 let () =
   let base_path, fresh_path =
     match Sys.argv with
@@ -64,7 +76,7 @@ let () =
   let checked = ref 0 in
   List.iter
     (fun (key, base_entry) ->
-      if String.length key >= 5 && String.sub key 0 5 = "sets." then
+      if has_prefix "sets." key then
         match List.assoc_opt key fresh with
         | None ->
             incr failures;
@@ -93,9 +105,31 @@ let () =
                     Fmt.pr "FAIL %-18s %-22s missing from fresh entry@." key
                       field
                 | None, _ -> ())
-              gated_fields)
+              gated_fields
+      else if has_prefix "parallel." key then begin
+        ignore base_entry;
+        match List.assoc_opt key fresh with
+        | None ->
+            incr failures;
+            Fmt.pr "FAIL %-18s missing from fresh telemetry@." key
+        | Some fresh_entry -> (
+            incr checked;
+            match Obs.Json.member "digest_match" fresh_entry with
+            | Some (Obs.Json.Bool true) ->
+                Fmt.pr "ok   %-18s digest_match@." key
+            | Some (Obs.Json.Bool false) ->
+                incr failures;
+                Fmt.pr
+                  "FAIL %-18s parallel analysis diverged from sequential \
+                   (digest_match=false)@."
+                  key
+            | _ ->
+                incr failures;
+                Fmt.pr "FAIL %-18s no digest_match field in fresh entry@." key)
+      end)
     base;
-  if !checked = 0 then die "no sets.* entries found in %s" base_path;
+  if !checked = 0 then
+    die "no sets.* or parallel.* entries found in %s" base_path;
   if !failures > 0 then begin
     Fmt.pr "gate: %d regression(s) across %d checks@." !failures !checked;
     exit 1

@@ -24,6 +24,7 @@ let all_benches : (string * string * (unit -> unit)) list =
     ("ablate", "Ablations: recursion bound m, fallback strategy", Comparisons.ablate);
     ("startup", "Cold vs warm startup: lazy DFAs and the compilation cache", Startup.run);
     ("sets", "Hot-path sets: interned bitsets vs the string-set reference", Sets.run);
+    ("parallel", "Multicore scaling: parallel analysis and batched parsing", Parallel.run);
     ("fuzz", "Differential fuzzing oracle throughput", Fuzzing.run);
     ("obs", "Tracing overhead: null sink is free, ring sink per-event", Overhead.run);
     ("bechamel", "Bechamel microbenchmarks", Micro.run);

@@ -69,6 +69,41 @@ e : e '+' e | e '*' e | INT ;
     Test.make ~name:"analysis-minijava"
       (Staged.stage (fun () ->
            ignore (Llstar.Compiled.of_source_exn spec.grammar_text)));
+    (* env dispatch: assoc-list closure (the pre-hashtable implementation,
+       inlined here as the baseline) vs [Interp.env_of_tables]'s interned
+       hashtable, over a 32-snippet table with a miss-heavy call mix. *)
+    (let snippets =
+       List.init 32 (fun i -> (Printf.sprintf "snippet_%d" i, fun _ -> ()))
+     in
+     let tok = Runtime.Token.make ~index:0 Grammar.Sym.eof "" in
+     let calls =
+       Array.init 64 (fun i ->
+           if i mod 2 = 0 then Printf.sprintf "snippet_%d" (i / 2)
+           else Printf.sprintf "missing_%d" i)
+     in
+     let assoc_action code prev =
+       match List.assoc_opt code snippets with
+       | Some f -> f prev
+       | None -> ()
+     in
+     Test.make ~name:"dispatch-env-assoc"
+       (Staged.stage (fun () ->
+            Array.iter (fun code -> assoc_action code (Some tok)) calls)));
+    (let snippets =
+       List.init 32 (fun i -> (Printf.sprintf "snippet_%d" i, fun _ -> ()))
+     in
+     let tok = Runtime.Token.make ~index:0 Grammar.Sym.eof "" in
+     let calls =
+       Array.init 64 (fun i ->
+           if i mod 2 = 0 then Printf.sprintf "snippet_%d" (i / 2)
+           else Printf.sprintf "missing_%d" i)
+     in
+     let env = Runtime.Interp.env_of_tables ~actions:snippets () in
+     Test.make ~name:"dispatch-env-hashtbl"
+       (Staged.stage (fun () ->
+            Array.iter
+              (fun code -> env.Runtime.Interp.action code (Some tok))
+              calls)));
   ]
 
 let run () =

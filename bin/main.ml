@@ -25,16 +25,18 @@ let grammar_arg =
     & pos 0 (some file) None
     & info [] ~docv:"GRAMMAR" ~doc:"Grammar file in the ANTLR-like metalanguage.")
 
-let compile_grammar ?cache_dir ?tracer ?(lazy_ = false) path =
+let compile_grammar ?cache_dir ?tracer ?pool ?(lazy_ = false) path =
   let strategy =
     if lazy_ then Llstar.Compiled.Lazy else Llstar.Compiled.Eager
   in
   let src = read_file path in
   let result =
     match cache_dir with
-    | None -> Llstar.Compiled.of_source ~strategy src
+    | None -> Llstar.Compiled.of_source ?pool ~strategy src
     | Some dir -> (
-        match Llstar.Compiled_cache.of_source ?tracer ~strategy ~dir src with
+        match
+          Llstar.Compiled_cache.of_source ?tracer ?pool ~strategy ~dir src
+        with
         | Ok (c, outcome) ->
             Fmt.epr "[cache] %s@."
               (match outcome with
@@ -67,6 +69,17 @@ let lazy_arg =
         ~doc:
           "Build lookahead DFAs lazily at prediction time instead of \
            analyzing every decision up front.")
+
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains for parallel work: lookahead-DFA analysis fans \
+           out per decision, batch parsing and fuzzing shard their inputs. \
+           $(docv)=0 uses every available core.  Results are identical for \
+           any job count; on an OCaml 4.x build this falls back to \
+           sequential execution.")
 
 (* --- structured tracing flags ------------------------------------------ *)
 
@@ -226,8 +239,10 @@ let atn_cmd =
 (* --- parse ------------------------------------------------------------- *)
 
 let parse_cmd =
-  let run grammar input config start show_tree profile_flag verbose recover
-      cache_dir lazy_ trace_file trace_format =
+  (* Single-input mode: the historical behavior (tree printing, tracing,
+     lazy re-save). *)
+  let run_single grammar input config start show_tree profile_flag verbose
+      recover cache_dir lazy_ trace_file trace_format =
     let tracer, close_trace = make_tracer trace_file trace_format in
     let quit code =
       close_trace ();
@@ -273,8 +288,76 @@ let parse_cmd =
             show_profile ();
             quit 1)
   in
+  (* Batch mode: many inputs (and/or @manifest expansions), optionally
+     sharded across a worker pool. *)
+  let run_batch grammar inputs config start profile_flag verbose recover
+      cache_dir lazy_ jobs trace_file =
+    if trace_file <> None then
+      Fmt.epr "warning: --trace is ignored in batch mode@.";
+    if lazy_ && jobs > 1 then begin
+      Fmt.epr
+        "error: --lazy is incompatible with --jobs %d: lazy DFA engines are \
+         mutated at parse time and cannot be shared across domains@."
+        jobs;
+      exit 2
+    end;
+    match Runtime.Batch.load_inputs inputs with
+    | Error e ->
+        Fmt.epr "error: %s@." e;
+        exit 2
+    | Ok inputs ->
+        Exec.Pool.with_pool ~jobs (fun pool ->
+            let c = compile_grammar ?cache_dir ~pool ~lazy_ grammar in
+            let sym = Llstar.Compiled.sym c in
+            let profile = Runtime.Profile.create () in
+            let results =
+              Runtime.Batch.run ~pool ~config ~profile ~recover ?start c
+                inputs
+            in
+            let failed = ref 0 in
+            Array.iter
+              (fun (r : Runtime.Batch.result_) ->
+                if not (Runtime.Batch.outcome_ok r.Runtime.Batch.outcome)
+                then incr failed;
+                Fmt.pr "%a@." Runtime.Batch.pp_outcome (sym, r))
+              results;
+            Fmt.pr "batch: %d/%d inputs parsed, %d tokens total (jobs=%d)@."
+              (Array.length results - !failed)
+              (Array.length results)
+              (Runtime.Batch.total_tokens results)
+              (Exec.Pool.jobs pool);
+            if profile_flag then begin
+              Fmt.pr "%a@." Runtime.Profile.pp profile;
+              if verbose then
+                Fmt.pr "%a" Runtime.Profile.pp_decisions profile
+            end;
+            if !failed > 0 then exit 1)
+  in
+  let run grammar inputs config start show_tree profile_flag verbose recover
+      cache_dir lazy_ jobs trace_file trace_format =
+    let jobs = Exec.Pool.resolve_jobs jobs in
+    let is_manifest a = String.length a > 1 && a.[0] = '@' in
+    match inputs with
+    | [ input ] when jobs = 1 && not (is_manifest input) ->
+        run_single grammar input config start show_tree profile_flag verbose
+          recover cache_dir lazy_ trace_file trace_format
+    | [] ->
+        Fmt.epr "error: no input files@.";
+        exit 2
+    | inputs ->
+        run_batch grammar inputs config start profile_flag verbose recover
+          cache_dir lazy_ jobs trace_file
+  in
   let input =
-    Arg.(required & pos 1 (some file) None & info [] ~docv:"INPUT" ~doc:"Input file.")
+    Arg.(
+      non_empty
+      & pos_right 0 string []
+      & info [] ~docv:"INPUT"
+          ~doc:
+            "Input files.  An argument of the form @FILE names a manifest: \
+             one input path per line, blank lines and #-comments skipped.  \
+             More than one input (or --jobs > 1) selects batch mode, which \
+             prints a one-line outcome per input.")
   in
   let start =
     Arg.(value & opt (some string) None & info [ "s"; "start" ] ~doc:"Start rule.")
@@ -292,8 +375,8 @@ let parse_cmd =
     (Cmd.info "parse" ~doc:"Parse an input file with an LL(*) parser for the grammar.")
     Term.(
       const run $ grammar_arg $ input $ lexer_config_term $ start $ tree
-      $ profile $ verbose $ recover $ cache_dir_arg $ lazy_arg $ trace_arg
-      $ trace_format_arg)
+      $ profile $ verbose $ recover $ cache_dir_arg $ lazy_arg $ jobs_arg
+      $ trace_arg $ trace_format_arg)
 
 (* --- gen --------------------------------------------------------------- *)
 
@@ -336,7 +419,10 @@ let gen_cmd =
 (* --- fuzz -------------------------------------------------------------- *)
 
 let fuzz_cmd =
-  let run seed runs grammar mutate corpus_dir size profile_flag json_file =
+  let run seed runs grammar mutate corpus_dir size profile_flag json_file
+      jobs =
+    let jobs = Exec.Pool.resolve_jobs jobs in
+    Exec.Pool.with_pool ~jobs @@ fun pool ->
     let t0 = Unix.gettimeofday () in
     let specs =
       match grammar with
@@ -363,8 +449,8 @@ let fuzz_cmd =
           else None
         in
         match
-          Fuzz.Driver.run_spec ~size ~mutate ?corpus_dir ?profile ~seed ~runs
-            spec
+          Fuzz.Driver.run_spec ~size ~mutate ?corpus_dir ?profile ~pool ~seed
+            ~runs spec
         with
         | Error e ->
             Fmt.epr "%s: %a@." spec.Bench_grammars.Workload.name
@@ -454,7 +540,7 @@ let fuzz_cmd =
           unexplained disagreement, crash or hang is reported and shrunk.")
     Term.(
       const run $ seed $ runs $ grammar $ mutate $ corpus_dir $ size $ profile
-      $ json)
+      $ json $ jobs_arg)
 
 (* --- bench ------------------------------------------------------------- *)
 

@@ -821,14 +821,28 @@ let analyze_decision ?(opts = default_options) (atn : Atn.t)
       fall_back_ll1
         (Dfa_too_big { decision = decision.d_id; limit = opts.max_states })
 
-(* Analyze every decision of an ATN. *)
-let analyze_all ?opts (atn : Atn.t) : result array =
+(* Analyze every decision of an ATN.
+
+   Decisions are analyzed independently: each builder's mutable state
+   (work-list states, dedup tables, closure memo, warning list) is local
+   to its decision, and the ATN, grammar and interned vocabulary are only
+   read.  That makes the fan-out below safe on a worker pool: with [pool]
+   (and more than one job) per-decision construction runs across domains,
+   and [Exec.Pool.map_array]'s deterministic ordering merges the results
+   in decision order -- the output array, and anything derived from it
+   (the report, the compilation-cache payload digest), is byte-identical
+   to the sequential build.  Callers must freeze the vocabulary
+   ([Grammar.Sym.freeze]) before fanning out; [Compiled.compile] does. *)
+let analyze_all ?opts ?pool (atn : Atn.t) : result array =
   let opts =
     match opts with
     | Some o -> o
     | None -> options_of_grammar atn.grammar
   in
-  Array.map (fun d -> analyze_decision ~opts atn d) atn.decisions
+  let decide d = analyze_decision ~opts atn d in
+  match pool with
+  | Some p when Exec.Pool.jobs p > 1 -> Exec.Pool.map_array p decide atn.decisions
+  | _ -> Array.map decide atn.decisions
 
 (* ------------------------------------------------------------------ *)
 

@@ -59,7 +59,11 @@ let dfa t decision = (result t decision).Analysis.dfa
 
 let num_decisions t = Array.length t.results
 
-let compile ?analysis_opts ?grammar_source ?(strategy = Eager)
+(* [pool] fans the per-decision lookahead-DFA work out across a worker
+   pool (see [Analysis.analyze_all]); the compiled result is byte-identical
+   to the sequential build.  The vocabulary is frozen once the ATN exists,
+   so the fan-out shares only provably read-only grammar structures. *)
+let compile ?analysis_opts ?grammar_source ?pool ?(strategy = Eager)
     (surface : Grammar.Ast.t) : (t, error) result =
   (* The left-recursion rewrite runs before validation so that immediate
      left recursion -- which the rewrite eliminates -- is not rejected;
@@ -77,6 +81,9 @@ let compile ?analysis_opts ?grammar_source ?(strategy = Eager)
           match Atn.Build.build prepared with
           | exception Invalid_argument m -> Error (Message m)
           | atn ->
+              (* Interning is complete: close the vocabulary before any
+                 analysis work (possibly on worker domains) can reach it. *)
+              Grammar.Sym.freeze atn.Atn.sym;
               let opts =
                 match analysis_opts with
                 | Some o -> o
@@ -86,12 +93,17 @@ let compile ?analysis_opts ?grammar_source ?(strategy = Eager)
               let results, engines =
                 match strategy with
                 | Eager ->
-                    (Analysis.analyze_all ~opts atn, None)
+                    (Analysis.analyze_all ~opts ?pool atn, None)
                 | Lazy ->
+                    (* Engine creation only builds each decision's start
+                       state; they are independent, so the fan-out is the
+                       same as the eager one, just over far less work. *)
+                    let mk d = Lazy_dfa.create ~opts atn d in
                     let engines =
-                      Array.map
-                        (fun d -> Lazy_dfa.create ~opts atn d)
-                        atn.Atn.decisions
+                      match pool with
+                      | Some p when Exec.Pool.jobs p > 1 ->
+                          Exec.Pool.map_array p mk atn.Atn.decisions
+                      | _ -> Array.map mk atn.Atn.decisions
                     in
                     (Array.map Lazy_dfa.result engines, Some engines)
               in
@@ -116,19 +128,21 @@ let compile ?analysis_opts ?grammar_source ?(strategy = Eager)
                   origin = Fresh;
                 }))
 
-let compile_exn ?analysis_opts ?grammar_source ?strategy surface =
-  match compile ?analysis_opts ?grammar_source ?strategy surface with
+let compile_exn ?analysis_opts ?grammar_source ?pool ?strategy surface =
+  match compile ?analysis_opts ?grammar_source ?pool ?strategy surface with
   | Ok t -> t
   | Error e -> failwith (Fmt.str "%a" pp_error e)
 
 (* Parse a grammar written in the metalanguage and compile it. *)
-let of_source ?analysis_opts ?strategy (src : string) : (t, error) result =
+let of_source ?analysis_opts ?pool ?strategy (src : string) : (t, error) result
+    =
   match Grammar.Meta_parser.parse_result src with
   | Error msg -> Error (Message msg)
-  | Ok surface -> compile ?analysis_opts ~grammar_source:src ?strategy surface
+  | Ok surface ->
+      compile ?analysis_opts ~grammar_source:src ?pool ?strategy surface
 
-let of_source_exn ?analysis_opts ?strategy src =
-  match of_source ?analysis_opts ?strategy src with
+let of_source_exn ?analysis_opts ?pool ?strategy src =
+  match of_source ?analysis_opts ?pool ?strategy src with
   | Ok t -> t
   | Error e -> failwith (Fmt.str "%a" pp_error e)
 

@@ -61,29 +61,40 @@ val num_decisions : t -> int
 val compile :
   ?analysis_opts:Analysis.options ->
   ?grammar_source:string ->
+  ?pool:Exec.Pool.t ->
   ?strategy:strategy ->
   Grammar.Ast.t ->
   (t, error) result
 (** Compile a grammar.  [grammar_source] is only used to record the line
     count in the report.  The left-recursion rewrite runs before
     validation, so immediately left-recursive rules are accepted.
-    [strategy] defaults to [Eager]. *)
+    [strategy] defaults to [Eager].  [pool] fans per-decision lookahead-DFA
+    analysis out across the pool's workers; the result (and its
+    {!Compiled_cache} payload digest) is byte-identical to the sequential
+    build, because decisions are independent and merged in decision
+    order. *)
 
 val compile_exn :
   ?analysis_opts:Analysis.options ->
   ?grammar_source:string ->
+  ?pool:Exec.Pool.t ->
   ?strategy:strategy ->
   Grammar.Ast.t ->
   t
 
 val of_source :
   ?analysis_opts:Analysis.options ->
+  ?pool:Exec.Pool.t ->
   ?strategy:strategy ->
   string ->
   (t, error) result
 (** Parse metalanguage source and compile it. *)
 
 val of_source_exn :
-  ?analysis_opts:Analysis.options -> ?strategy:strategy -> string -> t
+  ?analysis_opts:Analysis.options ->
+  ?pool:Exec.Pool.t ->
+  ?strategy:strategy ->
+  string ->
+  t
 
 val all_warnings : t -> Analysis.warning list

@@ -25,8 +25,9 @@
 
 (* Bump whenever the marshaled representation changes shape: any change to
    [Compiled.t] or to a type reachable from it (ASTs, ATN, DFAs, analysis
-   results, lazy engines). *)
-let format_version = 1
+   results, lazy engines).
+   v2: [Grammar.Sym.t] gained the [frozen] field. *)
+let format_version = 2
 
 let magic = "ANTLRKIT-CACHE\n"
 
@@ -59,6 +60,25 @@ let key_of (c : Compiled.t) : string =
   key_of_parts c.Compiled.surface c.Compiled.opts (Compiled.strategy c)
 
 let cache_file ~dir k = Filename.concat dir (k ^ ".antlrkit-cache")
+
+(* Digest of the compilation result with the volatile parts normalized
+   away: the provenance tag (a cache hit is re-tagged [From_cache]) and
+   the report's measured wall-clock analysis time, neither of which is a
+   product of the analysis itself.  Because marshaling is deterministic
+   for identically constructed values, two compilations of the same
+   grammar agree on this digest iff they produced the same ATN, DFAs,
+   warnings and report -- the determinism oracle the parallel-analysis
+   tests and the scaling bench check against the sequential build. *)
+let payload_digest (c : Compiled.t) : string =
+  let c = Compiled.with_origin c Compiled.Fresh in
+  let c =
+    {
+      c with
+      Compiled.report =
+        { c.Compiled.report with Report.analysis_time = 0.0 };
+    }
+  in
+  Digest.to_hex (Digest.string (Marshal.to_string c []))
 
 (* ------------------------------------------------------------------ *)
 (* Save / load *)
@@ -132,14 +152,16 @@ let load ?tracer ?analysis_opts ?strategy ~dir (g : Grammar.Ast.t) :
 (* ------------------------------------------------------------------ *)
 (* Load-or-rebuild entry points *)
 
-let compile ?tracer ?analysis_opts ?grammar_source
+let compile ?tracer ?analysis_opts ?grammar_source ?pool
     ?(strategy = Compiled.Eager) ~dir (g : Grammar.Ast.t) :
     (Compiled.t * outcome, Compiled.error) result =
   let k = key ?analysis_opts ~strategy g in
   match load_key ?tracer ~dir k with
   | Some c -> Ok (c, Hit)
   | None -> (
-      match Compiled.compile ?analysis_opts ?grammar_source ~strategy g with
+      match
+        Compiled.compile ?analysis_opts ?grammar_source ?pool ~strategy g
+      with
       | Error e -> Error e
       | Ok c ->
           (* Best effort: a read-only or full cache directory must not fail
@@ -147,15 +169,15 @@ let compile ?tracer ?analysis_opts ?grammar_source
           ignore (save ~dir c);
           Ok (c, Miss))
 
-let of_source ?tracer ?analysis_opts ?strategy ~dir (src : string) :
+let of_source ?tracer ?analysis_opts ?pool ?strategy ~dir (src : string) :
     (Compiled.t * outcome, Compiled.error) result =
   match Grammar.Meta_parser.parse_result src with
   | Error msg -> Error (Compiled.Message msg)
   | Ok surface ->
-      compile ?tracer ?analysis_opts ~grammar_source:src ?strategy ~dir
+      compile ?tracer ?analysis_opts ~grammar_source:src ?pool ?strategy ~dir
         surface
 
-let of_source_exn ?analysis_opts ?strategy ~dir src =
-  match of_source ?analysis_opts ?strategy ~dir src with
+let of_source_exn ?analysis_opts ?pool ?strategy ~dir src =
+  match of_source ?analysis_opts ?pool ?strategy ~dir src with
   | Ok r -> r
   | Error e -> failwith (Fmt.str "%a" Compiled.pp_error e)

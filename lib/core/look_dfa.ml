@@ -31,20 +31,45 @@ type t = {
   fallback : bool; (* produced by the LL(1) fallback, not full analysis *)
 }
 
+(* Rows are sorted by terminal id (every construction site -- the analysis
+   freeze, the minimizer's remap and the lazy engine's snapshots -- sorts
+   them), so states with many outgoing terminals bisect instead of paying a
+   full scan per lookahead token.  Most rows stay tiny, and there a linear
+   scan beats bisection, so small rows keep the scan.  The wildcard edge
+   matches any terminal except EOF and, having id 1 (only EOF's 0 sorts
+   below it), can only live in one of the first two slots -- the fallback
+   checks those directly instead of re-walking the row. *)
+let linear_cutoff = 8
+
 let lookup_edge (t : t) (state : int) (term : int) : int option =
   let row = t.edges.(state) in
-  (* rows are tiny (a handful of outgoing terminals); linear scan wins *)
   let n = Array.length row in
-  let rec go i wild =
-    if i >= n then wild
-    else
-      let sym, tgt = row.(i) in
-      if sym = term then Some tgt
-      else if sym = Grammar.Sym.wildcard && term <> Grammar.Sym.eof then
-        go (i + 1) (Some tgt)
-      else go (i + 1) wild
+  let wild_fallback () =
+    if term = Grammar.Sym.eof then None
+    else if n > 0 && fst row.(0) = Grammar.Sym.wildcard then Some (snd row.(0))
+    else if n > 1 && fst row.(1) = Grammar.Sym.wildcard then Some (snd row.(1))
+    else None
   in
-  go 0 None
+  if n <= linear_cutoff then begin
+    let rec go i =
+      if i >= n then wild_fallback ()
+      else
+        let sym, tgt = row.(i) in
+        if sym = term then Some tgt else go (i + 1)
+    in
+    go 0
+  end
+  else begin
+    let lo = ref 0 and hi = ref (n - 1) and found = ref (-1) in
+    while !found < 0 && !lo <= !hi do
+      let mid = (!lo + !hi) / 2 in
+      let sym, _ = row.(mid) in
+      if sym = term then found := mid
+      else if sym < term then lo := mid + 1
+      else hi := mid - 1
+    done;
+    if !found >= 0 then Some (snd row.(!found)) else wild_fallback ()
+  end
 
 let accept_of t state = if t.accept.(state) = 0 then None else Some t.accept.(state)
 let pred_edges_of t state = t.preds.(state)

@@ -1,0 +1,72 @@
+(* Exec.Pool: submit/await over a fixed set of workers with deterministic
+   result ordering.
+
+   The implementation lives in [Pool_backend], selected at build time by a
+   dune rule: OCaml >= 5 gets worker domains ("domains" backend), older
+   compilers get an inline sequential implementation ("sequential"
+   backend) with the same signature.  [create ~jobs:1] and the sequential
+   backend are the same code path, so results never depend on which
+   backend (or job count) ran the work -- parallelism only changes
+   wall-clock time.
+
+   Determinism contract: [map_array]/[map_list] submit one task per
+   element and await them in element order, so the output ordering is the
+   input ordering regardless of completion order, and a task exception
+   surfaces at the index that raised it.  Tasks must not mutate state
+   shared with other tasks; see DESIGN.md (Execution layer) for the
+   read-only sharing discipline the analysis and batch drivers follow. *)
+
+type t = Pool_backend.t
+type 'a task = 'a Pool_backend.task
+
+(* "domains" or "sequential"; telemetry records it alongside results. *)
+let backend = Pool_backend.backend_name
+
+(* Cores the runtime recommends (1 on the sequential backend). *)
+let available_cores = Pool_backend.available_cores
+
+(* Resolve a user-facing job count: 0 means "all available cores". *)
+let resolve_jobs n = if n = 0 then max 1 (available_cores ()) else n
+
+let create ~jobs = Pool_backend.create ~jobs
+let jobs = Pool_backend.jobs
+let submit = Pool_backend.submit
+let await = Pool_backend.await
+let shutdown = Pool_backend.shutdown
+
+let with_pool ~jobs f =
+  let p = create ~jobs in
+  Fun.protect ~finally:(fun () -> shutdown p) (fun () -> f p)
+
+(* Map with deterministic result ordering.  [jobs p = 1] short-circuits to
+   a plain [Array.map]: byte-for-byte the sequential code path. *)
+let map_array (p : t) (f : 'a -> 'b) (arr : 'a array) : 'b array =
+  if jobs p = 1 then Array.map f arr
+  else
+    let tasks = Array.map (fun x -> submit p (fun () -> f x)) arr in
+    Array.map await tasks
+
+let map_list (p : t) (f : 'a -> 'b) (xs : 'a list) : 'b list =
+  if jobs p = 1 then List.map f xs
+  else
+    let tasks = List.map (fun x -> submit p (fun () -> f x)) xs in
+    List.map await tasks
+
+(* Split [0 .. n-1] into up to [shards] contiguous ranges [(start, stop))]
+   of near-equal size, in ascending order; empty ranges are dropped.  The
+   batch drivers give each shard to one task so per-shard state (metrics
+   registries, interpreters) stays task-local and is merged on join. *)
+let shard_ranges ~shards n : (int * int) list =
+  if shards < 1 then invalid_arg "Exec.Pool.shard_ranges: shards must be >= 1";
+  if n <= 0 then []
+  else begin
+    let shards = min shards n in
+    let base = n / shards and extra = n mod shards in
+    let rec go i start acc =
+      if i >= shards then List.rev acc
+      else
+        let len = base + if i < extra then 1 else 0 in
+        go (i + 1) (start + len) ((start, start + len) :: acc)
+    in
+    go 0 0 []
+  end

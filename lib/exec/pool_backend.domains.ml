@@ -1,0 +1,146 @@
+(* Multicore pool backend (OCaml >= 5): a fixed set of worker domains
+   pulling closures off a mutex/condition-protected queue.
+
+   This file is copied to [pool_backend.ml] by a dune rule when the
+   compiler is 5.x; [pool_backend.seq.ml] is the drop-in replacement for
+   4.x.  Both expose the identical signature, and [create ~jobs:1] here
+   spawns no domains and runs every task inline at submit time -- exactly
+   the sequential backend's behaviour -- so "one job" and "old compiler"
+   are the same code path by construction.
+
+   Concurrency discipline (see DESIGN.md, Execution layer):
+
+   - a pool has a single owner: [submit]/[shutdown] are called from the
+     domain that created it; [await] blocks that owner until a worker
+     publishes the task's result under the task's own lock;
+   - tasks must only touch data that is read-only while the pool is hot
+     (grammar, ATN, interned vocabularies) plus task-local state; results
+     are transferred through the task cell, never through shared tables;
+   - worker exceptions are caught with their backtrace and re-raised at
+     the [await] site, so a crashing task cannot take a domain down
+     silently. *)
+
+type job = unit -> unit
+
+type t = {
+  n_jobs : int;
+  queue : job Queue.t;
+  lock : Mutex.t;
+  work_ready : Condition.t;
+  mutable closing : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let backend_name = "domains"
+
+(* Cores the runtime recommends using; the CLI's --jobs 0 maps here. *)
+let available_cores () = Domain.recommended_domain_count ()
+
+type 'a state =
+  | Pending
+  | Done of 'a
+  | Raised of exn * Printexc.raw_backtrace
+
+type 'a task = {
+  mutable state : 'a state;
+  t_lock : Mutex.t;
+  t_done : Condition.t;
+}
+
+let worker_loop pool =
+  let rec loop () =
+    Mutex.lock pool.lock;
+    while Queue.is_empty pool.queue && not pool.closing do
+      Condition.wait pool.work_ready pool.lock
+    done;
+    (* Drain the queue completely before honouring [closing], so results
+       submitted before shutdown are never lost. *)
+    if Queue.is_empty pool.queue then Mutex.unlock pool.lock
+    else begin
+      let job = Queue.pop pool.queue in
+      Mutex.unlock pool.lock;
+      job ();
+      loop ()
+    end
+  in
+  loop ()
+
+let create ~jobs =
+  if jobs < 1 then invalid_arg "Exec.Pool.create: jobs must be >= 1";
+  let pool =
+    {
+      n_jobs = jobs;
+      queue = Queue.create ();
+      lock = Mutex.create ();
+      work_ready = Condition.create ();
+      closing = false;
+      workers = [];
+    }
+  in
+  if jobs > 1 then
+    pool.workers <-
+      List.init jobs (fun _ -> Domain.spawn (fun () -> worker_loop pool));
+  pool
+
+let jobs t = t.n_jobs
+
+let submit pool f =
+  let task =
+    { state = Pending; t_lock = Mutex.create (); t_done = Condition.create () }
+  in
+  if pool.workers = [] then begin
+    if pool.closing then invalid_arg "Exec.Pool.submit: pool is shut down";
+    (* jobs = 1: run inline in the owner domain (sequential code path) *)
+    (match f () with
+    | v -> task.state <- Done v
+    | exception e -> task.state <- Raised (e, Printexc.get_raw_backtrace ()))
+  end
+  else begin
+    let job () =
+      let r =
+        match f () with
+        | v -> Done v
+        | exception e -> Raised (e, Printexc.get_raw_backtrace ())
+      in
+      Mutex.lock task.t_lock;
+      task.state <- r;
+      Condition.broadcast task.t_done;
+      Mutex.unlock task.t_lock
+    in
+    Mutex.lock pool.lock;
+    if pool.closing then begin
+      Mutex.unlock pool.lock;
+      invalid_arg "Exec.Pool.submit: pool is shut down"
+    end;
+    Queue.push job pool.queue;
+    Condition.signal pool.work_ready;
+    Mutex.unlock pool.lock
+  end;
+  task
+
+let await task =
+  Mutex.lock task.t_lock;
+  let rec wait () =
+    match task.state with
+    | Pending ->
+        Condition.wait task.t_done task.t_lock;
+        wait ()
+    | r -> r
+  in
+  let r = wait () in
+  Mutex.unlock task.t_lock;
+  match r with
+  | Done v -> v
+  | Raised (e, bt) -> Printexc.raise_with_backtrace e bt
+  | Pending -> assert false
+
+let shutdown pool =
+  if pool.workers = [] then pool.closing <- true
+  else begin
+    Mutex.lock pool.lock;
+    pool.closing <- true;
+    Condition.broadcast pool.work_ready;
+    Mutex.unlock pool.lock;
+    List.iter Domain.join pool.workers;
+    pool.workers <- []
+  end

@@ -1,0 +1,34 @@
+(* Sequential pool backend (OCaml < 5): the build-time fallback copied to
+   [pool_backend.ml] when the compiler has no Domain module.
+
+   Semantically this is [pool_backend.domains.ml] at [jobs = 1] for every
+   job count: [submit] runs the task inline in the caller and records the
+   result (or the exception plus its backtrace) in the task cell; [await]
+   just unpacks it.  Deterministic result ordering is therefore trivial,
+   and call sites written against the pool API work unchanged -- they
+   simply do not scale past one core on this compiler. *)
+
+type t = { n_jobs : int; mutable closing : bool }
+
+let backend_name = "sequential"
+let available_cores () = 1
+
+type 'a task = ('a, exn * Printexc.raw_backtrace) result
+
+let create ~jobs =
+  if jobs < 1 then invalid_arg "Exec.Pool.create: jobs must be >= 1";
+  { n_jobs = jobs; closing = false }
+
+let jobs t = t.n_jobs
+
+let submit t f =
+  if t.closing then invalid_arg "Exec.Pool.submit: pool is shut down";
+  match f () with
+  | v -> Ok v
+  | exception e -> Error (e, Printexc.get_raw_backtrace ())
+
+let await = function
+  | Ok v -> v
+  | Error (e, bt) -> Printexc.raise_with_backtrace e bt
+
+let shutdown t = t.closing <- true

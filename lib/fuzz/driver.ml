@@ -59,7 +59,10 @@ let pp_report ppf (r : report) =
 *)
 let write_reproducer ~dir ~seed ~run (d : Oracle.divergence)
     (shrunk : string list) : string =
-  if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+  (* EEXIST-tolerant: two fuzz shards can race on corpus-dir creation. *)
+  if not (Sys.file_exists dir) then (
+    try Unix.mkdir dir 0o755
+    with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
   let file =
     Filename.concat dir (Printf.sprintf "%s-seed%d-run%d.txt" d.Oracle.d_grammar seed run)
   in
@@ -137,10 +140,22 @@ let report_to_json ?profile ~seed (r : report) : Obs.Json.t =
     | Some p -> [ ("profile", Runtime.Profile.to_json p) ]
     | None -> [])
 
-(* One fuzzing session over a single grammar spec. *)
-let run_spec ?(size = 30) ?(mutate = true) ?fuel ?time_cap ?corpus_dir
-    ?profile ~(seed : int) ~(runs : int) (spec : Workload.spec) :
-    (report, Llstar.Compiled.error) result =
+(* Per-shard tallies; merged in shard order by [run_spec]. *)
+type shard = {
+  s_accepted : int;
+  s_rejected : int;
+  s_mutated : int;
+  s_explained : int;
+  s_failures : failure list; (* in run order *)
+}
+
+(* Fuzz the contiguous run range [lo, hi) against a shard-private oracle.
+   Run [i] draws every random choice from [rng_of_seed ~index:i seed], so
+   the tallies depend only on the (seed, range) pair -- never on which
+   worker, or how many, executed the range. *)
+let run_range ?(size = 30) ?(mutate = true) ?fuel ?time_cap ?corpus_dir
+    ?profile ~(seed : int) (spec : Workload.spec) (lo, hi) :
+    (shard, Llstar.Compiled.error) result =
   match Oracle.create ?fuel ?time_cap ?profile spec with
   | Error e -> Error e
   | Ok o ->
@@ -148,7 +163,7 @@ let run_spec ?(size = 30) ?(mutate = true) ?fuel ?time_cap ?corpus_dir
       let accepted = ref 0 and rejected = ref 0 in
       let mutated = ref 0 and explained = ref 0 in
       let failures = ref [] in
-      for i = 0 to runs - 1 do
+      for i = lo to hi - 1 do
         let rng = Grammar.Sentence_gen.rng_of_seed ~index:i seed in
         match
           Grammar.Sentence_gen.generate ?start:spec.Workload.gen_start
@@ -205,11 +220,68 @@ let run_spec ?(size = 30) ?(mutate = true) ?fuel ?time_cap ?corpus_dir
       done;
       Ok
         {
+          s_accepted = !accepted;
+          s_rejected = !rejected;
+          s_mutated = !mutated;
+          s_explained = !explained;
+          s_failures = List.rev !failures;
+        }
+
+(* One fuzzing session over a single grammar spec.  [pool] shards the run
+   indices across workers; each shard owns a private oracle (the backends
+   hold mutable parser state) and a private profile, merged on join.  The
+   report is identical for any job count because runs are seed-index
+   deterministic and shards are merged in index order. *)
+let run_spec ?size ?mutate ?fuel ?time_cap ?corpus_dir ?profile ?pool
+    ~(seed : int) ~(runs : int) (spec : Workload.spec) :
+    (report, Llstar.Compiled.error) result =
+  let jobs = match pool with None -> 1 | Some p -> Exec.Pool.jobs p in
+  let shards =
+    match pool with
+    | Some p when jobs > 1 && runs > 1 ->
+        let tasks =
+          List.map
+            (fun range ->
+              Exec.Pool.submit p (fun () ->
+                  let sp =
+                    Option.map (fun _ -> Runtime.Profile.create ()) profile
+                  in
+                  let r =
+                    run_range ?size ?mutate ?fuel ?time_cap ?corpus_dir
+                      ?profile:sp ~seed spec range
+                  in
+                  (r, sp)))
+            (Exec.Pool.shard_ranges ~shards:jobs runs)
+        in
+        List.map
+          (fun task ->
+            let r, sp = Exec.Pool.await task in
+            (match (profile, sp) with
+            | Some into, Some src -> Runtime.Profile.merge ~into src
+            | _ -> ());
+            r)
+          tasks
+    | _ ->
+        [
+          run_range ?size ?mutate ?fuel ?time_cap ?corpus_dir ?profile ~seed
+            spec (0, runs);
+        ]
+  in
+  match
+    List.find_map (function Error e -> Some e | Ok _ -> None) shards
+  with
+  | Some e -> Error e
+  | None ->
+      let shards =
+        List.map (function Ok s -> s | Error _ -> assert false) shards
+      in
+      Ok
+        {
           r_grammar = spec.Workload.name;
           r_runs = runs;
-          r_accepted = !accepted;
-          r_rejected = !rejected;
-          r_mutated = !mutated;
-          r_explained = !explained;
-          r_failures = List.rev !failures;
+          r_accepted = List.fold_left (fun a s -> a + s.s_accepted) 0 shards;
+          r_rejected = List.fold_left (fun a s -> a + s.s_rejected) 0 shards;
+          r_mutated = List.fold_left (fun a s -> a + s.s_mutated) 0 shards;
+          r_explained = List.fold_left (fun a s -> a + s.s_explained) 0 shards;
+          r_failures = List.concat_map (fun s -> s.s_failures) shards;
         }

@@ -22,6 +22,11 @@ type t = {
   mutable terms : int;
   mutable terms_cap : int;
   literal_text : (int, string) Hashtbl.t; (* literal terminal id -> raw text *)
+  mutable frozen : bool;
+    (* interning is closed: any attempt to add a *new* symbol raises.
+       Compilation freezes the vocabulary after ATN construction, before
+       analysis work fans out across domains, so the table is provably
+       read-only while workers share it (lookups never mutate). *)
 }
 
 let eof = 0
@@ -41,6 +46,7 @@ let create () =
       terms = 0;
       terms_cap = 16;
       literal_text = Hashtbl.create 16;
+      frozen = false;
     }
   in
   (* Reserve EOF and the wildcard so their ids are stable. *)
@@ -67,9 +73,20 @@ let unquote name =
   if is_literal_name name then String.sub name 1 (String.length name - 2)
   else name
 
+let freeze t = t.frozen <- true
+let is_frozen t = t.frozen
+
+let frozen_failure kind name =
+  invalid_arg
+    (Printf.sprintf
+       "Sym: intern of new %s %S after freeze (the vocabulary is closed \
+        once analysis begins; pre-intern every symbol before fan-out)"
+       kind name)
+
 let intern_term t name =
   match Hashtbl.find_opt t.term_ids name with
   | Some id -> id
+  | None when t.frozen -> frozen_failure "terminal" name
   | None ->
       let id = t.terms in
       let arr, cap = grow t.term_names t.terms_cap t.terms "" in
@@ -84,6 +101,7 @@ let intern_term t name =
 let intern_nonterm t name =
   match Hashtbl.find_opt t.nterm_ids name with
   | Some id -> id
+  | None when t.frozen -> frozen_failure "nonterminal" name
   | None ->
       let id = t.nterms in
       let arr, cap = grow t.nterm_names t.nterms_cap t.nterms "" in

@@ -23,6 +23,17 @@ val intern_term : t -> string -> int
     literal token and its raw text recorded for lexer-table construction. *)
 
 val intern_nonterm : t -> string -> int
+
+val freeze : t -> unit
+(** Close the vocabulary: after [freeze t], interning a symbol that is not
+    already present raises [Invalid_argument] (looking up or re-interning
+    an existing symbol stays legal and never mutates).  Compilation
+    freezes the vocabulary once ATN construction is done, which makes the
+    table safely shareable -- read-only by construction -- across the
+    worker domains of the parallel analysis and batch-parse drivers. *)
+
+val is_frozen : t -> bool
+
 val find_term : t -> string -> int option
 val find_nonterm : t -> string -> int option
 val term_name : t -> int -> string

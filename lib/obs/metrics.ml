@@ -101,6 +101,31 @@ let h_max (h : histogram) = h.hmax
 let h_avg (h : histogram) =
   if h.n = 0 then 0.0 else float_of_int h.sum /. float_of_int h.n
 
+(* Merge [src] into [into]: counters add, histograms add pointwise
+   (count/sum/buckets add, max takes the max).  Metrics missing from
+   [into] are registered with [src]'s name and labels, in [src]'s
+   registration order, so merging worker registries in worker order
+   yields a deterministic combined registry.  This is the join step of
+   the batch drivers: each worker records into its own registry with no
+   synchronization, and the owner merges after [Exec.Pool.await].  A
+   name+labels pair registered as a counter on one side and a histogram
+   on the other raises [Invalid_argument]. *)
+let merge ~(into : t) (src : t) : unit =
+  List.iter
+    (fun ((name, labels) as key) ->
+      match Hashtbl.find_opt src.tbl key with
+      | None -> ()
+      | Some (Counter c) -> add (counter into ~labels name) c.count
+      | Some (Histogram h) ->
+          let dst = histogram into ~labels name in
+          dst.n <- dst.n + h.n;
+          dst.sum <- dst.sum + h.sum;
+          if h.hmax > dst.hmax then dst.hmax <- h.hmax;
+          Array.iteri
+            (fun i v -> dst.buckets.(i) <- dst.buckets.(i) + v)
+            h.buckets)
+    (List.rev src.order)
+
 let reset (t : t) =
   Hashtbl.iter
     (fun _ m ->

@@ -28,17 +28,28 @@ type env = {
 
 let default_env = { sem_pred = (fun _ _ -> true); action = (fun _ _ -> ()) }
 
-(* Environment whose predicates/actions dispatch through association lists
-   keyed by the snippet text; unknown predicates default to true, unknown
-   actions to no-ops. *)
+(* Environment whose predicates/actions dispatch by snippet text; unknown
+   predicates default to true, unknown actions to no-ops.  The tables are
+   interned into hashtables once at construction: dispatch runs on every
+   predicate/action event, and the old [List.assoc_opt] walk paid a full
+   string comparison per entry on every miss (actions in particular almost
+   always miss).  First binding wins, as with [List.assoc_opt]. *)
 let env_of_tables ?(preds = []) ?(actions = []) () =
+  let tbl_of bindings =
+    let tbl = Hashtbl.create (max 8 (2 * List.length bindings)) in
+    List.iter
+      (fun (code, f) -> Hashtbl.replace tbl code f)
+      (List.rev bindings);
+    tbl
+  in
+  let preds = tbl_of preds and actions = tbl_of actions in
   {
     sem_pred =
       (fun code la1 ->
-        match List.assoc_opt code preds with Some f -> f la1 | None -> true);
+        match Hashtbl.find_opt preds code with Some f -> f la1 | None -> true);
     action =
       (fun code prev ->
-        match List.assoc_opt code actions with
+        match Hashtbl.find_opt actions code with
         | Some f -> f prev
         | None -> ());
   }

@@ -77,6 +77,16 @@ let dstats_of t decision =
       Hashtbl.add t.per_decision decision ds;
       ds
 
+(* Merge a worker's profile into [into] (the batch drivers' join step).
+   Merging the registries does the arithmetic: the headline quantities
+   below are all views over registry cells.  The per-decision cell cache
+   is then re-interned for every decision the worker saw, so
+   [decisions_covered] and the per-decision table count merged decisions
+   too ([dstats_of] finds the already-merged registry cells by label). *)
+let merge ~into (src : t) : unit =
+  M.merge ~into:into.registry src.registry;
+  Hashtbl.iter (fun d _ -> ignore (dstats_of into d)) src.per_decision
+
 (* [depth] is the DFA lookahead depth alone; [spec_depth] the furthest token
    reached by speculation (0 when [backtracked] is false). *)
 let record t ~decision ~depth ~backtracked ~spec_depth =
