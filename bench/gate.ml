@@ -1,11 +1,14 @@
 (* Perf-regression gate over bench telemetry.
 
-     gate.exe BASELINE.json FRESH.json
+     gate.exe BASELINE.json [BASELINE2.json ...] FRESH.json
 
-   Both files are antlrkit-telemetry/1 documents; committed baselines are
-   BENCH_hotpath.json / BENCH_parallel.json at the repo root, the fresh
-   file comes from the CI bench-smoke run.  Two kinds of checks, selected
-   by which entries the baseline contains:
+   The last argument is the fresh run; every earlier argument is a
+   committed baseline whose entries select checks.  All files are
+   antlrkit-telemetry/1 documents; committed baselines are
+   BENCH_hotpath.json / BENCH_parallel.json / BENCH_codegen.json at the
+   repo root, the fresh file comes from the CI bench-smoke run (one run
+   covering all gated benches).  Three kinds of checks, selected by which
+   entries the baselines contain:
 
    - "sets.<grammar>": each bitset-side timing field is compared against
      the fresh run and the gate fails on more than a 2x slowdown.  A small
@@ -20,6 +23,12 @@
      property of the runner's core count (recorded in the entry), not of
      the code.
 
+   - "codegen.<grammar>": the fresh run's [agree] must be true (zero
+     generated-vs-interpreter disagreements over the bench corpus) and its
+     [speedup] must be at least 2x -- the generated parser's whole reason
+     to exist.  The ratio is measured within one process on one runner, so
+     hardware differences cancel and no absolute slack is needed.
+
    Exit status: 0 clean, 1 regression or malformed/missing input. *)
 
 let gated_fields =
@@ -33,6 +42,7 @@ let gated_fields =
 
 let slowdown_limit = 2.0
 let slack_ms = 2.0
+let codegen_speedup_floor = 2.0
 
 let die fmt = Fmt.kstr (fun s -> Fmt.epr "gate: %s@." s; exit 1) fmt
 
@@ -65,12 +75,23 @@ let has_prefix p s =
   String.length s >= String.length p && String.sub s 0 (String.length p) = p
 
 let () =
-  let base_path, fresh_path =
-    match Sys.argv with
-    | [| _; b; f |] -> (b, f)
-    | _ -> die "usage: gate.exe BASELINE.json FRESH.json"
+  let base_paths, fresh_path =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ :: _ as paths) ->
+        let rec split = function
+          | [ f ] -> ([], f)
+          | p :: rest ->
+              let bs, f = split rest in
+              (p :: bs, f)
+          | [] -> die "usage: gate.exe BASELINE.json [BASELINE.json ...] \
+                       FRESH.json"
+        in
+        split paths
+    | _ -> die "usage: gate.exe BASELINE.json [BASELINE.json ...] FRESH.json"
   in
-  let base = benches base_path (read_doc base_path) in
+  let base =
+    List.concat_map (fun p -> benches p (read_doc p)) base_paths
+  in
   let fresh = benches fresh_path (read_doc fresh_path) in
   let failures = ref 0 in
   let checked = ref 0 in
@@ -126,10 +147,44 @@ let () =
             | _ ->
                 incr failures;
                 Fmt.pr "FAIL %-18s no digest_match field in fresh entry@." key)
+      end
+      else if has_prefix "codegen." key then begin
+        ignore base_entry;
+        match List.assoc_opt key fresh with
+        | None ->
+            incr failures;
+            Fmt.pr "FAIL %-18s missing from fresh telemetry@." key
+        | Some fresh_entry -> (
+            incr checked;
+            (match Obs.Json.member "agree" fresh_entry with
+            | Some (Obs.Json.Bool true) ->
+                Fmt.pr "ok   %-18s agree (0 oracle disagreements)@." key
+            | Some (Obs.Json.Bool false) ->
+                incr failures;
+                Fmt.pr
+                  "FAIL %-18s generated parser disagreed with the Interp \
+                   oracle@."
+                  key
+            | _ ->
+                incr failures;
+                Fmt.pr "FAIL %-18s no agree field in fresh entry@." key);
+            incr checked;
+            match float_field fresh_entry "speedup" with
+            | Some s when s >= codegen_speedup_floor ->
+                Fmt.pr "ok   %-18s speedup %.2fx (floor %.1fx)@." key s
+                  codegen_speedup_floor
+            | Some s ->
+                incr failures;
+                Fmt.pr "FAIL %-18s speedup %.2fx below the %.1fx floor@." key
+                  s codegen_speedup_floor
+            | None ->
+                incr failures;
+                Fmt.pr "FAIL %-18s no speedup field in fresh entry@." key)
       end)
     base;
   if !checked = 0 then
-    die "no sets.* or parallel.* entries found in %s" base_path;
+    die "no sets.*, parallel.* or codegen.* entries found in %s"
+      (String.concat " " base_paths);
   if !failures > 0 then begin
     Fmt.pr "gate: %d regression(s) across %d checks@." !failures !checked;
     exit 1

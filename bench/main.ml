@@ -25,6 +25,7 @@ let all_benches : (string * string * (unit -> unit)) list =
     ("startup", "Cold vs warm startup: lazy DFAs and the compilation cache", Startup.run);
     ("sets", "Hot-path sets: interned bitsets vs the string-set reference", Sets.run);
     ("parallel", "Multicore scaling: parallel analysis and batched parsing", Parallel.run);
+    ("codegen", "Generated parsers vs the ATN/DFA interpreter", Codegen.run);
     ("fuzz", "Differential fuzzing oracle throughput", Fuzzing.run);
     ("obs", "Tracing overhead: null sink is free, ring sink per-event", Overhead.run);
     ("bechamel", "Bechamel microbenchmarks", Micro.run);

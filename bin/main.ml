@@ -542,6 +542,152 @@ let fuzz_cmd =
       const run $ seed $ runs $ grammar $ mutate $ corpus_dir $ size $ profile
       $ json $ jobs_arg)
 
+(* --- codegen ----------------------------------------------------------- *)
+
+let codegen_cmd =
+  let run grammar bench out_dir module_name parser_only standalone
+      inline_threshold print_ config =
+    let c, lexer, grammar_text, samples =
+      match (bench, grammar) with
+      | Some name, _ -> (
+          match Fuzz.Driver.find_spec name with
+          | None ->
+              Fmt.epr "unknown bench grammar %S (try: %s)@." name
+                (String.concat ", "
+                   (List.map
+                      (fun (s : Bench_grammars.Workload.spec) ->
+                        s.Bench_grammars.Workload.name)
+                      Fuzz.Driver.all_specs));
+              exit 2
+          | Some spec ->
+              let cw = Bench_grammars.Workload.compile spec in
+              ( cw.Bench_grammars.Workload.c,
+                Some spec.Bench_grammars.Workload.lexer_config,
+                Some spec.Bench_grammars.Workload.grammar_text,
+                spec.Bench_grammars.Workload.samples ))
+      | None, Some path -> (
+          let src = read_file path in
+          match Llstar.Compiled.of_source src with
+          | Error e ->
+              Fmt.epr "%s: %a@." path Llstar.Compiled.pp_error e;
+              exit 2
+          | Ok c -> (c, Some config, Some src, []))
+      | None, None ->
+          Fmt.epr "codegen: need a GRAMMAR file or --bench NAME@.";
+          exit 2
+    in
+    match Codegen.Lower.lower ~inline_threshold ?lexer ?grammar_text c with
+    | Error msg ->
+        Fmt.epr "codegen: %s@." msg;
+        exit 2
+    | Ok ir -> (
+        if print_ then print_string (Codegen.Emit_ocaml.emit ir)
+        else
+          match out_dir with
+          | None ->
+              Fmt.epr "codegen: need -o DIR (or --print)@.";
+              exit 2
+          | Some dir ->
+              let files =
+                if parser_only then
+                  let stem =
+                    match module_name with
+                    | Some m -> Codegen.Scaffold.sanitize_module m
+                    | None ->
+                        Codegen.Scaffold.sanitize_module
+                          ir.Codegen.Ir.grammar_name
+                        ^ "_parser"
+                  in
+                  [ (stem ^ ".ml", Codegen.Emit_ocaml.emit ir) ]
+                else
+                  Codegen.Scaffold.workspace ?module_name ~standalone ~samples
+                    ir
+              in
+              Codegen.Scaffold.write_all ~dir files;
+              let s = Codegen.Ir.stats ir in
+              Fmt.epr
+                "%s: %d rules, %d decisions (%d inline, %d table) -> %d \
+                 file(s) in %s@."
+                ir.Codegen.Ir.grammar_name s.Codegen.Ir.n_rules
+                s.Codegen.Ir.n_decisions s.Codegen.Ir.n_inline
+                s.Codegen.Ir.n_table (List.length files) dir)
+  in
+  let grammar =
+    Arg.(
+      value
+      & pos 0 (some file) None
+      & info [] ~docv:"GRAMMAR"
+          ~doc:"Grammar file in the ANTLR-like metalanguage.")
+  in
+  let bench =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "bench" ] ~docv:"NAME"
+          ~doc:
+            "Generate a parser for a built-in bench grammar (MiniJava, \
+             RatsC, RatsJava, MiniVB, MiniSQL, MiniCSharp) instead of a \
+             grammar file; embeds its lexer configuration and sample \
+             inputs.")
+  in
+  let out_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"DIR"
+          ~doc:"Write the generated workspace into $(docv).")
+  in
+  let module_name =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "module" ] ~docv:"NAME"
+          ~doc:"Module name for the emitted parser (default: grammar name).")
+  in
+  let parser_only =
+    Arg.(
+      value & flag
+      & info [ "parser-only" ]
+          ~doc:
+            "Emit only the parser module, without the driver executable and \
+             dune scaffolding.")
+  in
+  let standalone =
+    Arg.(
+      value & flag
+      & info [ "standalone" ]
+          ~doc:
+            "Also emit a dune-project file so the workspace builds outside \
+             an existing dune project.")
+  in
+  let inline_threshold =
+    Arg.(
+      value
+      & opt int Codegen.Lower.default_inline_threshold
+      & info [ "inline-threshold" ] ~docv:"N"
+          ~doc:
+            "Compile lookahead DFAs with at most $(docv) states to nested \
+             match/if chains; larger decisions embed the DFA and walk it \
+             generically.")
+  in
+  let print_ =
+    Arg.(
+      value & flag
+      & info [ "print" ] ~doc:"Print the parser module to stdout and stop.")
+  in
+  Cmd.v
+    (Cmd.info "codegen"
+       ~doc:
+         "Compile a grammar's ATN and lookahead DFAs to a self-contained \
+          OCaml recognizer: one recursive function per rule, decisions as \
+          match/if chains over token ids (or embedded DFA tables), \
+          syntactic predicates as speculation functions over stream marks. \
+          The emitted driver's --check mode replays inputs through the \
+          ATN/DFA interpreter and fails on any disagreement.")
+    Term.(
+      const run $ grammar $ bench $ out_dir $ module_name $ parser_only
+      $ standalone $ inline_threshold $ print_ $ lexer_config_term)
+
 (* --- bench ------------------------------------------------------------- *)
 
 let bench_cmd =
@@ -660,4 +806,5 @@ let () =
             gen_cmd;
             fuzz_cmd;
             bench_cmd;
+            codegen_cmd;
           ]))

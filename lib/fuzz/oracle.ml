@@ -1,9 +1,12 @@
 (* Cross-parser differential oracle.
 
-   Four independent recognizers exist for every benchmark grammar: the
+   Independent recognizers exist for every benchmark grammar: the
    LL-star interpreter over the compiled ATN, the packrat/PEG interpreter
    over the surface grammar, the Earley chart parser over the BNF skeleton,
-   and (when the skeleton is conflict-free) the table-driven LL(1) parser.
+   (when the skeleton is conflict-free) the table-driven LL(1) parser,
+   and the committed generated parser from lib/gen, which must agree with
+   the interpreter not just on accept/reject but on error position and
+   consumed-token count.
    Agreement between them is the correctness claim of the paper's sections
    6-7, so any *unexplained* disagreement on an input is a bug in one of
    them.  The oracle runs an input through every applicable backend and
@@ -51,6 +54,9 @@ type outcome = {
   o_earley : verdict;
   o_ll1 : verdict option;
   o_recovery : verdict option; (* recovery-mode probe, rejected inputs only *)
+  o_codegen : verdict option;
+      (* committed generated parser (lib/gen), when one exists for the
+         grammar; compared outcome-for-outcome against the interpreter *)
   o_explained : bool; (* an expected disagreement was normalized away *)
 }
 
@@ -200,6 +206,27 @@ let check (t : t) (names : string list) : outcome * divergence list =
       (fun l -> guarded t slow "ll1" (fun () -> of_bool (Baselines.Ll1.recognize l name_arr)))
       t.ll1
   in
+  (* Generated-parser differential: the committed codegen output must
+     reproduce the interpreter's accept/reject, error position and
+     consumed-token count exactly -- not just the verdict.  A mismatch is
+     always a codegen bug (or an emitter/interpreter drift), never an
+     expected disagreement. *)
+  let codegen =
+    Option.map
+      (fun (module P : Runtime.Generated.PARSER) ->
+        guarded t slow "codegen" (fun () ->
+            let got = P.outcome ~env:t.env toks in
+            let want =
+              Runtime.Generated.interp_outcome ~env:t.env t.cw.Workload.c toks
+            in
+            if not (Runtime.Generated.agree got want) then
+              diverge "codegen-mismatch"
+                (Printf.sprintf "generated=%s interp=%s"
+                   (Runtime.Generated.describe got)
+                   (Runtime.Generated.describe want));
+            of_bool got.Runtime.Generated.ok))
+      (Gen.Registry.find t.name)
+  in
   (* Recovery probe on rejected inputs: panic-mode resynchronization must
      neither crash nor hang, whatever it is fed. *)
   let recovery =
@@ -223,6 +250,7 @@ let check (t : t) (names : string list) : outcome * divergence list =
   crash "earley" (Some earley);
   crash "packrat" packrat;
   crash "ll1" ll1;
+  crash "codegen" codegen;
   crash "llstar-recovery" recovery;
   (* fuel guard trips: flagged so blow-ups are visible in CI *)
   let fuel backend = function
@@ -279,6 +307,7 @@ let check (t : t) (names : string list) : outcome * divergence list =
       o_earley = earley;
       o_ll1 = ll1;
       o_recovery = recovery;
+      o_codegen = codegen;
       o_explained = !explained;
     },
     List.rev !divs )

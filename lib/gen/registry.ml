@@ -1,0 +1,26 @@
+(* Registry of the committed generated parsers, one per bench grammar.
+
+   The parser modules in this directory are emitted by [antlrkit codegen]
+   (see lib/codegen) and checked in so the fuzz oracle, the benches and
+   the tests can exercise real generated code without a build-time
+   generation step.  CI's hygiene job regenerates them and fails on any
+   byte difference, so they cannot drift from the emitter; regenerate
+   with
+
+     dune exec antlrkit -- codegen --bench MiniJava -o lib/gen \
+       --parser-only --module gen_mini_java
+
+   (and likewise for the other five). *)
+
+let parsers : (string * (module Runtime.Generated.PARSER)) list =
+  [
+    ("MiniJava", (module Gen_mini_java));
+    ("RatsC", (module Gen_rats_c));
+    ("RatsJava", (module Gen_rats_java));
+    ("MiniVB", (module Gen_mini_vb));
+    ("MiniSQL", (module Gen_mini_sql));
+    ("MiniCSharp", (module Gen_mini_csharp));
+  ]
+
+let find (name : string) : (module Runtime.Generated.PARSER) option =
+  List.assoc_opt name parsers

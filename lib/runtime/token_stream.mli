@@ -5,7 +5,16 @@
     mark records the furthest index examined by lookahead or consumption;
     the profiler uses it to measure speculation depth. *)
 
-type t
+type t = {
+  toks : Token.t array;
+  mutable p : int; (* cursor: next token to consume *)
+  mutable hw : int; (* furthest index examined; -1 until the first lookahead *)
+}
+(** The representation is exposed so generated parsers (lib/codegen's
+    emitter) can inline the lookahead/consume hot path as direct field
+    accesses.  Everyone else should treat it as abstract and use the
+    functions below; any manual update must preserve the invariants they
+    maintain (cursor clamped to [0, size], high-water monotone). *)
 
 val of_array : Token.t array -> t
 val size : t -> int

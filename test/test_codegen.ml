@@ -1,0 +1,249 @@
+(* Code-generation tests (lib/codegen): the compiled-away parsers must be
+   indistinguishable from the {!Runtime.Interp} oracle.
+
+   Four layers:
+
+   - the six committed generated parsers (lib/gen) agree with the
+     interpreter -- accept/reject, error kind and position, consumed
+     token count -- over a freshly built workload corpus;
+   - the closure-execution backend ({!Codegen.Exec}, which interprets
+     the IR with the exact control flow the emitter prints) agrees with
+     the interpreter on qcheck-random grammars and random token strings,
+     at both the default inline threshold and [~inline_threshold:0]
+     (everything table-driven), so both decision-lowering strategies are
+     exercised;
+   - emission is deterministic (lower + emit twice, byte-identical) and
+     the committed lib/gen sources are fresh (regeneration reproduces
+     them byte-for-byte);
+   - every committed fuzz-corpus reproducer replays without divergence
+     through the generated parser.
+
+   The corpus/lib-gen directories are located by walking up from the
+   test's build directory, like test_fuzz's corpus replay; a sandboxed
+   run without them is trivially green. *)
+
+open Helpers
+module Workload = Bench_grammars.Workload
+module RtG = Runtime.Generated
+
+let spec_exn name =
+  match Fuzz.Driver.find_spec name with
+  | Some s -> s
+  | None -> Alcotest.failf "no bench spec %s" name
+
+let bench_names =
+  [ "MiniJava"; "RatsC"; "RatsJava"; "MiniVB"; "MiniSQL"; "MiniCSharp" ]
+
+let committed_parser name =
+  match Gen.Registry.find name with
+  | Some p -> p
+  | None -> Alcotest.failf "no committed generated parser for %s" name
+
+(* ------------------------------------------------------------------ *)
+(* Committed parsers vs the interpreter over workload corpora          *)
+
+let corpus_agreement name =
+  test (Printf.sprintf "%s: generated agrees with Interp on corpus" name)
+    (fun () ->
+      let spec = spec_exn name in
+      let cw = Workload.compile spec in
+      let env = Workload.env_of_spec spec in
+      let (module P : RtG.PARSER) = committed_parser name in
+      let corpus = Workload.build_corpus cw ~target_tokens:2_000 in
+      List.iter
+        (fun text ->
+          let toks = Workload.lex_exn cw text in
+          let got = P.outcome ~env toks in
+          let want = RtG.interp_outcome ~env cw.Workload.c toks in
+          if not (RtG.agree got want) then
+            Alcotest.failf "%s diverges on %S: generated=%s interp=%s" name
+              text (RtG.describe got) (RtG.describe want))
+        corpus.Workload.texts)
+
+(* The generated module's embedded vocabulary must match the compiled
+   grammar's interning, or token ids in emitted match arms mean the wrong
+   terminal. *)
+let vocabulary_matches name =
+  test (Printf.sprintf "%s: embedded vocabulary matches compile" name)
+    (fun () ->
+      let spec = spec_exn name in
+      let cw = Workload.compile spec in
+      let sym = Llstar.Compiled.sym cw.Workload.c in
+      let (module P : RtG.PARSER) = committed_parser name in
+      check int "terminal count" (Grammar.Sym.num_terms sym)
+        (Array.length P.token_names);
+      Array.iteri
+        (fun i n -> check string (Printf.sprintf "term %d" i)
+            (Grammar.Sym.term_name sym i) n)
+        P.token_names)
+
+(* ------------------------------------------------------------------ *)
+(* Exec backend vs Interp on random grammars (both decision plans)     *)
+
+let exec_agrees_with_interp ~inline_threshold (g, word) =
+  match Test_props.compile_rand g with
+  | None -> true
+  | Some c -> (
+      match Codegen.Lower.lower ~inline_threshold c with
+      | Error m -> Alcotest.failf "lower failed on a compiled grammar: %s" m
+      | Ok ir ->
+          let (module P : RtG.PARSER) = Codegen.Exec.to_parser ir in
+          let names = List.map (fun i -> Test_props.terminals.(i)) word in
+          let toks = Test_props.tokens_of_names c names in
+          let got = P.outcome toks in
+          let want = RtG.interp_outcome c toks in
+          RtG.agree got want)
+
+let arb_grammar_and_word =
+  QCheck.pair Test_props.arb_grammar
+    (QCheck.list_of_size (QCheck.Gen.int_bound 6) (QCheck.int_bound 4))
+
+let props =
+  [
+    qtest ~count:150 "exec backend agrees with Interp (inline decisions)"
+      arb_grammar_and_word
+      (exec_agrees_with_interp
+         ~inline_threshold:Codegen.Lower.default_inline_threshold);
+    qtest ~count:150 "exec backend agrees with Interp (table decisions)"
+      arb_grammar_and_word
+      (exec_agrees_with_interp ~inline_threshold:0);
+    qtest ~count:100 "exec backend accepts drawn sentences iff Interp does"
+      Test_props.arb_grammar_and_sentence (fun (g, sentence) ->
+        match (Test_props.compile_rand g, sentence) with
+        | None, _ | _, None -> true
+        | Some c, Some sentence -> (
+            match Codegen.Lower.lower c with
+            | Error m ->
+                Alcotest.failf "lower failed on a compiled grammar: %s" m
+            | Ok ir ->
+                let (module P : RtG.PARSER) = Codegen.Exec.to_parser ir in
+                let toks = Test_props.tokens_of_names c sentence in
+                RtG.agree (P.outcome toks) (RtG.interp_outcome c toks)));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Determinism and freshness of the committed sources                  *)
+
+(* Mirror bin/main.ml's codegen --bench path: same lexer hint and grammar
+   text, so the emitted text is exactly what `antlrkit codegen` writes. *)
+let emit_for name =
+  let spec = spec_exn name in
+  let cw = Workload.compile spec in
+  match
+    Codegen.Lower.lower ~lexer:spec.Workload.lexer_config
+      ~grammar_text:spec.Workload.grammar_text cw.Workload.c
+  with
+  | Error m -> Alcotest.failf "lower %s: %s" name m
+  | Ok ir -> Codegen.Emit_ocaml.emit ir
+
+let find_up rel =
+  let rec go dir depth =
+    if depth > 5 then None
+    else
+      let cand = Filename.concat dir rel in
+      if Sys.file_exists cand then Some cand
+      else
+        let parent = Filename.dirname dir in
+        if parent = dir then None else go parent (depth + 1)
+  in
+  go (Sys.getcwd ()) 0
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let gen_module_file name =
+  let slug =
+    match name with
+    | "MiniJava" -> "gen_mini_java"
+    | "RatsC" -> "gen_rats_c"
+    | "RatsJava" -> "gen_rats_java"
+    | "MiniVB" -> "gen_mini_vb"
+    | "MiniSQL" -> "gen_mini_sql"
+    | "MiniCSharp" -> "gen_mini_csharp"
+    | other -> Alcotest.failf "no committed module mapping for %s" other
+  in
+  slug ^ ".ml"
+
+let determinism_tests =
+  [
+    test "emission is deterministic (lower + emit twice)" (fun () ->
+        List.iter
+          (fun name ->
+            check bool (name ^ " byte-identical") true
+              (String.equal (emit_for name) (emit_for name)))
+          bench_names);
+    test "committed lib/gen sources match regeneration" (fun () ->
+        match find_up "lib/gen" with
+        | None -> () (* sandboxed run without the source tree *)
+        | Some dir ->
+            List.iter
+              (fun name ->
+                let path = Filename.concat dir (gen_module_file name) in
+                if not (Sys.file_exists path) then
+                  Alcotest.failf "missing committed parser %s" path;
+                if not (String.equal (read_file path) (emit_for name)) then
+                  Alcotest.failf
+                    "%s is stale: regenerate with `dune exec antlrkit -- \
+                     codegen --bench %s -o lib/gen --parser-only --module \
+                     %s`"
+                    path name
+                    (Filename.remove_extension (gen_module_file name)))
+              bench_names);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Fuzz-corpus reproducers replayed through the generated parsers      *)
+
+let replay_tests =
+  [
+    test "committed reproducers agree generated-vs-Interp" (fun () ->
+        match find_up "fuzz-corpus" with
+        | None -> ()
+        | Some dir ->
+            Array.iter
+              (fun file ->
+                if Filename.check_suffix file ".txt" then
+                  match
+                    Fuzz.Driver.read_reproducer (Filename.concat dir file)
+                  with
+                  | Error m -> Alcotest.fail m
+                  | Ok rp -> (
+                      let name = rp.Fuzz.Driver.rp_grammar in
+                      match Gen.Registry.find name with
+                      | None -> () (* reproducer for a non-bench grammar *)
+                      | Some (module P : RtG.PARSER) -> (
+                          match Fuzz.Oracle.create (spec_exn name) with
+                          | Error e ->
+                              Alcotest.failf "oracle: %a"
+                                Llstar.Compiled.pp_error e
+                          | Ok o ->
+                              let toks =
+                                Fuzz.Oracle.tokens_of_names o
+                                  rp.Fuzz.Driver.rp_tokens
+                              in
+                              let spec = spec_exn name in
+                              let env = Workload.env_of_spec spec in
+                              let cw = Workload.compile spec in
+                              let got = P.outcome ~env toks in
+                              let want =
+                                RtG.interp_outcome ~env cw.Workload.c toks
+                              in
+                              if not (RtG.agree got want) then
+                                Alcotest.failf
+                                  "%s: generated=%s interp=%s" file
+                                  (RtG.describe got) (RtG.describe want))))
+              (Sys.readdir dir));
+  ]
+
+let suite =
+  [
+    ("codegen: corpus agreement", List.map corpus_agreement bench_names);
+    ("codegen: vocabulary", List.map vocabulary_matches bench_names);
+    ("codegen: random grammars", props);
+    ("codegen: determinism + freshness", determinism_tests);
+    ("codegen: reproducer replay", replay_tests);
+  ]
