@@ -29,6 +29,12 @@
      to exist.  The ratio is measured within one process on one runner, so
      hardware differences cancel and no absolute slack is needed.
 
+   - "serve.<grammar>": the fresh run's [all_answered] and [all_ok] must
+     both be true -- the daemon answered every concurrent request and
+     every parse succeeded on both backends.  Latency percentiles and
+     throughput are recorded in the entries but never gated: like the
+     parallel speedups, they measure the runner, not the code.
+
    Exit status: 0 clean, 1 regression or malformed/missing input. *)
 
 let gated_fields =
@@ -180,6 +186,29 @@ let () =
             | None ->
                 incr failures;
                 Fmt.pr "FAIL %-18s no speedup field in fresh entry@." key)
+      end
+      else if has_prefix "serve." key then begin
+        ignore base_entry;
+        match List.assoc_opt key fresh with
+        | None ->
+            incr failures;
+            Fmt.pr "FAIL %-18s missing from fresh telemetry@." key
+        | Some fresh_entry ->
+            List.iter
+              (fun field ->
+                incr checked;
+                match Obs.Json.member field fresh_entry with
+                | Some (Obs.Json.Bool true) ->
+                    Fmt.pr "ok   %-18s %s@." key field
+                | Some (Obs.Json.Bool false) ->
+                    incr failures;
+                    Fmt.pr "FAIL %-18s %s=false (dropped or failed \
+                            requests)@." key field
+                | _ ->
+                    incr failures;
+                    Fmt.pr "FAIL %-18s no %s field in fresh entry@." key
+                      field)
+              [ "all_answered"; "all_ok" ]
       end)
     base;
   if !checked = 0 then

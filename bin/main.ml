@@ -793,6 +793,193 @@ let bench_cmd =
       const run $ grammar_arg $ input $ lexer_config_term $ start $ iters
       $ warmup $ cache_dir_arg $ lazy_arg $ json)
 
+(* --- serve / client ---------------------------------------------------- *)
+
+let socket_arg =
+  Arg.(
+    value
+    & opt string "antlrkit.sock"
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:"Unix socket path for the parse service (ignored with --tcp).")
+
+let tcp_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "tcp" ] ~docv:"HOST:PORT"
+        ~doc:"Listen on (or connect to) a TCP address instead of a Unix \
+              socket.")
+
+let resolve_addr socket tcp : Serve.Protocol.addr =
+  match tcp with
+  | None -> Serve.Protocol.Unix_sock socket
+  | Some s -> (
+      match Serve.Protocol.tcp_of_string s with
+      | Ok a -> a
+      | Error msg ->
+          Fmt.epr "--tcp %s@." msg;
+          exit 2)
+
+let serve_cmd =
+  let grammars =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "grammars" ] ~docv:"NAMES"
+          ~doc:
+            "Comma-separated builtin grammars to preload (default: all \
+             six bench grammars).  $(b,none) starts with an empty \
+             registry; clients add grammars with op=load.")
+  in
+  let max_tokens =
+    Arg.(
+      value
+      & opt int Serve.Handler.default_limits.Serve.Handler.max_tokens
+      & info [ "max-tokens" ] ~docv:"N"
+          ~doc:"Reject requests that lex to more than $(docv) tokens.")
+  in
+  let time_budget =
+    Arg.(
+      value
+      & opt float Serve.Handler.default_limits.Serve.Handler.time_budget_s
+      & info [ "time-budget" ] ~docv:"SECONDS"
+          ~doc:
+            "Per-request wall-clock budget.  The guard is post-hoc (the \
+             parse is not interrupted): an overrunning request reports a \
+             time_budget error instead of its result.")
+  in
+  let max_request =
+    Arg.(
+      value
+      & opt int Serve.Handler.default_limits.Serve.Handler.max_request_bytes
+      & info [ "max-request-bytes" ] ~docv:"N"
+          ~doc:"Maximum request line (and text payload) size in bytes.")
+  in
+  let run socket tcp jobs cache_dir grammars max_tokens time_budget
+      max_request trace_file trace_format =
+    let addr = resolve_addr socket tcp in
+    let tracer, close_trace = make_tracer trace_file trace_format in
+    let jobs = Exec.Pool.resolve_jobs jobs in
+    Exec.Pool.with_pool ~jobs (fun pool ->
+        let registry = Serve.Registry.create ?cache_dir () in
+        let names =
+          match grammars with
+          | None -> Serve.Registry.builtin_names
+          | Some "none" -> []
+          | Some s ->
+              String.split_on_char ',' s
+              |> List.map String.trim
+              |> List.filter (fun s -> s <> "")
+        in
+        (match
+           Serve.Registry.load_builtins registry ~tracer ~pool ~names ()
+         with
+        | Ok entries ->
+            List.iter
+              (fun (e : Serve.Registry.entry) ->
+                Fmt.epr "[serve] loaded %s (digest %s%s%s)@."
+                  e.Serve.Registry.name
+                  (String.sub e.Serve.Registry.digest 0 12)
+                  (match e.Serve.Registry.cache with
+                  | Some Llstar.Compiled_cache.Hit -> ", cache hit"
+                  | Some Llstar.Compiled_cache.Miss -> ", cache miss"
+                  | None -> "")
+                  (if Option.is_some e.Serve.Registry.generated then
+                     ", generated backend"
+                   else ""))
+              entries
+        | Error msg ->
+            Fmt.epr "[serve] %s@." msg;
+            close_trace ();
+            exit 2);
+        let limits =
+          {
+            Serve.Handler.max_request_bytes = max_request;
+            max_tokens;
+            time_budget_s = time_budget;
+          }
+        in
+        let handler =
+          Serve.Handler.create ~limits ~tracer ~registry ~pool ()
+        in
+        let server = Serve.Server.create ~handler ~addr () in
+        let stop _ = Serve.Server.stop server in
+        Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
+        Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+        Fmt.epr "[serve] listening on %s (%s pool, %d job%s)@."
+          (Serve.Protocol.addr_to_string addr)
+          Exec.Pool.backend jobs
+          (if jobs = 1 then "" else "s");
+        Serve.Server.run server;
+        Fmt.epr "[serve] drained, exiting@.");
+    close_trace ()
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run a long-lived parse service: line-JSON requests over a Unix \
+          or TCP socket, a registry of compiled grammars (persistent \
+          cache backed), parse work on worker domains, and an \
+          antlrkit-telemetry/1 stats endpoint.  Shuts down gracefully on \
+          SIGTERM/SIGINT or an op=shutdown request, draining in-flight \
+          requests first.")
+    Term.(
+      const run $ socket_arg $ tcp_arg $ jobs_arg $ cache_dir_arg $ grammars
+      $ max_tokens $ time_budget $ max_request $ trace_arg
+      $ trace_format_arg)
+
+let client_cmd =
+  let file =
+    Arg.(
+      value
+      & pos 0 string "-"
+      & info [] ~docv:"FILE"
+          ~doc:
+            "File of newline-separated JSON requests ($(b,-) reads \
+             stdin).  Each response is printed on its own line, in \
+             request order.")
+  in
+  let wait =
+    Arg.(
+      value & opt float 10.0
+      & info [ "wait" ] ~docv:"SECONDS"
+          ~doc:"Keep retrying the initial connection for up to $(docv) \
+                (the daemon may still be compiling grammars).")
+  in
+  let run socket tcp file wait =
+    let addr = resolve_addr socket tcp in
+    let attempts = max 1 (int_of_float (wait /. 0.1)) in
+    match Serve.Client.connect_retry ~attempts ~delay_s:0.1 addr with
+    | Error msg ->
+        Fmt.epr "%s@." msg;
+        exit 1
+    | Ok c ->
+        let ic = if file = "-" then stdin else open_in file in
+        let failures = ref 0 in
+        (try
+           while true do
+             let line = input_line ic in
+             if String.trim line <> "" then begin
+               match Serve.Client.request_line c line with
+               | Ok resp -> print_endline resp
+               | Error msg ->
+                   Fmt.epr "%s@." msg;
+                   incr failures;
+                   raise Exit
+             end
+           done
+         with End_of_file | Exit -> ());
+        if file <> "-" then close_in ic;
+        Serve.Client.close c;
+        if !failures > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:
+         "Send line-JSON requests to a running antlrkit serve daemon and \
+          print the responses.")
+    Term.(const run $ socket_arg $ tcp_arg $ file $ wait)
+
 let () =
   let doc = "LL(*) grammar analysis and parsing (Parr & Fisher, PLDI 2011)" in
   exit
@@ -807,4 +994,6 @@ let () =
             fuzz_cmd;
             bench_cmd;
             codegen_cmd;
+            serve_cmd;
+            client_cmd;
           ]))

@@ -589,15 +589,22 @@ let build_d0 (b : builder) : wstate =
   resolve b d;
   d
 
-(* A state with only the fragment-end default keeps expanding; predicate
-   resolution and accepts make a state terminal. *)
-let is_fragment_default (d : wstate) =
-  match d.pred_edges with
-  | [ { Look_dfa.guard = []; pred = None; _ } ] -> true
-  | _ -> false
+(* A state keeps expanding while some viable alternative is not covered by
+   its predicate edges: conflict resolution only predicates the alternatives
+   that actually conflict, and an uncovered alternative may still be
+   separated by more lookahead (the predicate edges then serve as the
+   fallback when no terminal edge matches -- the fragment-end default is the
+   degenerate case).  Accepts, and predicate edges covering every viable
+   alternative, make a state terminal. *)
+let preds_cover_viable (b : builder) (d : wstate) =
+  let viable = viable_alts b d.configs in
+  List.iter
+    (fun (e : Look_dfa.pred_edge) -> Bitset.remove viable e.alt)
+    d.pred_edges;
+  Bitset.is_empty viable
 
-let should_expand (d : wstate) =
-  d.accept = 0 && (d.pred_edges = [] || is_fragment_default d)
+let should_expand (b : builder) (d : wstate) =
+  d.accept = 0 && (d.pred_edges = [] || not (preds_cover_viable b d))
 
 (* ------------------------------------------------------------------ *)
 (* Per-state construction steps.
@@ -674,14 +681,14 @@ let expand_state (b : builder) (work : wstate Queue.t) (d : wstate) : unit =
     List.iter
       (fun a ->
         match step_terminal b d a with
-        | Some (d', fresh) -> if fresh && should_expand d' then Queue.add d' work
+        | Some (d', fresh) -> if fresh && should_expand b d' then Queue.add d' work
         | None -> ())
       (outgoing_terminals b.atn d.configs)
 
 let create_dfa_exn (b : builder) : Look_dfa.t =
   let d0 = init_d0 b in
   let work = Queue.create () in
-  if should_expand d0 then Queue.add d0 work;
+  if should_expand b d0 then Queue.add d0 work;
   while not (Queue.is_empty work) do
     expand_state b work (Queue.pop work)
   done;

@@ -17,7 +17,13 @@
      is verified *before* unmarshaling, so [Marshal] only ever sees bytes
      this module wrote);
    - writes go through a temp file and an atomic rename, so a crashed or
-     concurrent writer can leave a stale temp file but never a torn blob.
+     concurrent writer can leave a stale temp file but never a torn blob;
+   - stale temp files are garbage-collected when a cache directory is
+     opened ([gc_stale_temps], called once per directory per process from
+     [compile]): a temp whose writer pid is provably dead, or whose mtime
+     is older than [stale_temp_age_s], is removed; a live writer's fresh
+     temp is never touched, and valid blobs are never candidates (only
+     [.<key>.tmp.<pid>]-shaped names are considered).
 
    A lazy-mode [Compiled.t] can be re-saved after parsing: the blob then
    contains every DFA state materialized so far, and a later [load] resumes
@@ -90,6 +96,95 @@ let rec mkdir_p dir =
     with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
   end
 
+(* ------------------------------------------------------------------ *)
+(* Stale temp sweeping.
+
+   [save] names its temp [.<key>-<seq>.tmp.<pid>]; a writer that crashes (or is
+   killed) between [open_out_bin] and [Sys.rename] leaves that file behind
+   forever -- nothing else ever opens it, so a long-lived process pointing
+   many compilations at one cache directory accumulates junk without
+   bound.  The sweep removes a temp when its embedded writer pid no longer
+   exists (kill 0 -> ESRCH: the writer is gone, the file can never be
+   renamed) or, for pids we cannot probe (recycled or unparseable), when
+   the file is older than [stale_temp_age_s] -- far beyond any real write,
+   which lasts milliseconds.  A concurrent writer's in-flight temp is
+   young and its pid alive, so it survives on both counts. *)
+
+let stale_temp_age_s = 3600.0
+
+let temp_writer_pid (name : string) : int option =
+  (* [.<hexkey>-<seq>.tmp.<pid>]; only the trailing [.tmp.<pid>] matters *)
+  if String.length name = 0 || name.[0] <> '.' then None
+  else
+    match String.rindex_opt name '.' with
+    | None -> None
+    | Some i -> (
+        let infix_start = i - String.length ".tmp" in
+        if infix_start < 0 || String.sub name infix_start 4 <> ".tmp" then None
+        else
+          match int_of_string_opt (String.sub name (i + 1) (String.length name - i - 1)) with
+          | Some pid when pid > 0 -> Some pid
+          | _ -> None)
+
+let pid_alive (pid : int) : bool =
+  match Unix.kill pid 0 with
+  | () -> true
+  | exception Unix.Unix_error (Unix.ESRCH, _, _) -> false
+  (* EPERM: the pid exists but belongs to someone else *)
+  | exception Unix.Unix_error (_, _, _) -> true
+
+(* Remove stale writer temps from [dir]; returns the removed paths.
+   Removal errors are swallowed (another sweeper can win the race), and a
+   missing or unreadable directory sweeps nothing. *)
+let gc_stale_temps ?(max_age_s = stale_temp_age_s) ~dir () : string list =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> []
+  | names ->
+      let now = Unix.gettimeofday () in
+      let removed = ref [] in
+      Array.iter
+        (fun name ->
+          match temp_writer_pid name with
+          | None -> ()
+          | Some pid ->
+              let path = Filename.concat dir name in
+              let stale =
+                if not (pid_alive pid) then true
+                else
+                  match Unix.stat path with
+                  | st -> now -. st.Unix.st_mtime > max_age_s
+                  | exception Unix.Unix_error (_, _, _) -> false
+              in
+              if stale then (
+                match Sys.remove path with
+                | () -> removed := path :: !removed
+                | exception Sys_error _ -> ()))
+        names;
+      List.rev !removed
+
+(* One sweep per directory per process: [compile] is on the request path
+   of a long-lived server, and a readdir per compilation would scale with
+   cache size.  The guard is keyed by the raw path string; a directory
+   reached through two spellings is swept twice, which is harmless. *)
+let swept_dirs : (string, unit) Hashtbl.t = Hashtbl.create 4
+let swept_lock = Mutex.create ()
+
+let sweep_once ~dir : unit =
+  let first =
+    Mutex.lock swept_lock;
+    let f = not (Hashtbl.mem swept_dirs dir) in
+    if f then Hashtbl.replace swept_dirs dir ();
+    Mutex.unlock swept_lock;
+    f
+  in
+  if first then ignore (gc_stale_temps ~dir ())
+
+(* Distinguishes concurrent writers within one process: the pid suffix
+   alone is shared by every domain/thread, and two writers sharing a temp
+   path interleave their output -- the rename then publishes a torn blob
+   (or fails with ENOENT for the loser). *)
+let temp_seq = Atomic.make 0
+
 let save ~dir (c : Compiled.t) : (string, string) result =
   let k = key_of c in
   let path = cache_file ~dir k in
@@ -98,7 +193,9 @@ let save ~dir (c : Compiled.t) : (string, string) result =
     let payload = Marshal.to_string c [] in
     let tmp =
       Filename.concat dir
-        (Printf.sprintf ".%s.tmp.%d" k (Unix.getpid ()))
+        (Printf.sprintf ".%s-%d.tmp.%d" k
+           (Atomic.fetch_and_add temp_seq 1)
+           (Unix.getpid ()))
     in
     let oc = open_out_bin tmp in
     output_string oc magic;
@@ -155,6 +252,7 @@ let load ?tracer ?analysis_opts ?strategy ~dir (g : Grammar.Ast.t) :
 let compile ?tracer ?analysis_opts ?grammar_source ?pool
     ?(strategy = Compiled.Eager) ~dir (g : Grammar.Ast.t) :
     (Compiled.t * outcome, Compiled.error) result =
+  sweep_once ~dir;
   let k = key ?analysis_opts ~strategy g in
   match load_key ?tracer ~dir k with
   | Some c -> Ok (c, Hit)

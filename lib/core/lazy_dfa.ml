@@ -192,7 +192,7 @@ let sprout t ~(state : int) ~(term : int) : sprout =
   | Done -> No_edge
   | Building b ->
       let d = Analysis.state_by_id b state in
-      if not (Analysis.should_expand d) then No_edge
+      if not (Analysis.should_expand b d) then No_edge
       else begin
         let beyond_cap =
           match t.opts.Analysis.k_cap with
@@ -241,7 +241,7 @@ let complete t : Analysis.result =
         match
           let work = Queue.create () in
           List.iter
-            (fun d -> if Analysis.should_expand d then Queue.add d work)
+            (fun d -> if Analysis.should_expand b d then Queue.add d work)
             (List.rev b.Analysis.states);
           while not (Queue.is_empty work) do
             Analysis.expand_state b work (Queue.pop work)

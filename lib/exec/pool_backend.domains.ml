@@ -10,9 +10,12 @@
 
    Concurrency discipline (see DESIGN.md, Execution layer):
 
-   - a pool has a single owner: [submit]/[shutdown] are called from the
-     domain that created it; [await] blocks that owner until a worker
-     publishes the task's result under the task's own lock;
+   - [submit] and [await] are safe from any thread or domain: the queue
+     is guarded by [pool.lock] and each task cell by its own lock.  The
+     serve layer submits from one sys-thread per connection.  [shutdown]
+     still has a single owner (the creator), and must not race with
+     in-flight [submit]s from other threads -- a submit that loses the
+     race raises [Invalid_argument], it never deadlocks or drops work;
    - tasks must only touch data that is read-only while the pool is hot
      (grammar, ATN, interned vocabularies) plus task-local state; results
      are transferred through the task cell, never through shared tables;
@@ -113,7 +116,23 @@ let submit pool f =
       invalid_arg "Exec.Pool.submit: pool is shut down"
     end;
     Queue.push job pool.queue;
-    Condition.signal pool.work_ready;
+    (* Wakeup audit (serve-daemon hardening).  The previous [signal] here
+       was in fact deadlock-free: every push is paired with exactly one
+       signal issued under [pool.lock], and a woken worker re-checks
+       [Queue.is_empty] in a loop, so "queue non-empty while every worker
+       is blocked with no signal pending" would require the last worker to
+       have observed an empty queue under the lock *after* an unsignalled
+       push -- which cannot happen.  But that argument leans entirely on
+       the 1:1 push/signal pairing inside this one critical section; any
+       future multi-item enqueue (batch submit, work stealing) silently
+       breaks it, and with many concurrent submitters the proof is easy to
+       invalidate by refactoring.  [broadcast] makes the wakeup
+       obligation local and unconditional: every waiter re-evaluates the
+       predicate, whatever the enqueue shape.  The cost -- waking [jobs]
+       domains that mostly find one item -- is noise against the price of
+       a parse task, and the submit-storm stress test in test_exec.ml
+       pins the no-lost-wakeup behaviour either way. *)
+    Condition.broadcast pool.work_ready;
     Mutex.unlock pool.lock
   end;
   task

@@ -52,6 +52,15 @@ type event =
   | Lexer_mode_enter of { mode : string; line : int; col : int }
   | Lexer_mode_exit of { mode : string; line : int; col : int }
       (* the lexer entered/left a sub-scanner (block comment, string, ...) *)
+  | Serve_request of {
+      op : string;
+      grammar : string; (* "" when the op has no grammar *)
+      backend : string; (* "interp" | "generated" | "" *)
+      ok : bool;
+      tokens : int;
+      wall_us : int;
+    }
+      (* the serve daemon answered one request *)
 
 (* Chrome trace-event phase of each variant: [`B]egin/[`E]nd bracket a span,
    [`I]nstant stands alone. *)
@@ -72,6 +81,7 @@ let phase : event -> span_phase = function
   | Error_sync _ -> `I
   | Lexer_mode_enter _ -> `B
   | Lexer_mode_exit _ -> `E
+  | Serve_request _ -> `I
 
 (* Machine-readable event tag (JSONL [ev] field). *)
 let label : event -> string = function
@@ -89,6 +99,7 @@ let label : event -> string = function
   | Error_sync _ -> "error_sync"
   | Lexer_mode_enter _ -> "lexer_mode_enter"
   | Lexer_mode_exit _ -> "lexer_mode_exit"
+  | Serve_request _ -> "serve_request"
 
 (* Span name shown on a Chrome/Perfetto track: begin and end of the same
    logical span must agree, so exits reuse the enter name. *)
@@ -107,6 +118,7 @@ let span_name : event -> string = function
   | Memo_hit _ -> "memo hit"
   | Memo_miss _ -> "memo miss"
   | Error_sync _ -> "error sync"
+  | Serve_request { op; _ } -> Printf.sprintf "serve %s" op
 
 let args : event -> (string * Json.t) list = function
   | Decision_enter { decision; rule; pos } ->
@@ -171,6 +183,15 @@ let args : event -> (string * Json.t) list = function
         ("mode", Json.str mode);
         ("line", Json.int line);
         ("col", Json.int col);
+      ]
+  | Serve_request { op; grammar; backend; ok; tokens; wall_us } ->
+      [
+        ("op", Json.str op);
+        ("grammar", Json.str grammar);
+        ("backend", Json.str backend);
+        ("ok", Json.bool ok);
+        ("tokens", Json.int tokens);
+        ("wall_us", Json.int wall_us);
       ]
 
 (* ------------------------------------------------------------------ *)

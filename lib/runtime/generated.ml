@@ -49,6 +49,21 @@ let make ?(env = Interp.default_env) ?profile ~(memoize : bool)
     speculating = 0;
   }
 
+(* Reset a parser state for the next request's tokens.  The memo table is
+   keyed by (rule, precedence, position) only -- NOT by token content -- so
+   an entry from a previous input is indistinguishable from a hit on the
+   current one: reusing a state without clearing it lets one request's
+   speculation outcomes decide another request's parse (accepting or
+   rejecting inputs it never examined).  [Hashtbl.reset] keeps the table's
+   backing array, so a long-lived server thread that reuses one [st] pays
+   no re-growth cost; [speculating] is forced back to 0 so an exception
+   that escaped a previous parse cannot leave the next one permanently
+   "speculating" (every error would become a silent [Spec_fail]). *)
+let reset (st : st) (toks : Token.t array) : unit =
+  Token_stream.load st.ts toks;
+  st.speculating <- 0;
+  match st.memo with Some tbl -> Hashtbl.reset tbl | None -> ()
+
 (* ------------------------------------------------------------------ *)
 (* Errors.  While speculating, every failure is a [Spec_fail]. *)
 
@@ -266,10 +281,9 @@ type outcome = {
   consumed : int; (* tokens consumed when the parse stopped *)
 }
 
-let run_recognizer ?(env = Interp.default_env) ?profile ~(memoize : bool)
-    ~(start_rule : int) (entry : st -> unit) (toks : Token.t array) : outcome
-    =
-  let st = make ~env ?profile ~memoize toks in
+(* Run an entry point against an existing state (the state-reuse path: the
+   caller is responsible for [reset]ting [st] between inputs). *)
+let run_st (st : st) ~(start_rule : int) (entry : st -> unit) : outcome =
   match entry st with
   | () ->
       if Token_stream.la st.ts 1 <> Grammar.Sym.eof then
@@ -288,6 +302,11 @@ let run_recognizer ?(env = Interp.default_env) ?profile ~(memoize : bool)
       else { ok = true; error = None; consumed = Token_stream.index st.ts }
   | exception Parse_error.Error e ->
       { ok = false; error = Some e; consumed = Token_stream.index st.ts }
+
+let run_recognizer ?(env = Interp.default_env) ?profile ~(memoize : bool)
+    ~(start_rule : int) (entry : st -> unit) (toks : Token.t array) : outcome
+    =
+  run_st (make ~env ?profile ~memoize toks) ~start_rule entry
 
 let to_result (o : outcome) : (unit, Parse_error.t list) result =
   match o.error with None -> Ok () | Some e -> Error [ e ]

@@ -58,3 +58,39 @@ let kind_label e =
   | No_viable_alt _ -> "no_viable_alt"
   | Failed_predicate _ -> "failed_predicate"
   | Extraneous_input -> "extraneous_input"
+
+(* Structured JSON rendering for the serve protocol: everything the [pp]
+   text carries, as stable fields a client can dispatch on.  Kind-specific
+   payloads ride under their own keys so additive kinds stay
+   backward-compatible. *)
+let to_json sym (e : t) : Obs.Json.t =
+  let message = to_string sym e in
+  let open Obs.Json in
+  let kind_fields =
+    match e.kind with
+    | Mismatched_token { expected } ->
+        [
+          ("expected", str (Grammar.Sym.term_name sym expected));
+          ("expected_id", int expected);
+        ]
+    | No_viable_alt { decision; depth } ->
+        [ ("decision", int decision); ("depth", int depth) ]
+    | Failed_predicate { text } -> [ ("predicate", str text) ]
+    | Extraneous_input -> []
+  in
+  obj
+    ([
+       ("kind", str (kind_label e));
+       ("message", str message);
+       ("rule", str (Grammar.Sym.nonterm_name sym e.rule));
+       ( "token",
+         obj
+           [
+             ("index", int e.token.Token.index);
+             ("line", int e.token.Token.line);
+             ("col", int e.token.Token.col);
+             ("text", str e.token.Token.text);
+             ("eof", bool (Token.is_eof e.token));
+           ] );
+     ]
+    @ kind_fields)

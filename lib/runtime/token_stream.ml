@@ -6,13 +6,30 @@
    consumption; the profiler uses it to measure speculation depth. *)
 
 type t = {
-  toks : Token.t array;
+  mutable toks : Token.t array;
   mutable p : int; (* cursor: next token to consume *)
   mutable hw : int; (* furthest index examined *)
 }
 
 (* hw = -1: no index has been examined until the first [lt]/[la] call *)
 let of_array toks = { toks; p = 0; hw = -1 }
+
+(* Reset for reuse: rewind the cursor and forget the high-water mark, so a
+   long-lived consumer (the serve layer's request loop) can run many
+   independent parses through one stream value without one parse's
+   speculation reach or cursor position leaking into the next.  This is
+   the whole state of a stream -- [toks] itself is never mutated -- so
+   [reset] restores exactly the [of_array] post-condition. *)
+let reset t =
+  t.p <- 0;
+  t.hw <- -1
+
+(* Replace the token array and reset: the cross-request reuse entry point.
+   Swapping the array (rather than allocating a stream per request) keeps
+   the stream identity stable for state that holds a reference to it. *)
+let load t toks =
+  t.toks <- toks;
+  reset t
 
 let size t = Array.length t.toks
 

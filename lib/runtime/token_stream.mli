@@ -6,7 +6,7 @@
     the profiler uses it to measure speculation depth. *)
 
 type t = {
-  toks : Token.t array;
+  mutable toks : Token.t array;
   mutable p : int; (* cursor: next token to consume *)
   mutable hw : int; (* furthest index examined; -1 until the first lookahead *)
 }
@@ -17,6 +17,18 @@ type t = {
     maintain (cursor clamped to [0, size], high-water monotone). *)
 
 val of_array : Token.t array -> t
+
+val reset : t -> unit
+(** Rewind the cursor and forget the high-water mark, restoring the
+    [of_array] post-condition.  Required between independent parses that
+    reuse one stream (the serve layer's state-reset contract): without it
+    the previous parse's cursor and speculation reach leak into the
+    next. *)
+
+val load : t -> Token.t array -> unit
+(** Replace the token array and {!reset}: point the stream at the next
+    request's tokens without allocating a new stream. *)
+
 val size : t -> int
 
 val index : t -> int

@@ -1,0 +1,420 @@
+(* Request handler for the serve daemon: a pure [request line -> response
+   line] function over a registry, a pool and shared metrics.  The server
+   wraps it in socket plumbing; the tests call it directly.
+
+   State-reset contract (see DESIGN.md, Serve layer): every parse request
+   gets freshly created runtime state -- a new [Token_stream], a new
+   interpreter (or generated-parser state, and with it an empty
+   speculation memo table), and a new [Profile].  Nothing mutable
+   outlives a request except the shared [Metrics] registry, which is
+   only touched under [m_lock].  The registry's entries (grammar, ATN,
+   DFAs, vocabulary) are read-only while the daemon is hot, matching the
+   Exec.Pool sharing discipline. *)
+
+type limits = {
+  max_request_bytes : int; (* request line length, and text payload size *)
+  max_tokens : int; (* lexed-token budget per parse request *)
+  time_budget_s : float;
+      (* post-hoc wall-clock guard, fuzz-oracle style: the parse is not
+         interrupted, but a request that overran reports [time_budget]
+         instead of its result, so a client-facing SLA violation is
+         visible as a structured error rather than silent latency *)
+}
+
+let default_limits =
+  { max_request_bytes = 8 * 1024 * 1024; max_tokens = 500_000;
+    time_budget_s = 30.0 }
+
+type t = {
+  registry : Registry.t;
+  pool : Exec.Pool.t;
+  limits : limits;
+  tracer : Obs.Trace.t;
+  metrics : Obs.Metrics.t; (* shared across requests; guard with m_lock *)
+  m_lock : Mutex.t;
+  started : float;
+}
+
+let create ?(limits = default_limits) ?(tracer = Obs.Trace.null)
+    ~(registry : Registry.t) ~(pool : Exec.Pool.t) () : t =
+  {
+    registry;
+    pool;
+    limits;
+    tracer;
+    metrics = Obs.Metrics.create ();
+    m_lock = Mutex.create ();
+    started = Unix.gettimeofday ();
+  }
+
+let metrics t = t.metrics
+
+(* ------------------------------------------------------------------ *)
+(* Parse *)
+
+type parse_result = {
+  ok : bool;
+  errors : Runtime.Parse_error.t list;
+  consumed : int;
+}
+
+type parse_work =
+  [ `Lex_error of Runtime.Lexer_engine.error
+  | `Token_budget of int
+  | `No_generated
+  | `Done of parse_result * Runtime.Profile.t * int (* lexed tokens *) ]
+
+(* The closure submitted to the pool: lexing and parsing both count
+   against the request's budget and both run off the connection thread. *)
+let parse_work h (entry : Registry.entry) ~(backend : Protocol.backend)
+    ~(start : string option) ~(recover : bool) (text : string) () :
+    parse_work =
+  let sym = Llstar.Compiled.sym entry.c in
+  match Runtime.Lexer_engine.tokenize entry.lexer_config sym text with
+  | Error le -> `Lex_error le
+  | Ok toks ->
+      let n = Array.length toks in
+      if n > h.limits.max_tokens then `Token_budget n
+      else
+        let profile = Runtime.Profile.create () in
+        let result =
+          match backend with
+          | Protocol.Interp ->
+              if recover then
+                (* Recovery collects every error; the tree is discarded,
+                   only acceptance and the error list travel back. *)
+                let tr =
+                  Runtime.Interp.create ~env:entry.env ~profile ~recover:true
+                    entry.c toks
+                in
+                let res = Runtime.Interp.run tr ?start () in
+                let consumed =
+                  match res with
+                  | Ok _ -> n
+                  | Error _ -> n (* recovery consumes to EOF by design *)
+                in
+                (match res with
+                | Ok _ -> Some { ok = true; errors = []; consumed }
+                | Error es -> Some { ok = false; errors = es; consumed })
+              else
+                let o =
+                  Runtime.Generated.interp_outcome ~env:entry.env ~profile
+                    ?start entry.c toks
+                in
+                Some
+                  {
+                    ok = o.Runtime.Generated.ok;
+                    errors = Option.to_list o.Runtime.Generated.error;
+                    consumed = o.Runtime.Generated.consumed;
+                  }
+          | Protocol.Generated -> (
+              match entry.generated with
+              | None -> None
+              | Some (module P) ->
+                  let o = P.outcome ~env:entry.env ~profile toks in
+                  Some
+                    {
+                      ok = o.Runtime.Generated.ok;
+                      errors = Option.to_list o.Runtime.Generated.error;
+                      consumed = o.Runtime.Generated.consumed;
+                    })
+        in
+        (match result with
+        | None -> `No_generated
+        | Some r -> `Done (r, profile, n))
+
+(* Record a finished parse request into the shared registry and tracer.
+   [tokens = 0] for requests that died before lexing finished. *)
+let record h ~(grammar : string) ~(backend : Protocol.backend) ~(ok : bool)
+    ~(tokens : int) ~(wall_us : int)
+    ~(profile : Runtime.Profile.t option) : unit =
+  Mutex.lock h.m_lock;
+  Obs.Metrics.incr
+    (Obs.Metrics.counter h.metrics
+       ~labels:
+         [
+           ("op", "parse");
+           ("grammar", grammar);
+           ("backend", Protocol.backend_name backend);
+           ("ok", string_of_bool ok);
+         ]
+       "serve.requests");
+  Obs.Metrics.observe
+    (Obs.Metrics.histogram h.metrics
+       ~labels:[ ("grammar", grammar) ]
+       "serve.wall_us")
+    wall_us;
+  Obs.Metrics.observe
+    (Obs.Metrics.histogram h.metrics
+       ~labels:[ ("grammar", grammar) ]
+       "serve.tokens")
+    tokens;
+  (match profile with
+  | Some p -> Obs.Metrics.merge ~into:h.metrics (Runtime.Profile.registry p)
+  | None -> ());
+  Mutex.unlock h.m_lock;
+  if Obs.Trace.on h.tracer then
+    Obs.Trace.emit h.tracer
+      (Obs.Trace.Serve_request
+         {
+           op = "parse";
+           grammar;
+           backend = Protocol.backend_name backend;
+           ok;
+           tokens;
+           wall_us;
+         })
+
+let do_parse h (req : Protocol.request) : Obs.Json.t =
+  let id = req.Protocol.id in
+  let fail ?(extra = []) code message =
+    Protocol.error_response ~id ~code ~message ~extra ()
+  in
+  match (req.Protocol.grammar, req.Protocol.text) with
+  | None, _ -> fail "bad_request" "parse requires \"grammar\""
+  | _, None -> fail "bad_request" "parse requires \"text\""
+  | Some gname, Some text -> (
+      match Registry.find h.registry gname with
+      | None ->
+          fail "unknown_grammar"
+            (Printf.sprintf
+               "grammar %S is not loaded (op=list shows what is; op=load \
+                adds one)"
+               gname)
+      | Some entry ->
+          if String.length text > h.limits.max_request_bytes then
+            fail "too_large"
+              (Printf.sprintf "text is %d bytes; limit is %d"
+                 (String.length text) h.limits.max_request_bytes)
+          else if
+            req.Protocol.backend = Protocol.Generated && req.Protocol.recover
+          then
+            fail "bad_request"
+              "error recovery is only supported on the interp backend"
+          else begin
+            let t0 = Unix.gettimeofday () in
+            let work =
+              parse_work h entry ~backend:req.Protocol.backend
+                ~start:req.Protocol.start ~recover:req.Protocol.recover text
+            in
+            match Exec.Pool.await (Exec.Pool.submit h.pool work) with
+            | `Lex_error le ->
+                let wall_us =
+                  int_of_float ((Unix.gettimeofday () -. t0) *. 1e6)
+                in
+                record h ~grammar:gname ~backend:req.Protocol.backend
+                  ~ok:false ~tokens:0 ~wall_us ~profile:None;
+                fail "lex_error"
+                  (Fmt.str "%a" Runtime.Lexer_engine.pp_error le)
+                  ~extra:
+                    [
+                      ( "position",
+                        Obs.Json.obj
+                          [
+                            ("line", Obs.Json.int le.Runtime.Lexer_engine.line);
+                            ("col", Obs.Json.int le.Runtime.Lexer_engine.col);
+                          ] );
+                    ]
+            | `Token_budget n ->
+                let wall_us =
+                  int_of_float ((Unix.gettimeofday () -. t0) *. 1e6)
+                in
+                record h ~grammar:gname ~backend:req.Protocol.backend
+                  ~ok:false ~tokens:n ~wall_us ~profile:None;
+                fail "token_budget"
+                  (Printf.sprintf "input lexed to %d tokens; limit is %d" n
+                     h.limits.max_tokens)
+            | `No_generated ->
+                fail "no_generated_parser"
+                  (Printf.sprintf "grammar %S has no generated parser; use \
+                                   backend=interp" gname)
+            | `Done (r, profile, tokens) ->
+                let wall = Unix.gettimeofday () -. t0 in
+                let wall_us = int_of_float (wall *. 1e6) in
+                let over_budget = wall > h.limits.time_budget_s in
+                record h ~grammar:gname ~backend:req.Protocol.backend
+                  ~ok:(r.ok && not over_budget) ~tokens ~wall_us
+                  ~profile:(Some profile);
+                let base =
+                  [
+                    ("grammar", Obs.Json.str gname);
+                    ( "backend",
+                      Obs.Json.str (Protocol.backend_name req.Protocol.backend)
+                    );
+                    ("tokens", Obs.Json.int tokens);
+                    ("wall_us", Obs.Json.int wall_us);
+                  ]
+                in
+                if over_budget then
+                  (* Post-hoc guard: the result is withheld, the overrun
+                     is the answer (fuzz-oracle time_cap discipline). *)
+                  fail "time_budget"
+                    (Printf.sprintf
+                       "request took %.3fs; budget is %.3fs" wall
+                       h.limits.time_budget_s)
+                    ~extra:base
+                else if r.ok then
+                  Protocol.ok_response ~id ~op:"parse"
+                    (base @ [ ("consumed", Obs.Json.int r.consumed) ])
+                else
+                  let sym = Llstar.Compiled.sym entry.Registry.c in
+                  let message =
+                    match r.errors with
+                    | e :: _ -> Runtime.Parse_error.to_string sym e
+                    | [] -> "parse failed"
+                  in
+                  fail "parse_error" message
+                    ~extra:
+                      (base
+                      @ [
+                          ("consumed", Obs.Json.int r.consumed);
+                          ( "errors",
+                            Obs.Json.list
+                              (List.map
+                                 (Runtime.Parse_error.to_json sym)
+                                 r.errors) );
+                        ])
+          end)
+
+(* ------------------------------------------------------------------ *)
+(* Registry ops *)
+
+let entry_json (e : Registry.entry) : Obs.Json.t =
+  Obs.Json.obj
+    [
+      ("name", Obs.Json.str e.Registry.name);
+      ("digest", Obs.Json.str e.Registry.digest);
+      ("generated", Obs.Json.bool (Option.is_some e.Registry.generated));
+      ( "cache",
+        match e.Registry.cache with
+        | Some Llstar.Compiled_cache.Hit -> Obs.Json.str "hit"
+        | Some Llstar.Compiled_cache.Miss -> Obs.Json.str "miss"
+        | None -> Obs.Json.Null );
+    ]
+
+let do_load h (req : Protocol.request) : Obs.Json.t =
+  let id = req.Protocol.id in
+  match req.Protocol.grammar with
+  | None ->
+      Protocol.error_response ~id ~code:"bad_request"
+        ~message:"load requires \"grammar\"" ()
+  | Some name -> (
+      let loaded =
+        match req.Protocol.text with
+        | Some src when String.length src > h.limits.max_request_bytes ->
+            Error
+              (Printf.sprintf "grammar text is %d bytes; limit is %d"
+                 (String.length src) h.limits.max_request_bytes)
+        | Some src ->
+            Registry.load_source h.registry ~tracer:h.tracer ~pool:h.pool
+              ~name src
+        | None ->
+            Registry.load_builtin h.registry ~tracer:h.tracer ~pool:h.pool
+              name
+      in
+      match loaded with
+      | Ok e ->
+          Protocol.ok_response ~id ~op:"load" [ ("grammar", entry_json e) ]
+      | Error msg ->
+          Protocol.error_response ~id ~code:"compile_error" ~message:msg ())
+
+(* ------------------------------------------------------------------ *)
+(* Stats: the same antlrkit-telemetry/1 document shape the benches emit,
+   so existing tooling (gate.exe, jq recipes) reads daemon stats
+   unchanged. *)
+
+let stats_doc h : Obs.Json.t =
+  let wall_s = Unix.gettimeofday () -. h.started in
+  Mutex.lock h.m_lock;
+  let metrics_json = Obs.Metrics.to_json h.metrics in
+  Mutex.unlock h.m_lock;
+  Obs.Telemetry.document ~tool:"antlrkit-serve" ~wall_s
+    ~user_s:(Obs.Telemetry.user_time ())
+    [
+      ("serve", metrics_json);
+      ( "registry",
+        Obs.Json.list (List.map entry_json (Registry.list h.registry)) );
+      ( "pool",
+        Obs.Json.obj
+          [
+            ("backend", Obs.Json.str Exec.Pool.backend);
+            ("jobs", Obs.Json.int (Exec.Pool.jobs h.pool));
+          ] );
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Dispatch *)
+
+let bump_op h (op : string) : unit =
+  Mutex.lock h.m_lock;
+  Obs.Metrics.incr
+    (Obs.Metrics.counter h.metrics ~labels:[ ("op", op) ] "serve.ops");
+  Mutex.unlock h.m_lock
+
+let handle_request h (req : Protocol.request) :
+    Obs.Json.t * [ `Continue | `Shutdown ] =
+  let id = req.Protocol.id in
+  bump_op h req.Protocol.op;
+  match req.Protocol.op with
+  | "ping" ->
+      (Protocol.ok_response ~id ~op:"ping" [ ("pong", Obs.Json.bool true) ],
+       `Continue)
+  | "parse" -> (do_parse h req, `Continue)
+  | "load" -> (do_load h req, `Continue)
+  | "evict" ->
+      ( (match req.Protocol.grammar with
+        | None ->
+            Protocol.error_response ~id ~code:"bad_request"
+              ~message:"evict requires \"grammar\"" ()
+        | Some name ->
+            Protocol.ok_response ~id ~op:"evict"
+              [
+                ("grammar", Obs.Json.str name);
+                ("evicted", Obs.Json.bool (Registry.evict h.registry name));
+              ]),
+        `Continue )
+  | "list" ->
+      ( Protocol.ok_response ~id ~op:"list"
+          [
+            ( "grammars",
+              Obs.Json.list
+                (List.map entry_json (Registry.list h.registry)) );
+          ],
+        `Continue )
+  | "stats" ->
+      (Protocol.ok_response ~id ~op:"stats" [ ("stats", stats_doc h) ],
+       `Continue)
+  | "shutdown" ->
+      ( Protocol.ok_response ~id ~op:"shutdown"
+          [ ("stopping", Obs.Json.bool true) ],
+        `Shutdown )
+  | op ->
+      ( Protocol.error_response ~id ~code:"unknown_op"
+          ~message:
+            (Printf.sprintf
+               "unknown op %S (ping|parse|load|evict|list|stats|shutdown)" op)
+          (),
+        `Continue )
+
+(* Request line in, response line out (no trailing newline).  Malformed
+   input never raises: the connection gets a structured error and stays
+   usable. *)
+let handle h (line : string) : string * [ `Continue | `Shutdown ] =
+  if String.length line > h.limits.max_request_bytes then
+    ( Obs.Json.to_string
+        (Protocol.error_response ~id:Obs.Json.Null ~code:"too_large"
+           ~message:
+             (Printf.sprintf "request line exceeds %d bytes"
+                h.limits.max_request_bytes)
+           ()),
+      `Continue )
+  else
+    match Protocol.parse_request line with
+    | Error msg ->
+        ( Obs.Json.to_string
+            (Protocol.error_response ~id:Obs.Json.Null ~code:"bad_request"
+               ~message:msg ()),
+          `Continue )
+    | Ok req ->
+        let resp, action = handle_request h req in
+        (Obs.Json.to_string resp, action)

@@ -1,0 +1,247 @@
+(* Socket server for the serve daemon.
+
+   Shape: one accept loop (the caller's thread, inside [run]) multiplexing
+   the listen socket against a self-pipe with [select]; one lightweight
+   sys-thread per connection reading newline-framed requests and calling
+   [Handler.handle]; parse work itself runs on the handler's Exec.Pool, so
+   connection threads spend their lives blocked on sockets, not burning
+   CPU.
+
+   Graceful shutdown (a shutdown request, [stop], or a signal wired to
+   [stop]): the accept loop closes the listen socket, then shuts down the
+   *receive* side of every open connection.  An idle connection's reader
+   sees EOF and exits; a connection mid-request still owns its send side,
+   so the in-flight response is written before the thread exits.  [run]
+   then waits for the connection count to drain to zero, joins the
+   threads, removes a Unix socket path, and returns -- the caller exits 0
+   with no request dropped mid-parse. *)
+
+type conn = { fd : Unix.file_descr; mutable receiving : bool }
+
+type t = {
+  handler : Handler.t;
+  addr : Protocol.addr;
+  listen_fd : Unix.file_descr;
+  stop_r : Unix.file_descr; (* self-pipe: anything written means stop *)
+  stop_w : Unix.file_descr;
+  lock : Mutex.t;
+  drained : Condition.t;
+  mutable conns : conn list;
+  mutable n_conns : int;
+  mutable stopping : bool;
+  mutable threads : Thread.t list;
+}
+
+let listen_on (addr : Protocol.addr) : Unix.file_descr =
+  match addr with
+  | Protocol.Unix_sock path ->
+      (* A stale socket file from a crashed daemon blocks bind; a live
+         daemon would still be accepting on it, and two daemons on one
+         path is operator error either way. *)
+      if Sys.file_exists path then Sys.remove path;
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.bind fd (Unix.ADDR_UNIX path);
+      Unix.listen fd 64;
+      fd
+  | Protocol.Tcp (host, port) ->
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.setsockopt fd Unix.SO_REUSEADDR true;
+      let ip =
+        try Unix.inet_addr_of_string host
+        with _ -> (Unix.gethostbyname host).Unix.h_addr_list.(0)
+      in
+      Unix.bind fd (Unix.ADDR_INET (ip, port));
+      Unix.listen fd 64;
+      fd
+
+let create ~(handler : Handler.t) ~(addr : Protocol.addr) () : t =
+  (* A client that disconnects mid-response must cost us an EPIPE write
+     error, not a process-killing signal. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with _ -> ());
+  let stop_r, stop_w = Unix.pipe () in
+  {
+    handler;
+    addr;
+    listen_fd = listen_on addr;
+    stop_r;
+    stop_w;
+    lock = Mutex.create ();
+    drained = Condition.create ();
+    conns = [];
+    n_conns = 0;
+    stopping = false;
+    threads = [];
+  }
+
+(* Signal-safe and idempotent: just makes the self-pipe readable. *)
+let stop (t : t) : unit =
+  try ignore (Unix.write t.stop_w (Bytes.make 1 '!') 0 1) with _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Bounded line reading.  [carry] holds bytes read past the previous
+   newline; a line longer than [max_bytes] is a protocol violation (the
+   handler would refuse it anyway) and poisons the framing, so the
+   connection is dropped after an error response. *)
+
+let split_line (carry : string ref) : string option =
+  match String.index_opt !carry '\n' with
+  | None -> None
+  | Some i ->
+      let line = String.sub !carry 0 i in
+      carry :=
+        String.sub !carry (i + 1) (String.length !carry - i - 1);
+      let line =
+        (* tolerate CRLF clients *)
+        if line <> "" && line.[String.length line - 1] = '\r' then
+          String.sub line 0 (String.length line - 1)
+        else line
+      in
+      Some line
+
+let read_line_bounded (fd : Unix.file_descr) (carry : string ref)
+    (chunk : Bytes.t) ~(max_bytes : int) :
+    [ `Line of string | `Eof | `Too_long ] =
+  let rec go () =
+    match split_line carry with
+    | Some line -> `Line line
+    | None ->
+        if String.length !carry > max_bytes then `Too_long
+        else begin
+          match Unix.read fd chunk 0 (Bytes.length chunk) with
+          | 0 ->
+              (* EOF: a trailing unterminated line still gets served --
+                 printf-without-newline clients are too common to
+                 punish. *)
+              if !carry = "" then `Eof
+              else begin
+                let line = !carry in
+                carry := "";
+                `Line line
+              end
+          | n ->
+              carry := !carry ^ Bytes.sub_string chunk 0 n;
+              go ()
+          | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EBADF), _, _)
+            ->
+              `Eof
+        end
+  in
+  go ()
+
+let write_all (fd : Unix.file_descr) (s : string) : bool =
+  let b = Bytes.of_string s in
+  let len = Bytes.length b in
+  let rec go off =
+    if off >= len then true
+    else
+      match Unix.write fd b off (len - off) with
+      | 0 -> false
+      | n -> go (off + n)
+      | exception Unix.Unix_error (_, _, _) -> false
+  in
+  go 0
+
+(* ------------------------------------------------------------------ *)
+(* Connection lifecycle *)
+
+let add_conn t (c : conn) : unit =
+  Mutex.lock t.lock;
+  t.conns <- c :: t.conns;
+  t.n_conns <- t.n_conns + 1;
+  Mutex.unlock t.lock
+
+let remove_conn t (c : conn) : unit =
+  Mutex.lock t.lock;
+  t.conns <- List.filter (fun c' -> c' != c) t.conns;
+  t.n_conns <- t.n_conns - 1;
+  if t.n_conns = 0 then Condition.broadcast t.drained;
+  Mutex.unlock t.lock
+
+let conn_loop t (c : conn) : unit =
+  let max_bytes =
+    t.handler.Handler.limits.Handler.max_request_bytes
+  in
+  let carry = ref "" in
+  let chunk = Bytes.create 65536 in
+  let continue_ = ref true in
+  while !continue_ do
+    match read_line_bounded c.fd carry chunk ~max_bytes with
+    | `Eof -> continue_ := false
+    | `Too_long ->
+        ignore
+          (write_all c.fd
+             (Obs.Json.to_string
+                (Protocol.error_response ~id:Obs.Json.Null ~code:"too_large"
+                   ~message:
+                     (Printf.sprintf "request line exceeds %d bytes"
+                        max_bytes)
+                   ())
+             ^ "\n"));
+        continue_ := false
+    | `Line "" -> () (* blank keep-alive lines are fine *)
+    | `Line line ->
+        let resp, action = Handler.handle t.handler line in
+        if not (write_all c.fd (resp ^ "\n")) then continue_ := false;
+        (match action with
+        | `Shutdown ->
+            stop t;
+            continue_ := false
+        | `Continue -> ())
+  done;
+  c.receiving <- false;
+  (try Unix.close c.fd with _ -> ());
+  remove_conn t c
+
+(* ------------------------------------------------------------------ *)
+(* Accept loop and drain *)
+
+let accept_loop t : unit =
+  let running = ref true in
+  while !running do
+    match Unix.select [ t.listen_fd; t.stop_r ] [] [] (-1.0) with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | readable, _, _ ->
+        if List.mem t.stop_r readable then running := false
+        else if List.mem t.listen_fd readable then begin
+          match Unix.accept t.listen_fd with
+          | exception Unix.Unix_error (_, _, _) -> ()
+          | fd, _ ->
+              let c = { fd; receiving = true } in
+              add_conn t c;
+              let th = Thread.create (fun () -> conn_loop t c) () in
+              Mutex.lock t.lock;
+              t.threads <- th :: t.threads;
+              Mutex.unlock t.lock
+        end
+  done
+
+let drain t : unit =
+  Mutex.lock t.lock;
+  t.stopping <- true;
+  (* Poke every open connection's receive side: idle readers see EOF
+     immediately; a thread mid-request keeps its send side and finishes
+     the response first. *)
+  List.iter
+    (fun c ->
+      if c.receiving then
+        try Unix.shutdown c.fd Unix.SHUTDOWN_RECEIVE with _ -> ())
+    t.conns;
+  while t.n_conns > 0 do
+    Condition.wait t.drained t.lock
+  done;
+  let threads = t.threads in
+  t.threads <- [];
+  Mutex.unlock t.lock;
+  List.iter Thread.join threads
+
+(* Serve until stopped, then drain gracefully.  Returns when every
+   accepted request has been answered and every connection closed. *)
+let run (t : t) : unit =
+  accept_loop t;
+  (try Unix.close t.listen_fd with _ -> ());
+  drain t;
+  (try Unix.close t.stop_r with _ -> ());
+  (try Unix.close t.stop_w with _ -> ());
+  match t.addr with
+  | Protocol.Unix_sock path -> ( try Sys.remove path with _ -> ())
+  | Protocol.Tcp _ -> ()

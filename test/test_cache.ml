@@ -163,4 +163,154 @@ let suite =
                 check int "no lazy states in eager mode" 0
                   (Runtime.Profile.lazy_dfa_states p)));
       ] );
+    ( "compiled_cache_gc",
+      [
+        test "dead writer's temp is swept; live writer's temp survives"
+          (fun () ->
+            with_dir (fun dir ->
+                let _ = compile_cached ~dir src in
+                let blob = blob_path dir in
+                (* a provably-dead pid: fork a child that exits at once *)
+                let dead_pid =
+                  match Unix.fork () with
+                  | 0 -> Unix._exit 0
+                  | pid ->
+                      ignore (Unix.waitpid [] pid);
+                      pid
+                in
+                let plant name =
+                  let path = Filename.concat dir name in
+                  let oc = open_out_bin path in
+                  output_string oc "partial write from a crashed writer";
+                  close_out oc;
+                  path
+                in
+                let dead =
+                  plant (Printf.sprintf ".deadbeef.tmp.%d" dead_pid)
+                in
+                let live =
+                  plant (Printf.sprintf ".cafef00d.tmp.%d" (Unix.getpid ()))
+                in
+                let removed = Llstar.Compiled_cache.gc_stale_temps ~dir () in
+                check (Alcotest.list string) "only the dead temp removed"
+                  [ dead ] removed;
+                check bool "dead temp gone" false (Sys.file_exists dead);
+                check bool "live temp untouched" true (Sys.file_exists live);
+                check bool "valid blob untouched" true (Sys.file_exists blob);
+                let _, o = compile_cached ~dir src in
+                check bool "blob still hits after sweep" true
+                  (o = Llstar.Compiled_cache.Hit)));
+        test "live-pid temp older than the age cap is swept" (fun () ->
+            with_dir (fun dir ->
+                Unix.mkdir dir 0o700;
+                let old_path =
+                  Filename.concat dir
+                    (Printf.sprintf ".01dc0ffe.tmp.%d" (Unix.getpid ()))
+                in
+                let oc = open_out_bin old_path in
+                output_string oc "ancient";
+                close_out oc;
+                let t = Unix.gettimeofday () -. 7200.0 in
+                Unix.utimes old_path t t;
+                let removed = Llstar.Compiled_cache.gc_stale_temps ~dir () in
+                check (Alcotest.list string) "aged out" [ old_path ] removed));
+        test "compile sweeps a crashed writer's temp on first cache open"
+          (fun () ->
+            with_dir (fun dir ->
+                (* a nested dir this process has never compiled in, so the
+                   once-per-directory sweep guard has not fired yet *)
+                Unix.mkdir dir 0o700;
+                let sub = Filename.concat dir "nested" in
+                Unix.mkdir sub 0o700;
+                let dead_pid =
+                  match Unix.fork () with
+                  | 0 -> Unix._exit 0
+                  | pid ->
+                      ignore (Unix.waitpid [] pid);
+                      pid
+                in
+                let stale =
+                  Filename.concat sub
+                    (Printf.sprintf ".deadbeef.tmp.%d" dead_pid)
+                in
+                let oc = open_out_bin stale in
+                output_string oc "junk";
+                close_out oc;
+                let _ = compile_cached ~dir:sub src in
+                check bool "stale temp swept by compile" false
+                  (Sys.file_exists stale);
+                let _, o = compile_cached ~dir:sub src in
+                check bool "cache works after sweep" true
+                  (o = Llstar.Compiled_cache.Hit);
+                (* leave nothing behind for with_dir's flat cleanup *)
+                Array.iter
+                  (fun f -> Sys.remove (Filename.concat sub f))
+                  (Sys.readdir sub);
+                Sys.rmdir sub));
+        test "temp name parser accepts only writer-temp shapes" (fun () ->
+            let pid = Unix.getpid () in
+            let some_pid name =
+              Llstar.Compiled_cache.temp_writer_pid name <> None
+            in
+            check bool "writer temp" true
+              (some_pid (Printf.sprintf ".abc123.tmp.%d" pid));
+            check bool "valid blob name" false
+              (some_pid "abc123.antlrkit-cache");
+            check bool "no leading dot" false
+              (some_pid (Printf.sprintf "abc123.tmp.%d" pid));
+            check bool "no pid" false (some_pid ".abc123.tmp.");
+            check bool "non-numeric pid" false (some_pid ".abc123.tmp.xyz");
+            check bool "negative pid" false (some_pid ".abc123.tmp.-4");
+            check bool "missing infix" false
+              (some_pid (Printf.sprintf ".abc123.tmpp.%d" pid)));
+        test "racing writers and readers never observe a torn blob"
+          (fun () ->
+            with_dir (fun dir ->
+                Unix.mkdir dir 0o700;
+                let c = compile src in
+                let surface = c.Llstar.Compiled.surface in
+                let want = Llstar.Compiled_cache.payload_digest c in
+                Exec.Pool.with_pool ~jobs:4 (fun p ->
+                    let writer () =
+                      for _ = 1 to 10 do
+                        match Llstar.Compiled_cache.save ~dir c with
+                        | Ok _ -> ()
+                        | Error e -> Alcotest.failf "save failed: %s" e
+                      done;
+                      0
+                    in
+                    let reader () =
+                      let seen = ref 0 in
+                      for _ = 1 to 20 do
+                        match Llstar.Compiled_cache.load ~dir surface with
+                        | None -> () (* not yet written: fine *)
+                        | Some c' ->
+                            incr seen;
+                            if Llstar.Compiled_cache.payload_digest c' <> want
+                            then Alcotest.fail "torn or foreign blob observed"
+                      done;
+                      !seen
+                    in
+                    let tasks =
+                      [
+                        Exec.Pool.submit p writer;
+                        Exec.Pool.submit p writer;
+                        Exec.Pool.submit p reader;
+                        Exec.Pool.submit p reader;
+                      ]
+                    in
+                    ignore (List.map Exec.Pool.await tasks));
+                (* after the dust settles: exactly one valid blob, no temps *)
+                match Llstar.Compiled_cache.load ~dir surface with
+                | None -> Alcotest.fail "no blob survived the race"
+                | Some c' ->
+                    check string "converged on a digest-valid entry" want
+                      (Llstar.Compiled_cache.payload_digest c');
+                    let temps =
+                      Array.to_list (Sys.readdir dir)
+                      |> List.filter (fun f ->
+                             Llstar.Compiled_cache.temp_writer_pid f <> None)
+                    in
+                    check int "no leftover temps" 0 (List.length temps)));
+      ] );
   ]

@@ -77,6 +77,52 @@ let pool_tests =
         Alcotest.(check bool)
           "0 means all cores" true
           (Exec.Pool.resolve_jobs 0 >= 1));
+    (* Wakeup stress (serve-daemon hardening): thousands of near-empty
+       tasks keep the workers bouncing between the condition wait and the
+       queue, the shape most likely to expose a lost wakeup -- a missed
+       signal here shows up as a hang (the suite's timeout), not as a
+       wrong sum. *)
+    Alcotest.test_case "submit storm: many tiny tasks, jobs=4" `Quick
+      (fun () ->
+        Exec.Pool.with_pool ~jobs:4 (fun p ->
+            let n = 5_000 in
+            let tasks = List.init n (fun i -> Exec.Pool.submit p (fun () -> i)) in
+            let sum = List.fold_left (fun a t -> a + Exec.Pool.await t) 0 tasks in
+            check int "all tasks ran exactly once" (n * (n - 1) / 2) sum));
+    (* The serve layer submits from one sys-thread per connection; the
+       queue lock and per-task cells must hold up under concurrent
+       submitters, and every submitter must see its own results. *)
+    Alcotest.test_case "concurrent submitters from sys-threads" `Quick
+      (fun () ->
+        Exec.Pool.with_pool ~jobs:4 (fun p ->
+            let n_threads = 8 and per_thread = 400 in
+            let sums = Array.make n_threads 0 in
+            let submitter ti =
+              let tasks =
+                List.init per_thread (fun i ->
+                    Exec.Pool.submit p (fun () -> (ti * per_thread) + i))
+              in
+              sums.(ti) <-
+                List.fold_left (fun a t -> a + Exec.Pool.await t) 0 tasks
+            in
+            let threads =
+              List.init n_threads (fun ti -> Thread.create submitter ti)
+            in
+            List.iter Thread.join threads;
+            Array.iteri
+              (fun ti got ->
+                let lo = ti * per_thread in
+                let want = (per_thread * lo) + (per_thread * (per_thread - 1) / 2) in
+                check int (Printf.sprintf "thread %d sum" ti) want got)
+              sums));
+    (* Tasks submitted before shutdown must all be drained, never lost. *)
+    Alcotest.test_case "shutdown drains queued work" `Quick (fun () ->
+        let p = Exec.Pool.create ~jobs:4 in
+        let n = 500 in
+        let tasks = List.init n (fun i -> Exec.Pool.submit p (fun () -> i * 2)) in
+        Exec.Pool.shutdown p;
+        let sum = List.fold_left (fun a t -> a + Exec.Pool.await t) 0 tasks in
+        check int "every pre-shutdown task completed" (n * (n - 1)) sum);
   ]
 
 (* --- parallel compilation determinism ---------------------------------- *)

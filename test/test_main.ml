@@ -7,4 +7,5 @@ let () =
    @ Test_bench_grammars.suite
    @ Test_lazy.suite @ Test_cache.suite @ Test_profile.suite
    @ Test_props.suite @ Test_fuzz.suite @ Test_obs.suite
-   @ Test_bitset.suite @ Test_exec.suite @ Test_codegen.suite)
+   @ Test_bitset.suite @ Test_exec.suite @ Test_codegen.suite
+   @ Test_serve.suite)

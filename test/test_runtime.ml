@@ -257,6 +257,24 @@ let action_tests =
         check bool "synpred holds" true (parses c "A B C");
         check bool "order-resolved: alternative 2 is dead" false
           (parses c "A B D"));
+    test "partial predicate resolution keeps expanding the DFA" (fun () ->
+        (* Regression: at the state after one A, alternatives 2 and 3
+           genuinely conflict (both can end the rule there) and get
+           predicate edges, but alternative 1 is still viable and is only
+           separated by more lookahead.  The state used to become terminal
+           as soon as any predicate edges were installed, so alternative 1
+           could never win and "A A A C D C" was rejected even though the
+           PEG (packrat) semantics accept it. *)
+        let c =
+          compile
+            "grammar R; options { backtrack=true; } r0 : r2 C | (A)? r1 | \
+             (B)? A ; r1 : r3 | (C)? (E)? ; r2 : C E | A A r3 | (B)? ; r3 : \
+             A (C)* D ;"
+        in
+        check bool "deep lookahead picks alternative 1" true
+          (parses c "A A A C D C");
+        check bool "predicate fallback still resolves the short input" true
+          (parses c "A"));
   ]
 
 (* ------------------------------------------------------------------ *)

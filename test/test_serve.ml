@@ -1,0 +1,446 @@
+(* Serve layer: protocol codec, handler round trips, budgets/limits, the
+   cross-request state-reset contract (the reuse-twice regressions), and a
+   full server lifecycle over a Unix socket with concurrent clients and a
+   graceful drain.
+
+   The memo-leak regression at the bottom is the distilled serve-layer
+   bug: a [Runtime.Generated] state reused across requests WITHOUT
+   [Generated.reset] lets one input's speculation memo decide another
+   input's parse -- the naive-reuse step demonstrably flips the verdict,
+   and [reset] restores the fresh-state outcome. *)
+
+open Helpers
+module Json = Obs.Json
+
+let tiny_src = "grammar tiny; s : A B | A C ;"
+
+(* Pool + registry (ad-hoc "tiny" grammar and the MiniJava builtin with
+   its generated backend) + handler, torn down with the pool. *)
+let with_handler ?limits (f : Serve.Handler.t -> unit) : unit =
+  Exec.Pool.with_pool ~jobs:2 (fun pool ->
+      let registry = Serve.Registry.create () in
+      (match Serve.Registry.load_builtin registry ~pool "MiniJava" with
+      | Ok _ -> ()
+      | Error e -> Alcotest.fail e);
+      (match
+         Serve.Registry.load_source registry ~pool ~name:"tiny" tiny_src
+       with
+      | Ok _ -> ()
+      | Error e -> Alcotest.fail e);
+      f (Serve.Handler.create ?limits ~registry ~pool ()))
+
+let req fields = Json.to_string (Json.obj fields)
+
+let handle_ok h line : Json.t =
+  let resp, action = Serve.Handler.handle h line in
+  (match action with
+  | `Continue -> ()
+  | `Shutdown -> Alcotest.fail "unexpected shutdown action");
+  match Json.parse resp with
+  | Ok j -> j
+  | Error e -> Alcotest.failf "bad response JSON: %s" e
+
+let get k j =
+  match Json.member k j with
+  | Some v -> v
+  | None -> Alcotest.failf "response lacks %S: %s" k (Json.to_string j)
+
+let get_ok j = match get "ok" j with Json.Bool b -> b | _ -> false
+
+let error_code j =
+  match Json.member "code" (get "error" j) with
+  | Some (Json.String s) -> s
+  | _ -> Alcotest.failf "no error code in %s" (Json.to_string j)
+
+let parse_req ?(backend = "interp") ?(grammar = "tiny") ?extra text =
+  req
+    ([
+       ("op", Json.str "parse");
+       ("grammar", Json.str grammar);
+       ("backend", Json.str backend);
+       ("text", Json.str text);
+     ]
+    @ Option.value extra ~default:[])
+
+(* Responses are deterministic except for the measured wall clock. *)
+let strip_wall = function
+  | Json.Obj fields ->
+      Json.Obj (List.filter (fun (k, _) -> k <> "wall_us") fields)
+  | j -> j
+
+let protocol_tests =
+  [
+    test "request codec round trip" (fun () ->
+        match
+          Serve.Protocol.parse_request
+            {|{"id":7,"op":"parse","grammar":"g","backend":"generated","text":"x","recover":true}|}
+        with
+        | Error e -> Alcotest.fail e
+        | Ok r ->
+            check string "op" "parse" r.Serve.Protocol.op;
+            check bool "backend" true
+              (r.Serve.Protocol.backend = Serve.Protocol.Generated);
+            check bool "recover" true r.Serve.Protocol.recover;
+            check string "grammar" "g"
+              (Option.get r.Serve.Protocol.grammar));
+    test "malformed requests are rejected, not raised" (fun () ->
+        let bad s =
+          match Serve.Protocol.parse_request s with
+          | Error _ -> ()
+          | Ok _ -> Alcotest.failf "accepted %S" s
+        in
+        bad "not json";
+        bad "[1,2]";
+        bad {|{"grammar":"g"}|};
+        bad {|{"op":"parse","backend":"llvm"}|});
+    test "tcp address parsing" (fun () ->
+        (match Serve.Protocol.tcp_of_string "127.0.0.1:4000" with
+        | Ok (Serve.Protocol.Tcp ("127.0.0.1", 4000)) -> ()
+        | _ -> Alcotest.fail "tcp parse");
+        match Serve.Protocol.tcp_of_string "nocolon" with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "accepted bad tcp addr");
+  ]
+
+let handler_tests =
+  [
+    test "ping, list, unknown op" (fun () ->
+        with_handler (fun h ->
+            let pong = handle_ok h (req [ ("op", Json.str "ping") ]) in
+            check bool "pong ok" true (get_ok pong);
+            let listed = handle_ok h (req [ ("op", Json.str "list") ]) in
+            (match get "grammars" listed with
+            | Json.List gs -> check int "two grammars" 2 (List.length gs)
+            | _ -> Alcotest.fail "grammars not a list");
+            let unk = handle_ok h (req [ ("op", Json.str "frobnicate") ]) in
+            check string "unknown op" "unknown_op" (error_code unk)));
+    test "parse: accept, reject, both backends" (fun () ->
+        with_handler (fun h ->
+            let ok = handle_ok h (parse_req "A B") in
+            check bool "accepts" true (get_ok ok);
+            check bool "consumed" true (get "consumed" ok = Json.Int 2);
+            let bad = handle_ok h (parse_req "A A") in
+            check bool "rejects" false (get_ok bad);
+            check string "code" "parse_error" (error_code bad);
+            (match get "errors" bad with
+            | Json.List [ e ] ->
+                check bool "structured kind" true
+                  (Json.member "kind" e <> None);
+                check bool "token position" true
+                  (Json.member "token" e <> None)
+            | _ -> Alcotest.fail "expected one structured error");
+            let gen =
+              handle_ok h
+                (parse_req ~grammar:"MiniJava" ~backend:"generated"
+                   "class A { int x ; }")
+            in
+            check bool "generated accepts" true (get_ok gen);
+            let nogen = handle_ok h (parse_req ~backend:"generated" "A B") in
+            check string "no generated parser" "no_generated_parser"
+              (error_code nogen)));
+    test "parse: unknown grammar and lex error" (fun () ->
+        with_handler (fun h ->
+            let unk = handle_ok h (parse_req ~grammar:"nope" "A B") in
+            check string "unknown grammar" "unknown_grammar" (error_code unk);
+            let lex = handle_ok h (parse_req "A !") in
+            check string "lex error" "lex_error" (error_code lex);
+            check bool "position reported" true
+              (Json.member "position" lex <> None)));
+    test "budgets: token cap and oversized requests" (fun () ->
+        let limits =
+          { Serve.Handler.default_limits with Serve.Handler.max_tokens = 1 }
+        in
+        with_handler ~limits (fun h ->
+            let capped = handle_ok h (parse_req "A B") in
+            check string "token budget" "token_budget" (error_code capped));
+        let limits =
+          {
+            Serve.Handler.default_limits with
+            Serve.Handler.max_request_bytes = 64;
+          }
+        in
+        with_handler ~limits (fun h ->
+            let big = handle_ok h (parse_req (String.make 200 'A')) in
+            check string "too large" "too_large" (error_code big)));
+    test "recover collects errors; rejected on generated backend" (fun () ->
+        with_handler (fun h ->
+            let r =
+              handle_ok h
+                (parse_req ~extra:[ ("recover", Json.bool true) ] "A A")
+            in
+            check bool "still rejects" false (get_ok r);
+            let gen =
+              handle_ok h
+                (parse_req ~backend:"generated" ~grammar:"MiniJava"
+                   ~extra:[ ("recover", Json.bool true) ] "class")
+            in
+            check string "recover+generated refused" "bad_request"
+              (error_code gen)));
+    test "load and evict round trip" (fun () ->
+        with_handler (fun h ->
+            let loaded =
+              handle_ok h
+                (req
+                   [
+                     ("op", Json.str "load");
+                     ("grammar", Json.str "two");
+                     ("text", Json.str "grammar two; s : X Y ;");
+                   ])
+            in
+            check bool "load ok" true (get_ok loaded);
+            let ok = handle_ok h (parse_req ~grammar:"two" "X Y") in
+            check bool "parses via loaded grammar" true (get_ok ok);
+            let ev =
+              handle_ok h
+                (req [ ("op", Json.str "evict"); ("grammar", Json.str "two") ])
+            in
+            check bool "evicted" true (get "evicted" ev = Json.Bool true);
+            let gone = handle_ok h (parse_req ~grammar:"two" "X Y") in
+            check string "gone after evict" "unknown_grammar"
+              (error_code gone)));
+    test "stats is an antlrkit-telemetry/1 document" (fun () ->
+        with_handler (fun h ->
+            ignore (handle_ok h (parse_req "A B"));
+            let stats = get "stats" (handle_ok h (req [ ("op", Json.str "stats") ])) in
+            check bool "schema" true
+              (get "schema" stats = Json.String "antlrkit-telemetry/1");
+            check bool "tool" true
+              (get "tool" stats = Json.String "antlrkit-serve");
+            match get "benches" stats with
+            | Json.Obj benches ->
+                check bool "serve metrics present" true
+                  (List.mem_assoc "serve" benches)
+            | _ -> Alcotest.fail "benches not an object"));
+    test "shutdown op requests shutdown" (fun () ->
+        with_handler (fun h ->
+            let resp, action = Serve.Handler.handle h (req [ ("op", Json.str "shutdown") ]) in
+            (match Json.parse resp with
+            | Ok j -> check bool "ok" true (get_ok j)
+            | Error e -> Alcotest.fail e);
+            check bool "shutdown action" true (action = `Shutdown)));
+  ]
+
+(* The state-reset contract, observed through the public request path:
+   repeating any request must give a byte-identical response (modulo the
+   measured wall clock), regardless of what was parsed in between.  On a
+   handler that leaked Token_stream positions or Generated memo entries
+   across requests, the interleaved inputs would perturb the repeats. *)
+let reuse_tests =
+  [
+    test "reuse-twice: identical responses across interleaved requests"
+      (fun () ->
+        with_handler (fun h ->
+            let requests =
+              [
+                parse_req "A B";
+                parse_req "A A";
+                parse_req ~grammar:"MiniJava" ~backend:"generated"
+                  "class A { int x ; }";
+                parse_req ~grammar:"MiniJava" ~backend:"generated"
+                  "class A { int ; }";
+                parse_req ~grammar:"MiniJava" "class A { }";
+              ]
+            in
+            let round () =
+              List.map
+                (fun r -> Json.to_string (strip_wall (handle_ok h r)))
+                requests
+            in
+            let first = round () in
+            (* interleave unrelated work, then repeat *)
+            ignore (handle_ok h (parse_req "A C"));
+            ignore
+              (handle_ok h
+                 (parse_req ~grammar:"MiniJava" ~backend:"generated"
+                    "class B { boolean f ( ) { return x ; } }"));
+            let second = round () in
+            let third = round () in
+            List.iteri
+              (fun i (a, b) ->
+                check string (Printf.sprintf "repeat %d stable" i) a b)
+              (List.combine first second);
+            List.iteri
+              (fun i (a, b) ->
+                check string (Printf.sprintf "third repeat %d stable" i) a b)
+              (List.combine first third)));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* The distilled cross-request bug: a generated-parser state reused
+   without [Generated.reset].  Hand-built "generated-style" parser for
+
+     s : (x)=> A B | C D ;     synpred x : A ;
+
+   using the same Runtime.Generated primitives emitted code uses. *)
+
+module Rt = Runtime.Generated
+module Ts = Runtime.Token_stream
+
+let tA = 3
+let tB = 4
+let tC = 5
+let tD = 6
+
+let mk_toks (types : int list) : Runtime.Token.t array =
+  Array.of_list
+    (List.mapi
+       (fun i ttype ->
+         { Runtime.Token.ttype; text = "t"; line = 1; col = i; index = i })
+       types)
+
+let expect (st : Rt.st) (ty : int) : unit =
+  if Ts.la st.Rt.ts 1 = ty then ignore (Ts.consume st.Rt.ts)
+  else Rt.mismatched st ~expected:ty ~rule:1
+
+(* synpred body, memoized exactly like emitted synpred rules *)
+let x_spec (st : Rt.st) : unit =
+  Rt.memoized st ~rule:2 ~prec:0 (fun () -> expect st tA)
+
+let s_entry (st : Rt.st) : unit =
+  if Rt.syn_gate st (fun () -> x_spec st) then begin
+    expect st tA;
+    expect st tB
+  end
+  else begin
+    expect st tC;
+    expect st tD
+  end
+
+let generated_reset_tests =
+  [
+    test "memo leak: naive state reuse flips the verdict; reset fixes it"
+      (fun () ->
+        let fresh toks = Rt.run_st (Rt.make ~memoize:true toks) ~start_rule:1 s_entry in
+        (* both inputs are in the language when parsed with fresh state *)
+        check bool "fresh accepts A B" true (fresh (mk_toks [ tA; tB ])).Rt.ok;
+        check bool "fresh accepts C D" true (fresh (mk_toks [ tC; tD ])).Rt.ok;
+        let st = Rt.make ~memoize:true (mk_toks [ tA; tB ]) in
+        check bool "first request accepts" true
+          (Rt.run_st st ~start_rule:1 s_entry).Rt.ok;
+        (* Naive reuse (the pre-fix serve bug): swap the tokens but keep
+           the memo.  The stale Succeeded entry for (rule x, pos 0) makes
+           the synpred "succeed" without looking at the input, steering
+           the decision into alt 1, which then rejects C D. *)
+        Ts.load st.Rt.ts (mk_toks [ tC; tD ]);
+        let stale = Rt.run_st st ~start_rule:1 s_entry in
+        check bool "stale memo flips accept to reject" false stale.Rt.ok;
+        (* [reset] clears the memo as well as the stream: same state, same
+           input, correct verdict again. *)
+        Rt.reset st (mk_toks [ tC; tD ]);
+        let after_reset = Rt.run_st st ~start_rule:1 s_entry in
+        check bool "reset restores the fresh outcome" true after_reset.Rt.ok;
+        check bool "reset outcome agrees with fresh state" true
+          (Rt.agree after_reset (fresh (mk_toks [ tC; tD ]))));
+    test "token stream load resets cursor and high water" (fun () ->
+        let ts = Ts.of_array (mk_toks [ tA; tB; tC ]) in
+        ignore (Ts.consume ts);
+        ignore (Ts.la ts 2);
+        check bool "advanced" true (Ts.index ts = 1 && Ts.high_water ts >= 2);
+        Ts.load ts (mk_toks [ tD ]);
+        check int "cursor rewound" 0 (Ts.index ts);
+        check int "high water forgotten" (-1) (Ts.high_water ts);
+        check int "new tokens visible" tD (Ts.la ts 1);
+        check int "eof after the end" Grammar.Sym.eof (Ts.la ts 2));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Full server lifecycle: concurrent clients over a Unix socket, then a
+   graceful shutdown that drains every in-flight request. *)
+
+let with_server (f : string -> unit) : unit =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "antlrkit-test-serve-%d-%d" (Unix.getpid ())
+         (Random.int 1_000_000))
+  in
+  Unix.mkdir dir 0o700;
+  let sock = Filename.concat dir "t.sock" in
+  Exec.Pool.with_pool ~jobs:2 (fun pool ->
+      let registry = Serve.Registry.create () in
+      (match
+         Serve.Registry.load_source registry ~pool ~name:"tiny" tiny_src
+       with
+      | Ok _ -> ()
+      | Error e -> Alcotest.fail e);
+      let handler = Serve.Handler.create ~registry ~pool () in
+      let server =
+        Serve.Server.create ~handler
+          ~addr:(Serve.Protocol.Unix_sock sock) ()
+      in
+      let th = Thread.create Serve.Server.run server in
+      Fun.protect
+        ~finally:(fun () ->
+          Serve.Server.stop server;
+          Thread.join th;
+          if Sys.file_exists sock then Sys.remove sock;
+          Sys.rmdir dir)
+        (fun () -> f sock))
+
+let server_tests =
+  [
+    test "concurrent clients, graceful drain, socket cleanup" (fun () ->
+        let drained = ref false in
+        with_server (fun sock ->
+            let per_client = 25 in
+            let ok_counts = Array.make 3 0 in
+            let client ci =
+              match
+                Serve.Client.connect_retry (Serve.Protocol.Unix_sock sock)
+              with
+              | Error e -> Alcotest.fail e
+              | Ok c ->
+                  for i = 1 to per_client do
+                    let text = if i mod 3 = 0 then "A A" else "A B" in
+                    let want_ok = i mod 3 <> 0 in
+                    match
+                      Serve.Client.request c
+                        (Json.obj
+                           [
+                             ("id", Json.int ((ci * 1000) + i));
+                             ("op", Json.str "parse");
+                             ("grammar", Json.str "tiny");
+                             ("text", Json.str text);
+                           ])
+                    with
+                    | Error e -> Alcotest.fail e
+                    | Ok resp ->
+                        check bool "id echoed" true
+                          (get "id" resp = Json.Int ((ci * 1000) + i));
+                        if get_ok resp = want_ok then
+                          ok_counts.(ci) <- ok_counts.(ci) + 1
+                  done;
+                  Serve.Client.close c
+            in
+            let threads = List.init 3 (fun ci -> Thread.create client ci) in
+            List.iter Thread.join threads;
+            Array.iteri
+              (fun ci n ->
+                check int (Printf.sprintf "client %d all verdicts" ci)
+                  per_client n)
+              ok_counts;
+            (* graceful shutdown via the protocol *)
+            (match
+               Serve.Client.connect_retry (Serve.Protocol.Unix_sock sock)
+             with
+            | Error e -> Alcotest.fail e
+            | Ok c ->
+                (match
+                   Serve.Client.request c
+                     (Json.obj [ ("op", Json.str "shutdown") ])
+                 with
+                | Ok resp -> check bool "shutdown acked" true (get_ok resp)
+                | Error e -> Alcotest.fail e);
+                Serve.Client.close c);
+            drained := true);
+        check bool "server thread joined" true !drained);
+  ]
+
+let suite =
+  [
+    ("serve_protocol", protocol_tests);
+    ("serve_handler", handler_tests);
+    ("serve_reuse", reuse_tests);
+    ("serve_generated_reset", generated_reset_tests);
+    ("serve_server", server_tests);
+  ]
