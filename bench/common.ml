@@ -107,7 +107,7 @@ let corpus ?(target_tokens = default_target_tokens) (spec : Workload.spec) :
 
 (* Telemetry collection: every bench registers the machine-readable version
    of what it printed under a stable key; [bench/main.ml --json FILE] wraps
-   the collected entries in an antlrkit-telemetry/1 document.  Keys are
+   the collected entries in an antlrkit-telemetry/2 document.  Keys are
    "<bench>.<grammar-or-case>", and re-adding a key overwrites (last run
    wins), so repeating a bench on the command line stays well-formed. *)
 module Tel = struct

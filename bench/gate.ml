@@ -1,10 +1,11 @@
 (* Perf-regression gate over bench telemetry.
 
      gate.exe BASELINE.json [BASELINE2.json ...] FRESH.json
+     gate.exe --prom SCRAPE1.txt [SCRAPE2.txt]
 
    The last argument is the fresh run; every earlier argument is a
    committed baseline whose entries select checks.  All files are
-   antlrkit-telemetry/1 documents; committed baselines are
+   antlrkit-telemetry/2 documents; committed baselines are
    BENCH_hotpath.json / BENCH_parallel.json / BENCH_codegen.json at the
    repo root, the fresh file comes from the CI bench-smoke run (one run
    covering all gated benches).  Three kinds of checks, selected by which
@@ -34,6 +35,13 @@
      every parse succeeded on both backends.  Latency percentiles and
      throughput are recorded in the entries but never gated: like the
      parallel speedups, they measure the runner, not the code.
+
+   [--prom] switches to Prometheus text-format (v0.0.4) validation over
+   live scrapes of the serve daemon's /metrics endpoint (CI serve-smoke):
+   every series must belong to a family with exactly one # HELP and one
+   # TYPE line, series must be unique with parseable values, and -- when
+   a second scrape is given -- counters, histogram _bucket/_count and
+   summary _count series must be monotone non-decreasing across the two.
 
    Exit status: 0 clean, 1 regression or malformed/missing input. *)
 
@@ -80,7 +88,186 @@ let float_field entry name =
 let has_prefix p s =
   String.length s >= String.length p && String.sub s 0 (String.length p) = p
 
+(* ------------------------------------------------------------------ *)
+(* Prometheus scrape validation (--prom) *)
+
+let has_suffix suf s =
+  let n = String.length s and m = String.length suf in
+  n >= m && String.sub s (n - m) m = suf
+
+type scrape = {
+  helps : (string, int) Hashtbl.t; (* family -> # HELP line count *)
+  types : (string, string) Hashtbl.t; (* family -> declared type *)
+  series : (string * float) list; (* "name{labels}" -> value, in order *)
+}
+
+let read_lines path : string list =
+  try
+    let ic = open_in_bin path in
+    let rec go acc =
+      match input_line ic with
+      | l -> go (l :: acc)
+      | exception End_of_file ->
+          close_in ic;
+          List.rev acc
+    in
+    go []
+  with Sys_error e -> die "cannot read %s: %s" path e
+
+let parse_scrape path : scrape =
+  let helps = Hashtbl.create 32 and types = Hashtbl.create 32 in
+  let series = ref [] in
+  List.iteri
+    (fun i line ->
+      let lineno = i + 1 in
+      if line = "" then ()
+      else if has_prefix "# HELP " line then
+        match String.index_from_opt line 7 ' ' with
+        | Some sp ->
+            let fam = String.sub line 7 (sp - 7) in
+            Hashtbl.replace helps fam
+              (1 + Option.value (Hashtbl.find_opt helps fam) ~default:0)
+        | None -> die "%s:%d: HELP line without a help string" path lineno
+      else if has_prefix "# TYPE " line then begin
+        match String.index_from_opt line 7 ' ' with
+        | Some sp ->
+            let fam = String.sub line 7 (sp - 7) in
+            if Hashtbl.mem types fam then
+              die "%s:%d: duplicate # TYPE for family %s" path lineno fam;
+            Hashtbl.replace types fam
+              (String.sub line (sp + 1) (String.length line - sp - 1))
+        | None -> die "%s:%d: TYPE line without a type" path lineno
+      end
+      else if has_prefix "#" line then () (* plain comment *)
+      else
+        (* "name{labels} value" or "name value"; the value is the text
+           after the last space outside braces (label values are quoted
+           and may contain spaces, so split at the closing brace first) *)
+        let vsplit =
+          match String.rindex_opt line '}' with
+          | Some rb -> (
+              let rest = String.sub line (rb + 1) (String.length line - rb - 1) in
+              match String.index_opt rest ' ' with
+              | Some _ ->
+                  Some (String.sub line 0 (rb + 1), String.trim rest)
+              | None -> None)
+          | None -> (
+              match String.rindex_opt line ' ' with
+              | Some sp ->
+                  Some
+                    ( String.sub line 0 sp,
+                      String.sub line (sp + 1) (String.length line - sp - 1) )
+              | None -> None)
+        in
+        match vsplit with
+        | None -> die "%s:%d: unparsable series line %S" path lineno line
+        | Some (key, v) -> (
+            match float_of_string_opt v with
+            | None -> die "%s:%d: non-numeric value %S" path lineno v
+            | Some f -> series := (key, f) :: !series))
+    (read_lines path);
+  { helps; types; series = List.rev !series }
+
+(* Base metric name of a series key: text before '{' (or the whole key). *)
+let series_name (key : string) : string =
+  match String.index_opt key '{' with
+  | Some i -> String.sub key 0 i
+  | None -> key
+
+(* Family of a series name: itself if declared, else the name with the
+   histogram/summary suffix stripped. *)
+let family_of (s : scrape) (name : string) : string option =
+  if Hashtbl.mem s.types name then Some name
+  else
+    List.find_map
+      (fun suf ->
+        if has_suffix suf name then
+          let base = String.sub name 0 (String.length name - String.length suf) in
+          if Hashtbl.mem s.types base then Some base else None
+        else None)
+      [ "_bucket"; "_sum"; "_count" ]
+
+(* A series whose family says its value can never decrease while the
+   process lives: counters, plus cumulative histogram/summary counts. *)
+let monotone_series (s : scrape) (key : string) : bool =
+  let name = series_name key in
+  match family_of s name with
+  | None -> false
+  | Some fam -> (
+      match Hashtbl.find_opt s.types fam with
+      | Some "counter" -> true
+      | Some "histogram" ->
+          has_suffix "_bucket" name || has_suffix "_count" name
+      | Some "summary" -> has_suffix "_count" name
+      | _ -> false)
+
+let run_prom (paths : string list) : unit =
+  let path1, path2 =
+    match paths with
+    | [ p ] -> (p, None)
+    | [ p; q ] -> (p, Some q)
+    | _ -> die "usage: gate.exe --prom SCRAPE1 [SCRAPE2]"
+  in
+  let failures = ref 0 and checked = ref 0 in
+  let fail fmt = Fmt.kstr (fun s -> incr failures; Fmt.pr "FAIL %s@." s) fmt in
+  let shape path (s : scrape) =
+    if s.series = [] then fail "%s: scrape has no series" path;
+    (* every series belongs to a family with exactly one HELP and TYPE *)
+    List.iter
+      (fun (key, _) ->
+        incr checked;
+        let name = series_name key in
+        match family_of s name with
+        | None -> fail "%s: series %s has no # TYPE" path key
+        | Some fam -> (
+            match Hashtbl.find_opt s.helps fam with
+            | Some 1 -> ()
+            | Some n -> fail "%s: family %s has %d # HELP lines" path fam n
+            | None -> fail "%s: family %s has no # HELP" path fam))
+      s.series;
+    (* duplicate-family HELP lines are caught above; duplicate TYPE dies
+       in the parser; duplicate series are caught here *)
+    incr checked;
+    let keys = List.map fst s.series in
+    let dup = List.length keys - List.length (List.sort_uniq compare keys) in
+    if dup > 0 then fail "%s: %d duplicate series" path dup
+    else Fmt.pr "ok   %s: %d series, %d families@." path (List.length keys)
+        (Hashtbl.length s.types)
+  in
+  let s1 = parse_scrape path1 in
+  shape path1 s1;
+  (match path2 with
+  | None -> ()
+  | Some p2 ->
+      let s2 = parse_scrape p2 in
+      shape p2 s2;
+      (* counters only go up: every monotone series present in the first
+         scrape must appear in the second with a value at least as large *)
+      let monotone = List.filter (fun (k, _) -> monotone_series s1 k) s1.series in
+      if monotone = [] then fail "%s: no monotone series to compare" path1;
+      List.iter
+        (fun (key, v1) ->
+          incr checked;
+          match List.assoc_opt key s2.series with
+          | None -> fail "%s: series %s vanished from %s" path1 key p2
+          | Some v2 when v2 < v1 ->
+              fail "%s: %s went backwards (%g -> %g)" p2 key v1 v2
+          | Some _ -> ())
+        monotone;
+      Fmt.pr "ok   %d monotone series stayed monotone@." (List.length monotone));
+  if !failures > 0 then begin
+    Fmt.pr "gate: %d Prometheus-format failure(s) across %d checks@."
+      !failures !checked;
+    exit 1
+  end;
+  Fmt.pr "gate: prom clean (%d checks)@." !checked
+
 let () =
+  (match Array.to_list Sys.argv with
+  | _ :: "--prom" :: paths ->
+      run_prom paths;
+      exit 0
+  | _ -> ());
   let base_paths, fresh_path =
     match Array.to_list Sys.argv with
     | _ :: (_ :: _ :: _ as paths) ->

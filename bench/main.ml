@@ -6,7 +6,7 @@
 
    or everything with no arguments.  Add [--json FILE] to also write the
    telemetry the benches collected (Common.Tel) as one
-   antlrkit-telemetry/1 document. *)
+   antlrkit-telemetry/2 document. *)
 
 let all_benches : (string * string * (unit -> unit)) list =
   [

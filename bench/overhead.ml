@@ -34,6 +34,187 @@ let best_total cw env ?tracer token_lists =
   done;
   !best
 
+(* ------------------------------------------------------------------ *)
+(* Serve hot path.  The telemetry/2 additions (latency summaries, the
+   correlation id, monotonic timestamps, the tail-sampling branch) ride
+   the request path of every parse; their disabled cost is gated like the
+   null tracer's.  The baseline below replicates the pre-telemetry/2
+   request pipeline over the same registry entry and pool -- JSON request
+   decode, pooled lex+parse with a profile, counter + histogram recording
+   under a mutex, response encode -- so the quotient isolates exactly the
+   new per-request work. *)
+
+let serve_grammar = "MiniJava"
+
+let serve_request_line (text : string) : string =
+  Obs.Json.to_string
+    (Obs.Json.obj
+       [
+         ("op", Obs.Json.str "parse");
+         ("grammar", Obs.Json.str serve_grammar);
+         ("backend", Obs.Json.str "interp");
+         ("text", Obs.Json.str text);
+       ])
+
+let baseline_handle ~(entry : Serve.Registry.entry) ~pool
+    ~(metrics : Obs.Metrics.t) ~(m_lock : Mutex.t) (line : string) : string =
+  match Serve.Protocol.parse_request line with
+  | Error e -> failwith e
+  | Ok req ->
+      let text = Option.get req.Serve.Protocol.text in
+      let work () =
+        let sym = Llstar.Compiled.sym entry.Serve.Registry.c in
+        match
+          Runtime.Lexer_engine.tokenize entry.Serve.Registry.lexer_config sym
+            text
+        with
+        | Error _ -> failwith "bench corpus must lex"
+        | Ok toks ->
+            let profile = Runtime.Profile.create () in
+            let o =
+              Runtime.Generated.interp_outcome ~env:entry.Serve.Registry.env
+                ~profile entry.Serve.Registry.c toks
+            in
+            (o, profile, Array.length toks)
+      in
+      let t0 = Unix.gettimeofday () in
+      let o, profile, tokens = Exec.Pool.await (Exec.Pool.submit pool work) in
+      let wall_us = int_of_float ((Unix.gettimeofday () -. t0) *. 1e6) in
+      Mutex.lock m_lock;
+      Obs.Metrics.incr
+        (Obs.Metrics.counter metrics
+           ~labels:
+             [
+               ("op", "parse");
+               ("grammar", serve_grammar);
+               ("backend", "interp");
+               ("ok", string_of_bool o.Runtime.Generated.ok);
+             ]
+           "serve.requests");
+      Obs.Metrics.observe
+        (Obs.Metrics.histogram metrics
+           ~labels:[ ("grammar", serve_grammar) ]
+           "serve.wall_us")
+        wall_us;
+      Obs.Metrics.observe
+        (Obs.Metrics.histogram metrics
+           ~labels:[ ("grammar", serve_grammar) ]
+           "serve.tokens")
+        tokens;
+      Obs.Metrics.merge ~into:metrics (Runtime.Profile.registry profile);
+      Mutex.unlock m_lock;
+      Obs.Json.to_string
+        (Serve.Protocol.ok_response ~id:req.Serve.Protocol.id ~op:"parse"
+           [
+             ("grammar", Obs.Json.str serve_grammar);
+             ("backend", Obs.Json.str "interp");
+             ("tokens", Obs.Json.int tokens);
+             ("wall_us", Obs.Json.int wall_us);
+             ("consumed", Obs.Json.int o.Runtime.Generated.consumed);
+           ])
+
+let best_of (f : unit -> unit) : float =
+  let best = ref infinity in
+  for _ = 1 to reps do
+    let (), dt = Common.time f in
+    if dt < !best then best := dt
+  done;
+  !best
+
+let serve_hot_path () =
+  Common.section
+    "Serve hot path: disabled telemetry must not tax request throughput";
+  let spec = Bench_grammars.Mini_java.spec in
+  let corpus = Common.corpus spec in
+  let lines = List.map serve_request_line corpus.Workload.texts in
+  let n = List.length lines in
+  Exec.Pool.with_pool ~jobs:1 (fun pool ->
+      let registry = Serve.Registry.create () in
+      (match Serve.Registry.load_builtin registry ~pool serve_grammar with
+      | Ok _ -> ()
+      | Error e -> failwith e);
+      let entry = Option.get (Serve.Registry.find registry serve_grammar) in
+      let baseline_metrics = Obs.Metrics.create () in
+      let m_lock = Mutex.create () in
+      let run_baseline () =
+        List.iter
+          (fun l ->
+            ignore
+              (baseline_handle ~entry ~pool ~metrics:baseline_metrics ~m_lock
+                 l))
+          lines
+      in
+      let run_handler h () =
+        List.iter
+          (fun l ->
+            let resp, _ = Serve.Handler.handle h l in
+            assert (String.length resp > 0))
+          lines
+      in
+      let h_off = Serve.Handler.create ~registry ~pool () in
+      let slow_path = Filename.temp_file "antlrkit-overhead-slow" ".jsonl" in
+      let sl = Serve.Slow_log.create ~threshold_us:max_int slow_path in
+      let h_armed = Serve.Handler.create ~registry ~pool ~slow_log:sl () in
+      (* warm every lazy path (DFA states, registry caches) before timing *)
+      run_baseline ();
+      run_handler h_off ();
+      run_handler h_armed ();
+      let t_base = best_of run_baseline in
+      let t_off = best_of (run_handler h_off) in
+      let t_armed = best_of (run_handler h_armed) in
+      let off_pct = 100.0 *. ((t_off /. t_base) -. 1.0) in
+      let armed_pct = 100.0 *. ((t_armed /. t_base) -. 1.0) in
+      Fmt.pr "%-10s %12s %12s %12s %10s %10s@." "grammar" "baseline"
+        "disabled" "armed" "off ovh" "armed ovh";
+      Fmt.pr "%-10s %10.2fms %10.2fms %10.2fms %9.1f%% %9.1f%%@."
+        serve_grammar (t_base *. 1e3) (t_off *. 1e3) (t_armed *. 1e3) off_pct
+        armed_pct;
+      (* structural: a threshold no request can reach retains nothing *)
+      assert (Serve.Slow_log.written sl = 0);
+      Serve.Slow_log.close sl;
+      Sys.remove slow_path;
+      (* and a zero threshold retains every request, correlation id and
+         all -- the tail-sampling policy, exercised end to end *)
+      let slow_path0 = Filename.temp_file "antlrkit-overhead-slow0" ".jsonl" in
+      let sl0 = Serve.Slow_log.create ~threshold_us:0 slow_path0 in
+      let h0 = Serve.Handler.create ~registry ~pool ~slow_log:sl0 () in
+      run_handler h0 ();
+      assert (Serve.Slow_log.written sl0 = n);
+      let ic = open_in slow_path0 in
+      (try
+         while true do
+           let l = input_line ic in
+           match Obs.Json.parse l with
+           | Ok j ->
+               assert (Obs.Json.member "req_id" j <> None);
+               assert (Obs.Json.member "events" j <> None)
+           | Error e -> failwith ("slow-log record unparsable: " ^ e)
+         done
+       with End_of_file -> close_in ic);
+      Serve.Slow_log.close sl0;
+      Sys.remove slow_path0;
+      Common.Tel.add "obs.serve_hot_path"
+        (Obs.Json.obj
+           [
+             ("grammar", Obs.Json.str serve_grammar);
+             ("requests", Obs.Json.int n);
+             ("baseline_s", Obs.Json.float t_base);
+             ("disabled_s", Obs.Json.float t_off);
+             ("armed_s", Obs.Json.float t_armed);
+             ("disabled_overhead_pct", Obs.Json.float off_pct);
+             ("armed_overhead_pct", Obs.Json.float armed_pct);
+             ("slow_records_at_threshold0", Obs.Json.int n);
+           ]);
+      Fmt.pr
+        "@.serve hot-path check (%s): disabled telemetry %+.2f%% vs \
+         pre-telemetry baseline (bound: +2%%); armed capture %+.2f%% \
+         (informational)@."
+        serve_grammar off_pct armed_pct;
+      if off_pct > 2.0 then begin
+        Fmt.pr "  !! disabled serve telemetry exceeded the 2%% bound@.";
+        exit 1
+      end)
+
 let run () =
   Common.section
     "Tracing overhead: null sink must be free, ring sink pays per event";
@@ -104,4 +285,5 @@ let run () =
   if pct > 2.0 then begin
     Fmt.pr "  !! disabled-tracer overhead exceeded the 2%% bound@.";
     exit 1
-  end
+  end;
+  serve_hot_path ()

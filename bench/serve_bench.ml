@@ -38,6 +38,8 @@ type leg = {
   l_wall_s : float;
   l_p50_us : float;
   l_p99_us : float;
+  mutable l_server_p50_us : int; (* daemon-side, from the stats op *)
+  mutable l_server_p99_us : int;
 }
 
 let drive_leg ~(sock : string) ~(grammar : string) ~(backend : string)
@@ -97,7 +99,57 @@ let drive_leg ~(sock : string) ~(grammar : string) ~(backend : string)
     l_wall_s = wall_s;
     l_p50_us = percentile sorted 50.0;
     l_p99_us = percentile sorted 99.0;
+    l_server_p50_us = 0;
+    l_server_p99_us = 0;
   }
+
+(* Daemon-side latency quantiles for one (grammar, backend) leg, read the
+   way an operator would: the stats op's telemetry/2 document carries a
+   [serve.request_us] duration summary per label set.  Client-side and
+   server-side percentiles bracket the protocol/socket overhead. *)
+let server_quantiles ~(sock : string) ~(grammar : string)
+    ~(backend : string) : (int * int) option =
+  let ( let* ) = Option.bind in
+  match Serve.Client.connect_retry (Serve.Protocol.Unix_sock sock) with
+  | Error _ -> None
+  | Ok c ->
+      let resp =
+        Serve.Client.request c (Obs.Json.obj [ ("op", Obs.Json.str "stats") ])
+      in
+      Serve.Client.close c;
+      let* resp = Result.to_option resp in
+      let* stats = Obs.Json.member "stats" resp in
+      let* benches = Obs.Json.member "benches" stats in
+      let* serve = Obs.Json.member "serve" benches in
+      let* points =
+        match serve with Obs.Json.List pts -> Some pts | _ -> None
+      in
+      let* point =
+        List.find_opt
+          (fun p ->
+            Obs.Json.member "name" p = Some (Obs.Json.str "serve.request_us")
+            && match Obs.Json.member "labels" p with
+               | Some ls ->
+                   Obs.Json.member "op" ls = Some (Obs.Json.str "parse")
+                   && Obs.Json.member "grammar" ls
+                      = Some (Obs.Json.str grammar)
+                   && Obs.Json.member "backend" ls
+                      = Some (Obs.Json.str backend)
+               | None -> false)
+          points
+      in
+      let* metric = Obs.Json.member "metric" point in
+      let* p50 =
+        match Obs.Json.member "p50_us" metric with
+        | Some (Obs.Json.Int n) -> Some n
+        | _ -> None
+      in
+      let* p99 =
+        match Obs.Json.member "p99_us" metric with
+        | Some (Obs.Json.Int n) -> Some n
+        | _ -> None
+      in
+      Some (p50, p99)
 
 let leg_json (l : leg) : Obs.Json.t =
   Obs.Json.obj
@@ -108,6 +160,8 @@ let leg_json (l : leg) : Obs.Json.t =
       ("tokens", Obs.Json.int l.l_tokens);
       ("p50_us", Obs.Json.float l.l_p50_us);
       ("p99_us", Obs.Json.float l.l_p99_us);
+      ("server_p50_us", Obs.Json.int l.l_server_p50_us);
+      ("server_p99_us", Obs.Json.int l.l_server_p99_us);
       ( "requests_per_s",
         Obs.Json.float (float_of_int l.l_answered /. l.l_wall_s) );
       ( "tokens_per_s",
@@ -138,8 +192,8 @@ let run () =
     Serve.Server.create ~handler ~addr:(Serve.Protocol.Unix_sock sock) ()
   in
   let server_thread = Thread.create Serve.Server.run server in
-  Fmt.pr "%-11s %-9s | %9s %9s | %10s | answered/ok@." "grammar" "backend"
-    "p50" "p99" "req/s";
+  Fmt.pr "%-11s %-9s | %9s %9s | %17s | %10s | answered/ok@." "grammar"
+    "backend" "p50" "p99" "server p50/p99" "req/s";
   List.iter
     (fun (spec : Workload.spec) ->
       let corpus = Common.corpus spec in
@@ -150,8 +204,20 @@ let run () =
             let l =
               drive_leg ~sock ~grammar:spec.Workload.name ~backend ~texts
             in
-            Fmt.pr "%-11s %-9s | %7.0fus %7.0fus | %10.0f | %d/%d of %d@."
+            (match
+               server_quantiles ~sock ~grammar:spec.Workload.name ~backend
+             with
+            | Some (p50, p99) ->
+                l.l_server_p50_us <- p50;
+                l.l_server_p99_us <- p99
+            | None ->
+                Fmt.pr "  *** no server-side quantiles for %s/%s ***@."
+                  spec.Workload.name backend);
+            Fmt.pr
+              "%-11s %-9s | %7.0fus %7.0fus | srv %6dus %6dus | %10.0f | \
+               %d/%d of %d@."
               spec.Workload.name backend l.l_p50_us l.l_p99_us
+              l.l_server_p50_us l.l_server_p99_us
               (float_of_int l.l_answered /. l.l_wall_s)
               l.l_answered l.l_ok l.l_sent;
             l)

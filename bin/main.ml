@@ -779,7 +779,7 @@ let bench_cmd =
       & opt (some string) None
       & info [ "json" ] ~docv:"FILE"
           ~doc:
-            "Write an antlrkit-telemetry/1 document (wall/user time, \
+            "Write an antlrkit-telemetry/2 document (wall/user time, \
              decision events, lookahead depths, lazy/cached DFA state \
              counts, full metrics registry) to $(docv).")
   in
@@ -855,8 +855,47 @@ let serve_cmd =
       & info [ "max-request-bytes" ] ~docv:"N"
           ~doc:"Maximum request line (and text payload) size in bytes.")
   in
+  let metrics_port =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "metrics-port" ] ~docv:"PORT"
+          ~doc:
+            "Serve Prometheus text-format metrics over HTTP on \
+             127.0.0.1:$(docv) ($(b,GET /metrics), plus $(b,/health) and \
+             $(b,/ready) probes).  $(b,0) picks a free port (printed at \
+             startup).")
+  in
+  let slow_log =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "slow-log" ] ~docv:"FILE"
+          ~doc:
+            "Tail-sampled slow-request log: retain the full per-request \
+             trace (JSON lines, bounded) for requests slower than \
+             --slow-threshold-ms or that failed.")
+  in
+  let slow_threshold =
+    Arg.(
+      value & opt float 500.0
+      & info [ "slow-threshold-ms" ] ~docv:"MS"
+          ~doc:
+            "Requests at least $(docv) milliseconds of wall time are \
+             retained in --slow-log ($(b,0) retains everything; errors \
+             are always retained).")
+  in
+  let slow_max_records =
+    Arg.(
+      value & opt int 10_000
+      & info [ "slow-max-records" ] ~docv:"N"
+          ~doc:
+            "Stop writing --slow-log after $(docv) records (further slow \
+             requests are counted as dropped, never written).")
+  in
   let run socket tcp jobs cache_dir grammars max_tokens time_budget
-      max_request trace_file trace_format =
+      max_request metrics_port slow_log slow_threshold slow_max_records
+      trace_file trace_format =
     let addr = resolve_addr socket tcp in
     let tracer, close_trace = make_tracer trace_file trace_format in
     let jobs = Exec.Pool.resolve_jobs jobs in
@@ -899,8 +938,41 @@ let serve_cmd =
             time_budget_s = time_budget;
           }
         in
+        let slow =
+          match slow_log with
+          | None -> None
+          | Some path ->
+              let threshold_us =
+                int_of_float (Float.max 0.0 (slow_threshold *. 1000.0))
+              in
+              Some
+                (Serve.Slow_log.create ~max_records:slow_max_records
+                   ~threshold_us path)
+        in
         let handler =
-          Serve.Handler.create ~limits ~tracer ~registry ~pool ()
+          Serve.Handler.create ~limits ~tracer ?slow_log:slow ~registry
+            ~pool ()
+        in
+        (match slow with
+        | Some sl ->
+            Fmt.epr "[serve] slow-request log: %s (threshold %gms)@."
+              (Option.get slow_log)
+              (float_of_int (Serve.Slow_log.threshold_us sl) /. 1000.0)
+        | None -> ());
+        let mhttp =
+          match metrics_port with
+          | None -> None
+          | Some port -> (
+              match Serve.Metrics_http.start ~port handler with
+              | Ok m ->
+                  Fmt.epr
+                    "[serve] metrics on http://127.0.0.1:%d/metrics@."
+                    (Serve.Metrics_http.port m);
+                  Some m
+              | Error msg ->
+                  Fmt.epr "[serve] %s@." msg;
+                  close_trace ();
+                  exit 2)
         in
         let server = Serve.Server.create ~handler ~addr () in
         let stop _ = Serve.Server.stop server in
@@ -911,6 +983,8 @@ let serve_cmd =
           Exec.Pool.backend jobs
           (if jobs = 1 then "" else "s");
         Serve.Server.run server;
+        Option.iter Serve.Metrics_http.stop mhttp;
+        Option.iter Serve.Slow_log.close slow;
         Fmt.epr "[serve] drained, exiting@.");
     close_trace ()
   in
@@ -919,14 +993,16 @@ let serve_cmd =
        ~doc:
          "Run a long-lived parse service: line-JSON requests over a Unix \
           or TCP socket, a registry of compiled grammars (persistent \
-          cache backed), parse work on worker domains, and an \
-          antlrkit-telemetry/1 stats endpoint.  Shuts down gracefully on \
-          SIGTERM/SIGINT or an op=shutdown request, draining in-flight \
-          requests first.")
+          cache backed), parse work on worker domains, an \
+          antlrkit-telemetry/2 stats endpoint with latency quantiles, an \
+          optional Prometheus HTTP exporter (--metrics-port), and an \
+          optional tail-sampled slow-request log (--slow-log).  Shuts \
+          down gracefully on SIGTERM/SIGINT or an op=shutdown request, \
+          draining in-flight requests first.")
     Term.(
       const run $ socket_arg $ tcp_arg $ jobs_arg $ cache_dir_arg $ grammars
-      $ max_tokens $ time_budget $ max_request $ trace_arg
-      $ trace_format_arg)
+      $ max_tokens $ time_budget $ max_request $ metrics_port $ slow_log
+      $ slow_threshold $ slow_max_records $ trace_arg $ trace_format_arg)
 
 let client_cmd =
   let file =
@@ -946,7 +1022,18 @@ let client_cmd =
           ~doc:"Keep retrying the initial connection for up to $(docv) \
                 (the daemon may still be compiling grammars).")
   in
-  let run socket tcp file wait =
+  let quiet =
+    Arg.(
+      value & flag
+      & info [ "quiet"; "q" ]
+          ~doc:
+            "Print nothing; the exit status is the answer (CI probes).  \
+             Transport errors still go to stderr.")
+  in
+  (* Exit status is scriptable: 0 all responses ok, 1 transport failure,
+     2 at least one structured error response ({"ok":false,...}).  Before
+     this distinction existed a health probe had to jq every response. *)
+  let run socket tcp file wait quiet =
     let addr = resolve_addr socket tcp in
     let attempts = max 1 (int_of_float (wait /. 0.1)) in
     match Serve.Client.connect_retry ~attempts ~delay_s:0.1 addr with
@@ -955,30 +1042,229 @@ let client_cmd =
         exit 1
     | Ok c ->
         let ic = if file = "-" then stdin else open_in file in
-        let failures = ref 0 in
+        let transport_failures = ref 0 in
+        let server_errors = ref 0 in
+        let response_ok (resp : string) : bool =
+          match Obs.Json.parse resp with
+          | Ok j -> (
+              match Obs.Json.member "ok" j with
+              | Some (Obs.Json.Bool b) -> b
+              | _ -> false)
+          | Error _ -> false
+        in
         (try
            while true do
              let line = input_line ic in
              if String.trim line <> "" then begin
                match Serve.Client.request_line c line with
-               | Ok resp -> print_endline resp
+               | Ok resp ->
+                   if not (response_ok resp) then incr server_errors;
+                   if not quiet then print_endline resp
                | Error msg ->
                    Fmt.epr "%s@." msg;
-                   incr failures;
+                   incr transport_failures;
                    raise Exit
              end
            done
          with End_of_file | Exit -> ());
         if file <> "-" then close_in ic;
         Serve.Client.close c;
-        if !failures > 0 then exit 1
+        if !transport_failures > 0 then exit 1;
+        if !server_errors > 0 then exit 2
   in
   Cmd.v
     (Cmd.info "client"
        ~doc:
          "Send line-JSON requests to a running antlrkit serve daemon and \
-          print the responses.")
-    Term.(const run $ socket_arg $ tcp_arg $ file $ wait)
+          print the responses.  Exits 0 when every response was ok, 1 on \
+          transport failure, 2 when the daemon answered with a \
+          structured error.")
+    Term.(const run $ socket_arg $ tcp_arg $ file $ wait $ quiet)
+
+(* --- top: live per-grammar request/latency tables ---------------------- *)
+
+let top_cmd =
+  let interval =
+    Arg.(
+      value & opt float 2.0
+      & info [ "interval" ] ~docv:"SECONDS"
+          ~doc:"Seconds between stats polls.")
+  in
+  let count =
+    Arg.(
+      value & opt int 0
+      & info [ "count" ] ~docv:"N"
+          ~doc:"Render $(docv) frames then exit ($(b,0) = run until ^C).")
+  in
+  let raw =
+    Arg.(
+      value & flag
+      & info [ "raw" ]
+          ~doc:
+            "Never clear the screen; print each frame as plain text \
+             (CI-friendly; also the default when stdout is not a tty).")
+  in
+  let run socket tcp interval count raw =
+    let module J = Obs.Json in
+    let addr = resolve_addr socket tcp in
+    let jint = function Some (J.Int i) -> i | _ -> 0 in
+    let jfloat = function
+      | Some (J.Float f) -> f
+      | Some (J.Int i) -> float_of_int i
+      | _ -> 0.0
+    in
+    let jstr = function Some (J.String s) -> s | _ -> "" in
+    match Serve.Client.connect_retry ~attempts:100 ~delay_s:0.1 addr with
+    | Error msg ->
+        Fmt.epr "%s@." msg;
+        exit 1
+    | Ok c ->
+        let clear = (not raw) && Unix.isatty Unix.stdout in
+        (* previous frame's per-(grammar,backend) request totals, for RPS
+           from counter deltas; the first frame divides by uptime. *)
+        let prev : (string * string, int) Hashtbl.t = Hashtbl.create 16 in
+        let prev_t = ref nan in
+        let frame () : (unit, string) result =
+          match Serve.Client.request_line c {|{"op":"stats","id":"top"}|} with
+          | Error msg -> Error msg
+          | Ok resp -> (
+              match J.parse resp with
+              | Error msg -> Error ("bad stats response: " ^ msg)
+              | Ok j when J.member "ok" j <> Some (J.Bool true) ->
+                  Error ("daemon refused stats: " ^ resp)
+              | Ok j ->
+                  let stats =
+                    Option.value (J.member "stats" j) ~default:J.Null
+                  in
+                  let benches =
+                    Option.value (J.member "benches" stats) ~default:J.Null
+                  in
+                  let wall_s = jfloat (J.member "wall_s" stats) in
+                  let pool =
+                    Option.value (J.member "pool" benches) ~default:J.Null
+                  in
+                  (* rows keyed (grammar, backend), built from the metric
+                     points of the serve registry snapshot *)
+                  let tbl = Hashtbl.create 16 in
+                  let row key =
+                    match Hashtbl.find_opt tbl key with
+                    | Some r -> r
+                    | None ->
+                        let r = (ref 0, ref 0, ref (0, 0, 0)) in
+                        Hashtbl.add tbl key r;
+                        r
+                  in
+                  let points =
+                    match J.member "serve" benches with
+                    | Some (J.List pts) -> pts
+                    | _ -> []
+                  in
+                  List.iter
+                    (fun pt ->
+                      let name = jstr (J.member "name" pt) in
+                      let labels =
+                        Option.value (J.member "labels" pt) ~default:J.Null
+                      in
+                      let label k = jstr (J.member k labels) in
+                      let metric =
+                        Option.value (J.member "metric" pt) ~default:J.Null
+                      in
+                      if name = "serve.requests" && label "op" = "parse" then begin
+                        let reqs, errs, _ =
+                          row (label "grammar", label "backend")
+                        in
+                        let n = jint (J.member "value" metric) in
+                        reqs := !reqs + n;
+                        if label "ok" = "false" then errs := !errs + n
+                      end
+                      else if name = "serve.request_us" && label "op" = "parse"
+                      then begin
+                        let _, _, lat = row (label "grammar", label "backend") in
+                        lat :=
+                          ( jint (J.member "p50_us" metric),
+                            jint (J.member "p99_us" metric),
+                            jint (J.member "max_us" metric) )
+                      end)
+                    points;
+                  let now = Unix.gettimeofday () in
+                  let dt = now -. !prev_t in
+                  let rps_of key reqs =
+                    if Float.is_nan !prev_t then
+                      if wall_s > 0.0 then float_of_int reqs /. wall_s else 0.0
+                    else
+                      let before =
+                        Option.value (Hashtbl.find_opt prev key) ~default:0
+                      in
+                      if dt > 0.0 then float_of_int (reqs - before) /. dt
+                      else 0.0
+                  in
+                  let rows =
+                    Hashtbl.fold
+                      (fun key (reqs, errs, lat) acc ->
+                        (key, !reqs, !errs, !lat) :: acc)
+                      tbl []
+                    |> List.sort compare
+                  in
+                  if clear then Fmt.pr "\027[2J\027[H";
+                  let total_reqs =
+                    List.fold_left (fun a (_, r, _, _) -> a + r) 0 rows
+                  and total_errs =
+                    List.fold_left (fun a (_, _, e, _) -> a + e) 0 rows
+                  in
+                  let total_rps =
+                    List.fold_left
+                      (fun a (key, r, _, _) -> a +. rps_of key r)
+                      0.0 rows
+                  in
+                  Fmt.pr
+                    "[antlrkit top] uptime %.1fs  pool %s x%d (pending %d)  \
+                     total %d reqs, %d errors, %.1f rps@."
+                    wall_s
+                    (jstr (J.member "backend" pool))
+                    (jint (J.member "jobs" pool))
+                    (jint (J.member "pending" pool))
+                    total_reqs total_errs total_rps;
+                  Fmt.pr "%-16s %-10s %8s %6s %8s %9s %9s %9s@." "GRAMMAR"
+                    "BACKEND" "REQS" "ERR" "RPS" "P50(ms)" "P99(ms)"
+                    "MAX(ms)";
+                  List.iter
+                    (fun (((g, b) as key), reqs, errs, (p50, p99, mx)) ->
+                      Fmt.pr "%-16s %-10s %8d %6d %8.1f %9.2f %9.2f %9.2f@."
+                        g b reqs errs (rps_of key reqs)
+                        (float_of_int p50 /. 1000.0)
+                        (float_of_int p99 /. 1000.0)
+                        (float_of_int mx /. 1000.0))
+                    rows;
+                  Fmt.pr "@?";
+                  Hashtbl.reset prev;
+                  List.iter
+                    (fun (key, reqs, _, _) -> Hashtbl.replace prev key reqs)
+                    rows;
+                  prev_t := now;
+                  Ok ())
+        in
+        let rec loop i =
+          if count = 0 || i < count then begin
+            (match frame () with
+            | Ok () -> ()
+            | Error msg ->
+                Fmt.epr "%s@." msg;
+                Serve.Client.close c;
+                exit 1);
+            if count = 0 || i + 1 < count then Unix.sleepf interval;
+            loop (i + 1)
+          end
+        in
+        loop 0;
+        Serve.Client.close c
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Live view of a running antlrkit serve daemon: per-grammar and \
+          per-backend request rates, error counts, and latency quantiles \
+          (p50/p99/max) from periodic stats polls.")
+    Term.(const run $ socket_arg $ tcp_arg $ interval $ count $ raw)
 
 let () =
   let doc = "LL(*) grammar analysis and parsing (Parr & Fisher, PLDI 2011)" in
@@ -996,4 +1282,5 @@ let () =
             codegen_cmd;
             serve_cmd;
             client_cmd;
+            top_cmd;
           ]))

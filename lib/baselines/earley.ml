@@ -48,11 +48,21 @@ let recognize ?(budget = max_int) ?(start : string option) (t : t)
     Array.init (n + 1) (fun _ -> Hashtbl.create 64)
   in
   let queue : item Queue.t = Queue.create () in
-  let add i item =
-    if not (Hashtbl.mem sets.(i) item) then begin
+  (* [insert] records an item without scheduling it; the scanner uses it
+     for set i+1, whose items must only be processed once the loop
+     reaches i+1 (enqueueing them here would run their predictor and
+     completer against position i, re-consuming the token just
+     scanned). [add] is for same-set items, which join the work queue. *)
+  let insert i item =
+    if Hashtbl.mem sets.(i) item then false
+    else begin
       Hashtbl.add sets.(i) item ();
-      Queue.add item queue
+      true
     end
+  in
+  let add i item = if insert i item then Queue.add item queue in
+  let snapshot (set : (item, unit) Hashtbl.t) : item list =
+    Hashtbl.fold (fun it () acc -> it :: acc) set []
   in
   let prods_of lhs =
     match Hashtbl.find_opt t.by_lhs lhs with Some l -> l | None -> []
@@ -70,9 +80,11 @@ let recognize ?(budget = max_int) ?(start : string option) (t : t)
       let p = t.prods.(item.prod) in
       let rhs = Array.of_list p.rhs in
       if item.dot >= Array.length rhs then
-        (* completer: advance every item waiting on p.lhs at item.origin *)
-        Hashtbl.iter
-          (fun (w : item) () ->
+        (* completer: advance every item waiting on p.lhs at item.origin
+           (snapshot first -- when origin = i, [add] mutates the table
+           being walked) *)
+        List.iter
+          (fun (w : item) ->
             let wp = t.prods.(w.prod) in
             let wrhs = Array.of_list wp.rhs in
             if
@@ -82,25 +94,25 @@ let recognize ?(budget = max_int) ?(start : string option) (t : t)
               | Grammar.Bnf.N x -> x = p.lhs
               | Grammar.Bnf.T _ -> false
             then add i { w with dot = w.dot + 1 })
-          sets.(item.origin)
+          (snapshot sets.(item.origin))
       else
         match rhs.(item.dot) with
         | Grammar.Bnf.N x ->
             List.iter (fun pi -> add i { prod = pi; dot = 0; origin = i }) (prods_of x);
             (* nullable shortcut: if some completed x item already sits in
                this set, advance immediately (Aycock-Horspool) *)
-            Hashtbl.iter
-              (fun (c : item) () ->
+            List.iter
+              (fun (c : item) ->
                 let cp = t.prods.(c.prod) in
                 if
                   cp.lhs = x
                   && c.origin = i
                   && c.dot >= List.length cp.rhs
                 then add i { item with dot = item.dot + 1 })
-              sets.(i)
+              (snapshot sets.(i))
         | Grammar.Bnf.T a ->
             if i < n && (input.(i) = a || a = ".") then
-              add (i + 1) { item with dot = item.dot + 1 }
+              ignore (insert (i + 1) { item with dot = item.dot + 1 })
     done
   done;
   (* accept: a completed start production spanning the whole input *)

@@ -34,6 +34,12 @@ let submit = Pool_backend.submit
 let await = Pool_backend.await
 let shutdown = Pool_backend.shutdown
 
+(* Queued-but-unstarted job count: a point-in-time observability gauge
+   (exported by the serve daemon's ready/stats/metrics surfaces), not a
+   scheduling primitive.  0 whenever tasks run inline (jobs=1 or the
+   sequential backend). *)
+let pending = Pool_backend.pending
+
 let with_pool ~jobs f =
   let p = create ~jobs in
   Fun.protect ~finally:(fun () -> shutdown p) (fun () -> f p)

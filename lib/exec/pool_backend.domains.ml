@@ -87,6 +87,19 @@ let create ~jobs =
 
 let jobs t = t.n_jobs
 
+(* Jobs queued but not yet picked up by a worker.  Point-in-time and
+   immediately stale by design: this feeds observability gauges (serve
+   ready/stats/metrics), never scheduling decisions.  Always 0 at jobs=1
+   since submit runs inline. *)
+let pending pool =
+  if pool.workers = [] then 0
+  else begin
+    Mutex.lock pool.lock;
+    let n = Queue.length pool.queue in
+    Mutex.unlock pool.lock;
+    n
+  end
+
 let submit pool f =
   let task =
     { state = Pending; t_lock = Mutex.create (); t_done = Condition.create () }

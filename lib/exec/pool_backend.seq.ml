@@ -21,6 +21,9 @@ let create ~jobs =
 
 let jobs t = t.n_jobs
 
+(* Inline execution never queues, so the backlog is always empty. *)
+let pending (_ : t) = 0
+
 let submit t f =
   if t.closing then invalid_arg "Exec.Pool.submit: pool is shut down";
   match f () with

@@ -1,0 +1,178 @@
+(* Log-linear duration histograms with quantile estimation.
+
+   [Metrics] histograms bucket by powers of two because they record small
+   integer quantities (lookahead depths, state counts) where a 2x-wide
+   bucket is fine.  Request latency is not like that: the serve layer needs
+   p50/p99 over values spanning six orders of magnitude (a 40us cache-hit
+   ping to a multi-second pathological parse), and a power-of-two bucket at
+   100ms is 50ms wide -- useless for an SLO.  This module is the HDR-style
+   compromise used by production latency recorders: each power-of-two
+   octave is split into [half = 2^(sub_bits-1)] linear sub-buckets, so the
+   relative width of any bucket is at most [1/half] (~1.6%, i.e. two
+   significant digits), while the whole range [0, 2^40) microseconds (~12.7
+   days) still fits in a few thousand buckets.
+
+   Layout, for [sub_bits = 7] (so [n_sub = 128], [half = 64]):
+
+   - values in [0, 128) are recorded exactly: bucket [v] counts value [v];
+   - a value [v >= 128] with [m = floor(log2 v)] lands in octave [m], which
+     spans [2^m, 2^(m+1)) and is split into 64 sub-buckets of width
+     [2^(m-6)] each;
+   - values >= 2^40 land in one unbounded overflow bucket.
+
+   Quantiles are nearest-rank over the cumulative bucket counts, reported
+   as the midpoint of the selected bucket clamped to the observed
+   [min, max].  Since the exact nearest-rank quantile lies in the same
+   bucket, the estimate is within one bucket's width of the truth -- the
+   bound the qcheck property in [test_obs.ml] checks.
+
+   Recording is an array increment plus four field updates: cheap enough
+   for the serve hot path.  Like [Metrics] cells, a [t] is single-writer;
+   cross-worker aggregation goes through [merge] after [Exec.Pool.await]. *)
+
+let sub_bits = 7
+let n_sub = 1 lsl sub_bits (* 128: values below this are exact *)
+let half = n_sub / 2 (* sub-buckets per octave above [n_sub] *)
+let max_m = 39 (* top octave: [2^39, 2^40) microseconds *)
+let num_buckets = n_sub + ((max_m - sub_bits + 1) * half) + 1
+let overflow = num_buckets - 1 (* values >= 2^(max_m+1) *)
+
+type t = {
+  mutable n : int;
+  mutable sum : int; (* microseconds *)
+  mutable vmin : int;
+  mutable vmax : int;
+  counts : int array;
+}
+
+let create () : t =
+  { n = 0; sum = 0; vmin = max_int; vmax = 0; counts = Array.make num_buckets 0 }
+
+(* floor(log2 v) for v >= 1, by position of the highest set bit. *)
+let msb (v : int) : int =
+  let rec go v m = if v <= 1 then m else go (v lsr 1) (m + 1) in
+  go v 0
+
+let index_of (v : int) : int =
+  let v = if v < 0 then 0 else v in
+  if v < n_sub then v
+  else
+    let m = msb v in
+    if m > max_m then overflow
+    else
+      let sub = (v - (1 lsl m)) lsr (m - sub_bits + 1) in
+      n_sub + ((m - sub_bits) * half) + sub
+
+(* Inclusive [lo, hi] range of bucket [i]; the inverse of [index_of].
+   Exposed so tests can assert the relative-width bound directly. *)
+let bounds_of (i : int) : int * int =
+  if i < 0 || i >= num_buckets then invalid_arg "Duration.bounds_of"
+  else if i < n_sub then (i, i)
+  else if i = overflow then (1 lsl (max_m + 1), max_int)
+  else
+    let k = i - n_sub in
+    let m = sub_bits + (k / half) in
+    let sub = k mod half in
+    let w = 1 lsl (m - sub_bits + 1) in
+    let lo = (1 lsl m) + (sub * w) in
+    (lo, lo + w - 1)
+
+let observe (t : t) (us : int) : unit =
+  let us = if us < 0 then 0 else us in
+  t.n <- t.n + 1;
+  t.sum <- t.sum + us;
+  if us < t.vmin then t.vmin <- us;
+  if us > t.vmax then t.vmax <- us;
+  let i = index_of us in
+  t.counts.(i) <- t.counts.(i) + 1
+
+let count (t : t) = t.n
+let sum_us (t : t) = t.sum
+let min_us (t : t) = if t.n = 0 then 0 else t.vmin
+let max_us (t : t) = t.vmax
+
+let avg_us (t : t) : float =
+  if t.n = 0 then 0.0 else float_of_int t.sum /. float_of_int t.n
+
+(* Nearest-rank quantile: the smallest observed value with cumulative
+   frequency >= q*n.  We find its bucket by a cumulative walk and report
+   the bucket midpoint clamped to [vmin, vmax] (so a single-valued
+   distribution reports that value exactly, and p100 = max). *)
+let quantile (t : t) (q : float) : int =
+  if t.n = 0 then 0
+  else begin
+    let q = if q < 0.0 then 0.0 else if q > 1.0 then 1.0 else q in
+    let rank =
+      let r = int_of_float (ceil (q *. float_of_int t.n)) in
+      if r < 1 then 1 else if r > t.n then t.n else r
+    in
+    let rec go i cum =
+      if i >= num_buckets then t.vmax
+      else
+        let cum = cum + t.counts.(i) in
+        if cum >= rank then begin
+          let lo, hi = bounds_of i in
+          (* the overflow bucket has no midpoint; the observed max is the
+             best point estimate for a rank that falls in it *)
+          let mid = if i = overflow then t.vmax else (lo + hi) / 2 in
+          let mid = if mid < t.vmin then t.vmin else mid in
+          if mid > t.vmax then t.vmax else mid
+        end
+        else go (i + 1) cum
+    in
+    go 0 0
+  end
+
+let p50 (t : t) = quantile t 0.5
+let p90 (t : t) = quantile t 0.9
+let p99 (t : t) = quantile t 0.99
+
+(* Pointwise add, same contract as [Metrics.merge]: [into] accumulates,
+   [src] is untouched.  Associative and commutative with the freshly
+   created histogram as identity -- the qcheck laws in [test_obs.ml]. *)
+let merge ~(into : t) (src : t) : unit =
+  into.n <- into.n + src.n;
+  into.sum <- into.sum + src.sum;
+  if src.n > 0 && src.vmin < into.vmin then into.vmin <- src.vmin;
+  if src.vmax > into.vmax then into.vmax <- src.vmax;
+  Array.iteri (fun i v -> if v <> 0 then into.counts.(i) <- into.counts.(i) + v) src.counts
+
+let reset (t : t) : unit =
+  t.n <- 0;
+  t.sum <- 0;
+  t.vmin <- max_int;
+  t.vmax <- 0;
+  Array.fill t.counts 0 num_buckets 0
+
+(* Deterministic snapshot: headline quantities plus the non-empty buckets
+   as [[lower_bound, count]] pairs in bucket order.  Two histograms that
+   observed the same multiset of values produce byte-identical JSON. *)
+let to_json (t : t) : Json.t =
+  let buckets =
+    Array.to_list
+      (Array.of_seq
+         (Seq.filter_map
+            (fun i ->
+              if t.counts.(i) = 0 then None
+              else
+                let lo, _ = bounds_of i in
+                Some (Json.list [ Json.int lo; Json.int t.counts.(i) ]))
+            (Seq.init num_buckets (fun i -> i))))
+  in
+  Json.obj
+    [
+      ("type", Json.str "duration");
+      ("count", Json.int t.n);
+      ("sum_us", Json.int t.sum);
+      ("min_us", Json.int (min_us t));
+      ("max_us", Json.int t.vmax);
+      ("avg_us", Json.float (avg_us t));
+      ("p50_us", Json.int (p50 t));
+      ("p90_us", Json.int (p90 t));
+      ("p99_us", Json.int (p99 t));
+      ("buckets", Json.list buckets);
+    ]
+
+let pp ppf (t : t) =
+  Fmt.pf ppf "count=%d avg=%.1fus p50=%dus p99=%dus max=%dus" t.n (avg_us t)
+    (p50 t) (p99 t) t.vmax

@@ -43,7 +43,13 @@ let bucket_of (v : int) : int =
     go 1 1
   end
 
-type metric = Counter of counter | Histogram of histogram
+(* Durations are [Duration.t] log-linear microsecond histograms (serve
+   request latency, queue wait).  They live in the same registry so labels,
+   merge, reset and snapshots come for free. *)
+type metric =
+  | Counter of counter
+  | Histogram of histogram
+  | Duration of Duration.t
 
 type t = {
   tbl : (string * labels, metric) Hashtbl.t;
@@ -69,9 +75,9 @@ let register (t : t) (name : string) (labels : labels) (make : unit -> metric)
 let counter (t : t) ?(labels : labels = []) (name : string) : counter =
   match register t name labels (fun () -> Counter { count = 0 }) with
   | Counter c -> c
-  | Histogram _ ->
+  | Histogram _ | Duration _ ->
       invalid_arg
-        (Printf.sprintf "Metrics.counter: %s is already a histogram" name)
+        (Printf.sprintf "Metrics.counter: %s is already another kind" name)
 
 let histogram (t : t) ?(labels : labels = []) (name : string) : histogram =
   match
@@ -80,9 +86,16 @@ let histogram (t : t) ?(labels : labels = []) (name : string) : histogram =
           { n = 0; sum = 0; hmax = 0; buckets = Array.make num_buckets 0 })
   with
   | Histogram h -> h
-  | Counter _ ->
+  | Counter _ | Duration _ ->
       invalid_arg
-        (Printf.sprintf "Metrics.histogram: %s is already a counter" name)
+        (Printf.sprintf "Metrics.histogram: %s is already another kind" name)
+
+let duration (t : t) ?(labels : labels = []) (name : string) : Duration.t =
+  match register t name labels (fun () -> Duration (Duration.create ())) with
+  | Duration d -> d
+  | Counter _ | Histogram _ ->
+      invalid_arg
+        (Printf.sprintf "Metrics.duration: %s is already another kind" name)
 
 let add (c : counter) (n : int) = c.count <- c.count + n
 let incr (c : counter) = add c 1
@@ -123,7 +136,8 @@ let merge ~(into : t) (src : t) : unit =
           if h.hmax > dst.hmax then dst.hmax <- h.hmax;
           Array.iteri
             (fun i v -> dst.buckets.(i) <- dst.buckets.(i) + v)
-            h.buckets)
+            h.buckets
+      | Some (Duration d) -> Duration.merge ~into:(duration into ~labels name) d)
     (List.rev src.order)
 
 let reset (t : t) =
@@ -135,7 +149,8 @@ let reset (t : t) =
           h.n <- 0;
           h.sum <- 0;
           h.hmax <- 0;
-          Array.fill h.buckets 0 num_buckets 0)
+          Array.fill h.buckets 0 num_buckets 0
+      | Duration d -> Duration.reset d)
     t.tbl
 
 (* ------------------------------------------------------------------ *)
@@ -162,6 +177,7 @@ let metric_json (m : metric) : Json.t =
               (List.init num_buckets (fun i ->
                    (bucket_bound i, Json.int h.buckets.(i)))) );
         ]
+  | Duration d -> Duration.to_json d
 
 let labels_json (l : labels) : Json.t =
   Json.obj (List.map (fun (k, v) -> (k, Json.str v)) l)
@@ -202,5 +218,6 @@ let pp ppf (t : t) =
       | Counter c -> Fmt.pf ppf "%s%a %d@." name plabels labels c.count
       | Histogram h ->
           Fmt.pf ppf "%s%a count=%d avg=%.2f max=%d@." name plabels labels h.n
-            (h_avg h) h.hmax)
+            (h_avg h) h.hmax
+      | Duration d -> Fmt.pf ppf "%s%a %a@." name plabels labels Duration.pp d)
     t ()

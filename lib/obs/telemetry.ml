@@ -4,7 +4,7 @@
    one document of this shape to [--json out.json]:
 
      {
-       "schema": "antlrkit-telemetry/1",
+       "schema": "antlrkit-telemetry/2",
        "tool": "<producer>",
        "env": { ocaml, word_size, os, argv, bench_tokens },
        "wall_s": <total wall seconds>,
@@ -13,10 +13,14 @@
      }
 
    The schema string is the compatibility contract: additive changes keep
-   the version, field renames/removals bump it.  CI archives these files as
-   build artifacts, giving the repo a diffable performance trajectory. *)
+   the version, field renames/removals bump it.  /2 replaced the serve
+   layer's [serve.wall_us] power-of-two integer histogram with
+   [serve.request_us]/[serve.queue_us]/[serve.parse_us] duration summaries
+   (log-linear buckets, quantile fields -- see [Duration]); everything else
+   is unchanged from /1.  CI archives these files as build artifacts,
+   giving the repo a diffable performance trajectory. *)
 
-let schema = "antlrkit-telemetry/1"
+let schema = "antlrkit-telemetry/2"
 
 (* Environment snapshot: enough to interpret a trajectory point without the
    CI log it came from. *)

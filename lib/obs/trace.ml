@@ -53,12 +53,14 @@ type event =
   | Lexer_mode_exit of { mode : string; line : int; col : int }
       (* the lexer entered/left a sub-scanner (block comment, string, ...) *)
   | Serve_request of {
+      req_id : string; (* client-supplied or daemon-generated correlation id *)
       op : string;
       grammar : string; (* "" when the op has no grammar *)
       backend : string; (* "interp" | "generated" | "" *)
       ok : bool;
       tokens : int;
       wall_us : int;
+      queue_us : int; (* time spent waiting for a pool worker *)
     }
       (* the serve daemon answered one request *)
 
@@ -184,15 +186,48 @@ let args : event -> (string * Json.t) list = function
         ("line", Json.int line);
         ("col", Json.int col);
       ]
-  | Serve_request { op; grammar; backend; ok; tokens; wall_us } ->
+  | Serve_request { req_id; op; grammar; backend; ok; tokens; wall_us; queue_us }
+    ->
       [
+        ("req_id", Json.str req_id);
         ("op", Json.str op);
         ("grammar", Json.str grammar);
         ("backend", Json.str backend);
         ("ok", Json.bool ok);
         ("tokens", Json.int tokens);
         ("wall_us", Json.int wall_us);
+        ("queue_us", Json.int queue_us);
       ]
+
+(* ------------------------------------------------------------------ *)
+(* Monotonic clock.
+
+   [Unix.gettimeofday] is wall-clock: NTP slews and steps can make it jump
+   backwards, which breaks span nesting in Chrome traces and makes
+   latency-by-subtraction occasionally negative.  The stdlib has no
+   monotonic clock we can use on every supported compiler without a new
+   dependency, so we emulate one: timestamps are seconds since a
+   process-start origin, clamped to be non-decreasing across all callers
+   with an atomic max.  A backwards wall-clock step therefore freezes the
+   clock until real time catches back up instead of going negative; a
+   forward step inflates one interval.  Both are strictly better for
+   telemetry than a negative duration.
+
+   This is the default tracer clock and the Chrome sink's time base; the
+   serve layer also uses it directly for queue/parse/total latency. *)
+
+let mono_origin = Unix.gettimeofday ()
+let mono_last = Atomic.make 0.0
+
+let monotonic_now () : float =
+  let raw = Unix.gettimeofday () -. mono_origin in
+  let rec clamp () =
+    let prev = Atomic.get mono_last in
+    if raw <= prev then prev
+    else if Atomic.compare_and_set mono_last prev raw then raw
+    else clamp ()
+  in
+  clamp ()
 
 (* ------------------------------------------------------------------ *)
 (* Tracer *)
@@ -208,7 +243,7 @@ let set_on t b = t.enabled <- b
 
 let emit t ev = if t.enabled then t.sink (t.clock ()) ev
 
-let make ?(clock = Unix.gettimeofday) (sink : float -> event -> unit) : t =
+let make ?(clock = monotonic_now) (sink : float -> event -> unit) : t =
   { enabled = true; sink; clock }
 
 (* The shared disabled tracer: default for every engine.  Its flag is never
@@ -277,8 +312,8 @@ let jsonl (oc : out_channel) : t =
    everything else as instant events.
 
    [close] finishes the array; call it before reading the file.  Timestamps
-   are microseconds relative to sink creation so slice widths stay
-   readable. *)
+   are microseconds relative to sink creation, measured on [monotonic_now]
+   so they can never run backwards under NTP adjustment. *)
 
 type chrome = {
   c_oc : out_channel;
@@ -314,7 +349,7 @@ let chrome_event (c : chrome) (ts : float) (ev : event) : unit =
 
 let chrome_sink (oc : out_channel) : t * (unit -> unit) =
   let c =
-    { c_oc = oc; c_t0 = Unix.gettimeofday (); c_first = true; c_closed = false }
+    { c_oc = oc; c_t0 = monotonic_now (); c_first = true; c_closed = false }
   in
   output_string oc "[";
   let tracer = make (fun ts ev -> chrome_event c ts ev) in

@@ -311,10 +311,14 @@ let run_recognizer ?(env = Interp.default_env) ?profile ~(memoize : bool)
 let to_result (o : outcome) : (unit, Parse_error.t list) result =
   match o.error with None -> Ok () | Some e -> Error [ e ]
 
-(* The interpreter's view of the same observables, for cross-checking. *)
-let interp_outcome ?env ?profile ?start (c : Llstar.Compiled.t)
+(* The interpreter's view of the same observables, for cross-checking.
+   [?tracer] flows into the interpreter so per-request trace capture (the
+   serve layer's slow-request sampling) sees decision/speculation events;
+   generated parsers have no tracer hook, so their captures carry lexer
+   and handler events only. *)
+let interp_outcome ?env ?profile ?tracer ?start (c : Llstar.Compiled.t)
     (toks : Token.t array) : outcome =
-  let t = Interp.create ?env ?profile c toks in
+  let t = Interp.create ?env ?profile ?tracer c toks in
   let res = Interp.recognize_run t ?start () in
   let consumed = Token_stream.index t.Interp.ts in
   match res with

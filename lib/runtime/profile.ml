@@ -39,6 +39,7 @@ type t = {
   spec : M.histogram; (* speculation reach, backtracking events only *)
   lazy_states : M.counter; (* DFA states built on demand *)
   cached_states : M.counter; (* DFA states loaded from a cache *)
+  parse_us : Obs.Duration.t; (* per-parse wall time, serve layer only *)
   per_decision : (int, dcells) Hashtbl.t;
 }
 
@@ -53,8 +54,16 @@ let create () =
     spec = M.histogram registry "parse_speculation_k";
     lazy_states = M.counter registry "dfa_lazy_states";
     cached_states = M.counter registry "dfa_cached_states";
+    parse_us = M.duration registry "parse_wall_us";
     per_decision = Hashtbl.create 64;
   }
+
+(* Wall time of one parse, recorded by callers that own a clock (the serve
+   handler).  Deliberately absent from [pp]/[to_json]: those outputs are
+   diffed byte-for-byte across job counts in CI, so nothing wall-clock
+   dependent may appear in them.  The quantiles surface through the
+   registry snapshot ([registry] + [Obs.Metrics.to_json]) instead. *)
+let observe_parse_us t us = Obs.Duration.observe t.parse_us us
 
 let reset t =
   M.reset t.registry;

@@ -33,9 +33,13 @@ type t = {
   metrics : Obs.Metrics.t; (* shared across requests; guard with m_lock *)
   m_lock : Mutex.t;
   started : float;
+  slow_log : Slow_log.t option;
+      (* tail-sampled flight recorder; [None] disables per-request trace
+         capture entirely (the hot-path default) *)
+  req_seq : int Atomic.t; (* generated correlation ids: r-1, r-2, ... *)
 }
 
-let create ?(limits = default_limits) ?(tracer = Obs.Trace.null)
+let create ?(limits = default_limits) ?(tracer = Obs.Trace.null) ?slow_log
     ~(registry : Registry.t) ~(pool : Exec.Pool.t) () : t =
   {
     registry;
@@ -45,9 +49,23 @@ let create ?(limits = default_limits) ?(tracer = Obs.Trace.null)
     metrics = Obs.Metrics.create ();
     m_lock = Mutex.create ();
     started = Unix.gettimeofday ();
+    slow_log;
+    req_seq = Atomic.make 0;
   }
 
 let metrics t = t.metrics
+let slow_log t = t.slow_log
+
+(* Correlation id: the client's "id" when it is a usable string/int,
+   otherwise a daemon-unique sequence id.  Computed once per request and
+   threaded into trace events and the slow-request log. *)
+let req_id_of h (req : Protocol.request) : string =
+  match Protocol.client_req_id req with
+  | Some id -> id
+  | None -> Printf.sprintf "r-%d" (Atomic.fetch_and_add h.req_seq 1 + 1)
+
+let mono_us () : int =
+  int_of_float (Obs.Trace.monotonic_now () *. 1e6)
 
 (* ------------------------------------------------------------------ *)
 (* Parse *)
@@ -58,23 +76,36 @@ type parse_result = {
   consumed : int;
 }
 
-type parse_work =
+type parse_verdict =
   [ `Lex_error of Runtime.Lexer_engine.error
   | `Token_budget of int
   | `No_generated
   | `Done of parse_result * Runtime.Profile.t * int (* lexed tokens *) ]
 
+(* What the pool hands back: the verdict plus the parse-vs-total latency
+   breakdown.  [queue_us] is measured from submit to the instant a worker
+   entered the closure; [parse_us] is the closure's own wall time (lex +
+   parse).  Request wall minus the two is protocol/dispatch overhead. *)
+type parse_work = { verdict : parse_verdict; queue_us : int; parse_us : int }
+
 (* The closure submitted to the pool: lexing and parsing both count
-   against the request's budget and both run off the connection thread. *)
+   against the request's budget and both run off the connection thread.
+   [tracer] is the per-request capture ring (or [null]); it sees lexer
+   mode events from [tokenize] and decision/speculation/memo events from
+   the interpreter.  Generated parsers have no tracer hook, so their
+   captures carry lexer events only. *)
 let parse_work h (entry : Registry.entry) ~(backend : Protocol.backend)
-    ~(start : string option) ~(recover : bool) (text : string) () :
-    parse_work =
+    ~(start : string option) ~(recover : bool) ~(tracer : Obs.Trace.t)
+    ~(submitted_us : int) (text : string) () : parse_work =
+  let t_start = mono_us () in
+  let queue_us = max 0 (t_start - submitted_us) in
+  let finish verdict = { verdict; queue_us; parse_us = mono_us () - t_start } in
   let sym = Llstar.Compiled.sym entry.c in
-  match Runtime.Lexer_engine.tokenize entry.lexer_config sym text with
-  | Error le -> `Lex_error le
+  match Runtime.Lexer_engine.tokenize ~tracer entry.lexer_config sym text with
+  | Error le -> finish (`Lex_error le)
   | Ok toks ->
       let n = Array.length toks in
-      if n > h.limits.max_tokens then `Token_budget n
+      if n > h.limits.max_tokens then finish (`Token_budget n)
       else
         let profile = Runtime.Profile.create () in
         let result =
@@ -84,8 +115,8 @@ let parse_work h (entry : Registry.entry) ~(backend : Protocol.backend)
                 (* Recovery collects every error; the tree is discarded,
                    only acceptance and the error list travel back. *)
                 let tr =
-                  Runtime.Interp.create ~env:entry.env ~profile ~recover:true
-                    entry.c toks
+                  Runtime.Interp.create ~env:entry.env ~profile ~tracer
+                    ~recover:true entry.c toks
                 in
                 let res = Runtime.Interp.run tr ?start () in
                 let consumed =
@@ -99,7 +130,7 @@ let parse_work h (entry : Registry.entry) ~(backend : Protocol.backend)
               else
                 let o =
                   Runtime.Generated.interp_outcome ~env:entry.env ~profile
-                    ?start entry.c toks
+                    ~tracer ?start entry.c toks
                 in
                 Some
                   {
@@ -120,34 +151,51 @@ let parse_work h (entry : Registry.entry) ~(backend : Protocol.backend)
                     })
         in
         (match result with
-        | None -> `No_generated
-        | Some r -> `Done (r, profile, n))
+        | None -> finish `No_generated
+        | Some r ->
+            Runtime.Profile.observe_parse_us profile (mono_us () - t_start);
+            finish (`Done (r, profile, n)))
 
 (* Record a finished parse request into the shared registry and tracer.
-   [tokens = 0] for requests that died before lexing finished. *)
-let record h ~(grammar : string) ~(backend : Protocol.backend) ~(ok : bool)
-    ~(tokens : int) ~(wall_us : int)
+   [tokens = 0] for requests that died before lexing finished.
+
+   Latency goes to three [Duration] summaries (log-linear buckets,
+   quantile estimates -- the telemetry/2 fields and the Prometheus
+   summary series):
+
+   - [serve.request_us]{op,grammar,backend}: end-to-end request wall;
+   - [serve.queue_us]{grammar,backend}: waiting for a pool worker;
+   - [serve.parse_us]{grammar,backend}: inside the parse closure
+     (lex + parse), so request - queue - parse = dispatch overhead. *)
+let record h ~(req_id : string) ~(grammar : string)
+    ~(backend : Protocol.backend) ~(ok : bool) ~(tokens : int)
+    ~(wall_us : int) ~(queue_us : int) ~(parse_us : int)
     ~(profile : Runtime.Profile.t option) : unit =
+  let backend_l = ("backend", Protocol.backend_name backend) in
+  let grammar_l = ("grammar", grammar) in
   Mutex.lock h.m_lock;
   Obs.Metrics.incr
     (Obs.Metrics.counter h.metrics
        ~labels:
-         [
-           ("op", "parse");
-           ("grammar", grammar);
-           ("backend", Protocol.backend_name backend);
-           ("ok", string_of_bool ok);
-         ]
+         [ ("op", "parse"); grammar_l; backend_l; ("ok", string_of_bool ok) ]
        "serve.requests");
-  Obs.Metrics.observe
-    (Obs.Metrics.histogram h.metrics
-       ~labels:[ ("grammar", grammar) ]
-       "serve.wall_us")
+  Obs.Duration.observe
+    (Obs.Metrics.duration h.metrics
+       ~labels:[ ("op", "parse"); grammar_l; backend_l ]
+       "serve.request_us")
     wall_us;
+  Obs.Duration.observe
+    (Obs.Metrics.duration h.metrics
+       ~labels:[ grammar_l; backend_l ]
+       "serve.queue_us")
+    queue_us;
+  Obs.Duration.observe
+    (Obs.Metrics.duration h.metrics
+       ~labels:[ grammar_l; backend_l ]
+       "serve.parse_us")
+    parse_us;
   Obs.Metrics.observe
-    (Obs.Metrics.histogram h.metrics
-       ~labels:[ ("grammar", grammar) ]
-       "serve.tokens")
+    (Obs.Metrics.histogram h.metrics ~labels:[ grammar_l ] "serve.tokens")
     tokens;
   (match profile with
   | Some p -> Obs.Metrics.merge ~into:h.metrics (Runtime.Profile.registry p)
@@ -157,12 +205,14 @@ let record h ~(grammar : string) ~(backend : Protocol.backend) ~(ok : bool)
     Obs.Trace.emit h.tracer
       (Obs.Trace.Serve_request
          {
+           req_id;
            op = "parse";
            grammar;
            backend = Protocol.backend_name backend;
            ok;
            tokens;
            wall_us;
+           queue_us;
          })
 
 let do_parse h (req : Protocol.request) : Obs.Json.t =
@@ -192,18 +242,48 @@ let do_parse h (req : Protocol.request) : Obs.Json.t =
             fail "bad_request"
               "error recovery is only supported on the interp backend"
           else begin
-            let t0 = Unix.gettimeofday () in
-            let work =
-              parse_work h entry ~backend:req.Protocol.backend
-                ~start:req.Protocol.start ~recover:req.Protocol.recover text
+            let req_id = req_id_of h req in
+            let backend = req.Protocol.backend in
+            (* Per-request capture ring: only materialized when the slow
+               log is armed, so the disabled path stays allocation-free. *)
+            let cap =
+              match h.slow_log with
+              | Some sl -> Some (Obs.Trace.Ring.create (Slow_log.max_events sl))
+              | None -> None
             in
-            match Exec.Pool.await (Exec.Pool.submit h.pool work) with
+            let rtr =
+              match cap with
+              | Some buf -> Obs.Trace.ring buf
+              | None -> Obs.Trace.null
+            in
+            let t0 = Obs.Trace.monotonic_now () in
+            let submitted_us = int_of_float (t0 *. 1e6) in
+            let work =
+              parse_work h entry ~backend ~start:req.Protocol.start
+                ~recover:req.Protocol.recover ~tracer:rtr ~submitted_us text
+            in
+            let { verdict; queue_us; parse_us } =
+              Exec.Pool.await (Exec.Pool.submit h.pool work)
+            in
+            let finish ~(ok : bool) ~(tokens : int)
+                ~(profile : Runtime.Profile.t option) :
+                int * float (* wall_us, wall_s *) =
+              let wall = Obs.Trace.monotonic_now () -. t0 in
+              let wall_us = int_of_float (wall *. 1e6) in
+              record h ~req_id ~grammar:gname ~backend ~ok ~tokens ~wall_us
+                ~queue_us ~parse_us ~profile;
+              (match (h.slow_log, cap) with
+              | Some sl, Some buf when Slow_log.should_retain sl ~wall_us ~ok
+                ->
+                  Slow_log.record sl ~req_id ~op:"parse" ~grammar:gname
+                    ~backend:(Protocol.backend_name backend)
+                    ~ok ~wall_us ~queue_us ~parse_us buf
+              | _ -> ());
+              (wall_us, wall)
+            in
+            match verdict with
             | `Lex_error le ->
-                let wall_us =
-                  int_of_float ((Unix.gettimeofday () -. t0) *. 1e6)
-                in
-                record h ~grammar:gname ~backend:req.Protocol.backend
-                  ~ok:false ~tokens:0 ~wall_us ~profile:None;
+                let _ = finish ~ok:false ~tokens:0 ~profile:None in
                 fail "lex_error"
                   (Fmt.str "%a" Runtime.Lexer_engine.pp_error le)
                   ~extra:
@@ -216,11 +296,7 @@ let do_parse h (req : Protocol.request) : Obs.Json.t =
                           ] );
                     ]
             | `Token_budget n ->
-                let wall_us =
-                  int_of_float ((Unix.gettimeofday () -. t0) *. 1e6)
-                in
-                record h ~grammar:gname ~backend:req.Protocol.backend
-                  ~ok:false ~tokens:n ~wall_us ~profile:None;
+                let _ = finish ~ok:false ~tokens:n ~profile:None in
                 fail "token_budget"
                   (Printf.sprintf "input lexed to %d tokens; limit is %d" n
                      h.limits.max_tokens)
@@ -229,12 +305,12 @@ let do_parse h (req : Protocol.request) : Obs.Json.t =
                   (Printf.sprintf "grammar %S has no generated parser; use \
                                    backend=interp" gname)
             | `Done (r, profile, tokens) ->
-                let wall = Unix.gettimeofday () -. t0 in
-                let wall_us = int_of_float (wall *. 1e6) in
+                let wall = Obs.Trace.monotonic_now () -. t0 in
                 let over_budget = wall > h.limits.time_budget_s in
-                record h ~grammar:gname ~backend:req.Protocol.backend
-                  ~ok:(r.ok && not over_budget) ~tokens ~wall_us
-                  ~profile:(Some profile);
+                let wall_us, _ =
+                  finish ~ok:(r.ok && not over_budget) ~tokens
+                    ~profile:(Some profile)
+                in
                 let base =
                   [
                     ("grammar", Obs.Json.str gname);
@@ -319,9 +395,10 @@ let do_load h (req : Protocol.request) : Obs.Json.t =
           Protocol.error_response ~id ~code:"compile_error" ~message:msg ())
 
 (* ------------------------------------------------------------------ *)
-(* Stats: the same antlrkit-telemetry/1 document shape the benches emit,
+(* Stats: the same antlrkit-telemetry/2 document shape the benches emit,
    so existing tooling (gate.exe, jq recipes) reads daemon stats
-   unchanged. *)
+   unchanged.  The serve metrics list now carries [Duration] summaries
+   (p50/p90/p99/max fields) for request/queue/parse latency. *)
 
 let stats_doc h : Obs.Json.t =
   let wall_s = Unix.gettimeofday () -. h.started in
@@ -339,8 +416,55 @@ let stats_doc h : Obs.Json.t =
           [
             ("backend", Obs.Json.str Exec.Pool.backend);
             ("jobs", Obs.Json.int (Exec.Pool.jobs h.pool));
+            ("pending", Obs.Json.int (Exec.Pool.pending h.pool));
           ] );
+      ( "slow_log",
+        match h.slow_log with
+        | None -> Obs.Json.Null
+        | Some sl ->
+            Obs.Json.obj
+              [
+                ("threshold_us", Obs.Json.int (Slow_log.threshold_us sl));
+                ("written", Obs.Json.int (Slow_log.written sl));
+                ("dropped", Obs.Json.int (Slow_log.dropped sl));
+              ] );
     ]
+
+(* ------------------------------------------------------------------ *)
+(* Prometheus exposition: the whole registry rendered as text-format
+   v0.0.4 plus a few point-in-time gauges that live outside it.  Served
+   by both the [metrics] protocol op and the [Metrics_http] listener. *)
+
+let prometheus h : string =
+  let uptime = Unix.gettimeofday () -. h.started in
+  let extra =
+    [
+      ("antlrkit_up", "daemon liveness (always 1 while answering)", 1.0);
+      ("antlrkit_uptime_seconds", "seconds since daemon start", uptime);
+      ( "antlrkit_pool_pending_jobs",
+        "parse jobs queued but not yet started",
+        float_of_int (Exec.Pool.pending h.pool) );
+      ( "antlrkit_grammars_loaded",
+        "grammars resident in the registry",
+        float_of_int (List.length (Registry.list h.registry)) );
+    ]
+    @
+    match h.slow_log with
+    | None -> []
+    | Some sl ->
+        [
+          ( "antlrkit_slow_log_records",
+            "slow-request records written",
+            float_of_int (Slow_log.written sl) );
+          ( "antlrkit_slow_log_dropped",
+            "slow-request records dropped at the cap",
+            float_of_int (Slow_log.dropped sl) );
+        ]
+  in
+  Mutex.lock h.m_lock;
+  let body = Obs.Prometheus.render ~extra h.metrics in
+  Mutex.unlock h.m_lock;
+  body
 
 (* ------------------------------------------------------------------ *)
 (* Dispatch *)
@@ -351,10 +475,28 @@ let bump_op h (op : string) : unit =
     (Obs.Metrics.counter h.metrics ~labels:[ ("op", op) ] "serve.ops");
   Mutex.unlock h.m_lock
 
-let handle_request h (req : Protocol.request) :
+(* Orchestration probes.  [health] is pure liveness: answering at all is
+   the signal.  [ready] additionally reports what the daemon can serve
+   (grammar count, pool backlog) -- a scheduler that wants "loaded and
+   not drowning" reads those fields. *)
+let health_doc h : (string * Obs.Json.t) list =
+  [
+    ("healthy", Obs.Json.bool true);
+    ( "uptime_s",
+      Obs.Json.float (Unix.gettimeofday () -. h.started) );
+  ]
+
+let ready_doc h : (string * Obs.Json.t) list =
+  [
+    ("ready", Obs.Json.bool true);
+    ("grammars", Obs.Json.int (List.length (Registry.list h.registry)));
+    ("pool_jobs", Obs.Json.int (Exec.Pool.jobs h.pool));
+    ("pool_pending", Obs.Json.int (Exec.Pool.pending h.pool));
+  ]
+
+let dispatch h (req : Protocol.request) :
     Obs.Json.t * [ `Continue | `Shutdown ] =
   let id = req.Protocol.id in
-  bump_op h req.Protocol.op;
   match req.Protocol.op with
   | "ping" ->
       (Protocol.ok_response ~id ~op:"ping" [ ("pong", Obs.Json.bool true) ],
@@ -384,6 +526,17 @@ let handle_request h (req : Protocol.request) :
   | "stats" ->
       (Protocol.ok_response ~id ~op:"stats" [ ("stats", stats_doc h) ],
        `Continue)
+  | "metrics" ->
+      ( Protocol.ok_response ~id ~op:"metrics"
+          [
+            ( "content_type",
+              Obs.Json.str "text/plain; version=0.0.4; charset=utf-8" );
+            ("body", Obs.Json.str (prometheus h));
+          ],
+        `Continue )
+  | "health" ->
+      (Protocol.ok_response ~id ~op:"health" (health_doc h), `Continue)
+  | "ready" -> (Protocol.ok_response ~id ~op:"ready" (ready_doc h), `Continue)
   | "shutdown" ->
       ( Protocol.ok_response ~id ~op:"shutdown"
           [ ("stopping", Obs.Json.bool true) ],
@@ -392,9 +545,43 @@ let handle_request h (req : Protocol.request) :
       ( Protocol.error_response ~id ~code:"unknown_op"
           ~message:
             (Printf.sprintf
-               "unknown op %S (ping|parse|load|evict|list|stats|shutdown)" op)
+               "unknown op %S \
+                (ping|parse|load|evict|list|stats|metrics|health|ready|shutdown)"
+               op)
           (),
         `Continue )
+
+(* Ops that may appear as an [op] label value.  Unknown ops are answered
+   but never labeled: label values are interned forever (a counter plus a
+   multi-KB duration histogram per distinct value), so client-controlled
+   garbage must not mint metric series. *)
+let known_ops =
+  [
+    "ping"; "parse"; "load"; "evict"; "list"; "stats"; "metrics"; "health";
+    "ready"; "shutdown";
+  ]
+
+(* Every known op is counted and timed; parse additionally records its
+   richer per-grammar/per-backend point inside [do_parse], so only
+   non-parse ops land in the op-labeled latency summary here (otherwise
+   parse requests would be double-observed). *)
+let handle_request h (req : Protocol.request) :
+    Obs.Json.t * [ `Continue | `Shutdown ] =
+  let known = List.mem req.Protocol.op known_ops in
+  if known then bump_op h req.Protocol.op;
+  let t0 = mono_us () in
+  let resp, action = dispatch h req in
+  (if known && req.Protocol.op <> "parse" then begin
+     let wall_us = max 0 (mono_us () - t0) in
+     Mutex.lock h.m_lock;
+     Obs.Duration.observe
+       (Obs.Metrics.duration h.metrics
+          ~labels:[ ("op", req.Protocol.op) ]
+          "serve.request_us")
+       wall_us;
+     Mutex.unlock h.m_lock
+   end);
+  (resp, action)
 
 (* Request line in, response line out (no trailing newline).  Malformed
    input never raises: the connection gets a structured error and stays

@@ -1,0 +1,201 @@
+(* Minimal HTTP/1.1 listener for scrapers and orchestrators.
+
+   The line-JSON protocol needs an antlrkit client; Prometheus and
+   Kubernetes speak HTTP GET.  This module serves exactly three read-only
+   paths over a loopback-style listener:
+
+     GET /metrics   Prometheus text format v0.0.4 ([Handler.prometheus])
+     GET /health    liveness  ("ok\n")
+     GET /ready     readiness ("ready\n")
+
+   It is deliberately not a web server: requests are parsed just enough
+   to extract the method and path, responses always close the connection,
+   and scrapes are handled one at a time on the listener thread (scrape
+   intervals are seconds; a parse-request stall cannot block a scrape
+   because scraping never touches the pool, only the metrics mutex).  A
+   slow or stuck client is bounded by a receive timeout and a header-size
+   cap, so it can delay -- never wedge -- the next scrape.
+
+   Lifecycle mirrors [Server]: a self-pipe multiplexed against the listen
+   socket by [select], so [stop] is signal-safe and the thread joins
+   promptly.  Bind with [port = 0] to let the kernel choose (tests);
+   [port t] reports the actual binding. *)
+
+type t = {
+  handler : Handler.t;
+  listen_fd : Unix.file_descr;
+  http_port : int;
+  stop_r : Unix.file_descr;
+  stop_w : Unix.file_descr;
+  mutable thread : Thread.t option;
+}
+
+let max_header_bytes = 8192
+let recv_timeout_s = 5.0
+
+let port t = t.http_port
+
+(* ------------------------------------------------------------------ *)
+(* Request parsing: the request line is all we need.  Returns the path of
+   a well-formed GET, [`Bad_method] for other methods, [`Malformed] for
+   anything that is not HTTP. *)
+
+let parse_request_line (data : string) :
+    [ `Get of string | `Bad_method | `Malformed ] =
+  match String.index_opt data '\n' with
+  | None -> `Malformed
+  | Some eol -> (
+      let line = String.sub data 0 eol in
+      let line =
+        if line <> "" && line.[String.length line - 1] = '\r' then
+          String.sub line 0 (String.length line - 1)
+        else line
+      in
+      match String.split_on_char ' ' line with
+      | [ "GET"; target; _http ] -> (
+          (* strip any query string: /metrics?x=y scrapes /metrics *)
+          match String.index_opt target '?' with
+          | Some q -> `Get (String.sub target 0 q)
+          | None -> `Get target)
+      | [ _; _; _ ] -> `Bad_method
+      | _ -> `Malformed)
+
+let response ~(status : string) ~(content_type : string) (body : string) :
+    string =
+  Printf.sprintf
+    "HTTP/1.1 %s\r\n\
+     Content-Type: %s\r\n\
+     Content-Length: %d\r\n\
+     Connection: close\r\n\
+     \r\n\
+     %s"
+    status content_type (String.length body) body
+
+let prom_content_type = "text/plain; version=0.0.4; charset=utf-8"
+
+let respond_to (h : Handler.t) (path : string) : string =
+  match path with
+  | "/metrics" ->
+      response ~status:"200 OK" ~content_type:prom_content_type
+        (Handler.prometheus h)
+  | "/health" ->
+      response ~status:"200 OK" ~content_type:"text/plain; charset=utf-8"
+        "ok\n"
+  | "/ready" ->
+      response ~status:"200 OK" ~content_type:"text/plain; charset=utf-8"
+        "ready\n"
+  | _ ->
+      response ~status:"404 Not Found"
+        ~content_type:"text/plain; charset=utf-8"
+        "not found (try /metrics, /health, /ready)\n"
+
+(* Read until the header terminator, the size cap, EOF, or the timeout.
+   We never care about a body: these are GETs. *)
+let read_request (fd : Unix.file_descr) : string option =
+  let buf = Buffer.create 256 in
+  let chunk = Bytes.create 1024 in
+  let rec go () =
+    if Buffer.length buf > max_header_bytes then None
+    else
+      let seen = Buffer.contents buf in
+      let have_terminator =
+        (* enough to parse once the first line is complete *)
+        String.index_opt seen '\n' <> None
+      in
+      if have_terminator then Some seen
+      else
+        match Unix.read fd chunk 0 (Bytes.length chunk) with
+        | 0 -> if seen = "" then None else Some seen
+        | n ->
+            Buffer.add_subbytes buf chunk 0 n;
+            go ()
+        | exception Unix.Unix_error (_, _, _) -> None
+  in
+  go ()
+
+let write_all (fd : Unix.file_descr) (s : string) : unit =
+  let b = Bytes.of_string s in
+  let len = Bytes.length b in
+  let rec go off =
+    if off < len then
+      match Unix.write fd b off (len - off) with
+      | 0 -> ()
+      | n -> go (off + n)
+      | exception Unix.Unix_error (_, _, _) -> ()
+  in
+  go 0
+
+let handle_conn (t : t) (fd : Unix.file_descr) : unit =
+  (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO recv_timeout_s
+   with Unix.Unix_error (_, _, _) -> ());
+  (match read_request fd with
+  | None -> ()
+  | Some data -> (
+      match parse_request_line data with
+      | `Get path -> write_all fd (respond_to t.handler path)
+      | `Bad_method ->
+          write_all fd
+            (response ~status:"405 Method Not Allowed"
+               ~content_type:"text/plain; charset=utf-8" "GET only\n")
+      | `Malformed -> ()));
+  try Unix.close fd with Unix.Unix_error (_, _, _) -> ()
+
+let listen_loop (t : t) : unit =
+  let running = ref true in
+  while !running do
+    match Unix.select [ t.listen_fd; t.stop_r ] [] [] (-1.0) with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | readable, _, _ ->
+        if List.mem t.stop_r readable then running := false
+        else if List.mem t.listen_fd readable then begin
+          match Unix.accept t.listen_fd with
+          | exception Unix.Unix_error (_, _, _) -> ()
+          | fd, _ -> handle_conn t fd
+        end
+  done
+
+(* Bind, spawn the listener thread, return.  [host] defaults to loopback:
+   metrics are an operational surface, not a public one; bind 0.0.0.0
+   explicitly if a scraper lives off-host. *)
+let start ?(host = "127.0.0.1") ~(port : int) (handler : Handler.t) :
+    (t, string) result =
+  match
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.setsockopt fd Unix.SO_REUSEADDR true;
+    let ip =
+      try Unix.inet_addr_of_string host
+      with _ -> (Unix.gethostbyname host).Unix.h_addr_list.(0)
+    in
+    (try Unix.bind fd (Unix.ADDR_INET (ip, port))
+     with e ->
+       (try Unix.close fd with _ -> ());
+       raise e);
+    Unix.listen fd 16;
+    let http_port =
+      match Unix.getsockname fd with
+      | Unix.ADDR_INET (_, p) -> p
+      | Unix.ADDR_UNIX _ -> port
+    in
+    (fd, http_port)
+  with
+  | exception Unix.Unix_error (err, _, _) ->
+      Error
+        (Printf.sprintf "cannot bind metrics listener on %s:%d: %s" host port
+           (Unix.error_message err))
+  | listen_fd, http_port ->
+      let stop_r, stop_w = Unix.pipe () in
+      let t = { handler; listen_fd; http_port; stop_r; stop_w; thread = None } in
+      t.thread <- Some (Thread.create (fun () -> listen_loop t) ());
+      Ok t
+
+(* Idempotent: joins the listener thread and closes every fd. *)
+let stop (t : t) : unit =
+  (try ignore (Unix.write t.stop_w (Bytes.make 1 '!') 0 1) with _ -> ());
+  (match t.thread with
+  | Some th ->
+      t.thread <- None;
+      Thread.join th
+  | None -> ());
+  List.iter
+    (fun fd -> try Unix.close fd with _ -> ())
+    [ t.listen_fd; t.stop_r; t.stop_w ]

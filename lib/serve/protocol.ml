@@ -12,14 +12,19 @@
      {"op":"load","grammar":"my","text":"s:A;"}   compile grammar text
      {"op":"evict","grammar":"my"}
      {"op":"list"}
-     {"op":"stats"}                               antlrkit-telemetry/1 doc
+     {"op":"stats"}                               antlrkit-telemetry/2 doc
+     {"op":"metrics"}                             Prometheus text format
+     {"op":"health"}                              liveness probe
+     {"op":"ready"}                               readiness + pool gauges
      {"op":"shutdown"}                            graceful drain + exit
 
    Every request may carry an "id" (any JSON value); it is echoed
    verbatim in the response so clients can pipeline over one connection.
-   Responses always carry "ok"; failures carry
-   {"error":{"code":...,"message":...}} with machine-stable codes, and
-   parse failures additionally carry "errors": structured
+   String and integer ids double as the request's correlation id: the
+   daemon threads them into trace events and the slow-request log (other
+   ids get a generated "r-<seq>").  Responses always carry "ok"; failures
+   carry {"error":{"code":...,"message":...}} with machine-stable codes,
+   and parse failures additionally carry "errors": structured
    [Parse_error.to_json] objects. *)
 
 type backend = Interp | Generated
@@ -107,6 +112,17 @@ let parse_request (line : string) : (request, string) result =
   match Obs.Json.parse line with
   | Error msg -> Error ("invalid JSON: " ^ msg)
   | Ok j -> request_of_json j
+
+(* The client-supplied correlation id, when the "id" field is usable as
+   one (a string or an integer).  [None] means the handler generates a
+   per-daemon sequence id instead. *)
+let client_req_id (req : request) : string option =
+  match req.id with
+  | Obs.Json.String s when s <> "" && String.length s <= 128 -> Some s
+  | Obs.Json.Int i -> Some (string_of_int i)
+  | Obs.Json.Null | Obs.Json.Bool _ | Obs.Json.Float _ | Obs.Json.String _
+  | Obs.Json.List _ | Obs.Json.Obj _ ->
+      None
 
 (* ------------------------------------------------------------------ *)
 (* Response builders.  Field order is fixed (id, ok, op first) so logs

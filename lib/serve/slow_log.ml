@@ -1,0 +1,116 @@
+(* Tail-sampled slow-request log: the daemon's flight recorder.
+
+   Head sampling (trace every Nth request) is useless for latency
+   debugging -- the requests worth seeing are precisely the rare slow or
+   failing ones.  So the handler captures every parse request's trace
+   events into a small per-request ring, then consults this module once
+   the outcome is known: the capture is *retained* (serialized as one
+   JSON line) only when the request overran [threshold_us] or failed;
+   otherwise it is dropped on the floor.  Capture cost is bounded by the
+   ring size; retention cost is bounded by [max_records], after which
+   further slow requests only bump [dropped] -- a full disk can never be
+   the daemon's failure mode.
+
+   One record per line:
+
+     {"req_id":..., "op":..., "grammar":..., "backend":..., "ok":...,
+      "wall_us":..., "queue_us":..., "parse_us":...,
+      "events_dropped":N, "events":[{"ts_us":..., "ev":..., ...}, ...]}
+
+   [req_id] is the correlation id threaded from [Protocol]; [ts_us] is
+   microseconds on [Obs.Trace.monotonic_now]'s process-start origin, so
+   event timestamps in one record are non-decreasing and comparable
+   across records.  [events_dropped] counts events that overflowed the
+   capture ring (oldest are evicted first). *)
+
+type t = {
+  oc : out_channel;
+  lock : Mutex.t;
+  threshold_us : int;
+  max_records : int;
+  max_events : int; (* per-request capture ring size *)
+  mutable written : int;
+  mutable dropped : int; (* records suppressed once [max_records] is hit *)
+  mutable closed : bool;
+}
+
+let create ?(max_records = 10_000) ?(max_events = 256) ~(threshold_us : int)
+    (path : string) : t =
+  {
+    oc = open_out path;
+    lock = Mutex.create ();
+    threshold_us;
+    max_records;
+    max_events;
+    written = 0;
+    dropped = 0;
+    closed = false;
+  }
+
+let threshold_us t = t.threshold_us
+let max_events t = t.max_events
+
+let written t =
+  Mutex.lock t.lock;
+  let n = t.written in
+  Mutex.unlock t.lock;
+  n
+
+let dropped t =
+  Mutex.lock t.lock;
+  let n = t.dropped in
+  Mutex.unlock t.lock;
+  n
+
+(* The retention decision: slower than the threshold, or failed. *)
+let should_retain t ~(wall_us : int) ~(ok : bool) : bool =
+  (not ok) || wall_us >= t.threshold_us
+
+let event_json (e : Obs.Trace.Ring.entry) : Obs.Json.t =
+  Obs.Json.obj
+    (("ts_us", Obs.Json.int (int_of_float (e.Obs.Trace.Ring.ts *. 1e6)))
+    :: ("ev", Obs.Json.str (Obs.Trace.label e.Obs.Trace.Ring.ev))
+    :: Obs.Trace.args e.Obs.Trace.Ring.ev)
+
+let record t ~(req_id : string) ~(op : string) ~(grammar : string)
+    ~(backend : string) ~(ok : bool) ~(wall_us : int) ~(queue_us : int)
+    ~(parse_us : int) (buf : Obs.Trace.Ring.buf) : unit =
+  let entries = Obs.Trace.Ring.to_list buf in
+  let events_dropped =
+    Obs.Trace.Ring.total buf - List.length entries
+  in
+  let doc =
+    Obs.Json.obj
+      [
+        ("req_id", Obs.Json.str req_id);
+        ("op", Obs.Json.str op);
+        ("grammar", Obs.Json.str grammar);
+        ("backend", Obs.Json.str backend);
+        ("ok", Obs.Json.bool ok);
+        ("wall_us", Obs.Json.int wall_us);
+        ("queue_us", Obs.Json.int queue_us);
+        ("parse_us", Obs.Json.int parse_us);
+        ("events_dropped", Obs.Json.int events_dropped);
+        ("events", Obs.Json.list (List.map event_json entries));
+      ]
+  in
+  let line = Obs.Json.to_string doc in
+  Mutex.lock t.lock;
+  (if t.closed then ()
+   else if t.written >= t.max_records then t.dropped <- t.dropped + 1
+   else begin
+     output_string t.oc line;
+     output_char t.oc '\n';
+     flush t.oc;
+     t.written <- t.written + 1
+   end);
+  Mutex.unlock t.lock
+
+let close t : unit =
+  Mutex.lock t.lock;
+  if not t.closed then begin
+    t.closed <- true;
+    flush t.oc;
+    close_out_noerr t.oc
+  end;
+  Mutex.unlock t.lock

@@ -109,6 +109,23 @@ let earley_tests =
         check bool "B C" true (Baselines.Earley.recognize e [| "B"; "C" |]);
         check bool "C alone (plus needs one)" false
           (Baselines.Earley.recognize e [| "C" |]));
+    test "scanned items are not processed in the old set" (fun () ->
+        (* Regression: the scanner used to push the advanced item onto the
+           current set's work queue, so its predictor/completer ran against
+           position i and the token just scanned was consumed twice --
+           [s : D (C)* D] falsely accepted the single-token input "D"
+           (found by the Earley-agreement qcheck property). *)
+        let e =
+          Baselines.Earley.of_grammar (g "grammar E; s : D (C)* D | E s D ;")
+        in
+        check bool "D alone (needs two)" false
+          (Baselines.Earley.recognize e [| "D" |]);
+        check bool "D D" true (Baselines.Earley.recognize e [| "D"; "D" |]);
+        check bool "D C C D" true
+          (Baselines.Earley.recognize e [| "D"; "C"; "C"; "D" |]);
+        check bool "E D D D" true
+          (Baselines.Earley.recognize e [| "E"; "D"; "D"; "D" |]);
+        check bool "D C" false (Baselines.Earley.recognize e [| "D"; "C" |]));
   ]
 
 (* ------------------------------------------------------------------ *)

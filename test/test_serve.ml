@@ -198,12 +198,12 @@ let handler_tests =
             let gone = handle_ok h (parse_req ~grammar:"two" "X Y") in
             check string "gone after evict" "unknown_grammar"
               (error_code gone)));
-    test "stats is an antlrkit-telemetry/1 document" (fun () ->
+    test "stats is an antlrkit-telemetry/2 document" (fun () ->
         with_handler (fun h ->
             ignore (handle_ok h (parse_req "A B"));
             let stats = get "stats" (handle_ok h (req [ ("op", Json.str "stats") ])) in
             check bool "schema" true
-              (get "schema" stats = Json.String "antlrkit-telemetry/1");
+              (get "schema" stats = Json.String "antlrkit-telemetry/2");
             check bool "tool" true
               (get "tool" stats = Json.String "antlrkit-serve");
             match get "benches" stats with
@@ -218,6 +218,266 @@ let handler_tests =
             | Ok j -> check bool "ok" true (get_ok j)
             | Error e -> Alcotest.fail e);
             check bool "shutdown action" true (action = `Shutdown)));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Telemetry surface: the metrics/health/ready ops, latency summaries in
+   the stats doc, and the tail-sampled slow-request log. *)
+
+let telemetry_op_tests =
+  [
+    test "metrics op serves Prometheus text after a parse" (fun () ->
+        with_handler (fun h ->
+            ignore (handle_ok h (parse_req "A B"));
+            ignore (handle_ok h (parse_req "A A"));
+            let resp = handle_ok h (req [ ("op", Json.str "metrics") ]) in
+            check bool "ok" true (get_ok resp);
+            check bool "content type" true
+              (get "content_type" resp
+              = Json.String "text/plain; version=0.0.4; charset=utf-8");
+            match get "body" resp with
+            | Json.String body ->
+                check bool "request counter exported" true
+                  (contains body "antlrkit_serve_requests");
+                check bool "latency summary exported" true
+                  (contains body "antlrkit_serve_request_us");
+                check bool "HELP lines present" true (contains body "# HELP ");
+                check bool "up gauge" true (contains body "antlrkit_up 1");
+                check bool "grammar label" true
+                  (contains body "grammar=\"tiny\"")
+            | _ -> Alcotest.fail "metrics body not a string"));
+    test "health and ready answer" (fun () ->
+        with_handler (fun h ->
+            let hr = handle_ok h (req [ ("op", Json.str "health") ]) in
+            check bool "healthy" true (get "healthy" hr = Json.Bool true);
+            check bool "uptime present" true
+              (Json.member "uptime_s" hr <> None);
+            let rr = handle_ok h (req [ ("op", Json.str "ready") ]) in
+            check bool "ready" true (get "ready" rr = Json.Bool true);
+            check bool "grammar count" true (get "grammars" rr = Json.Int 2);
+            check bool "pending gauge" true
+              (match get "pool_pending" rr with Json.Int n -> n >= 0 | _ -> false)));
+    test "stats carries latency summaries and pool backlog" (fun () ->
+        with_handler (fun h ->
+            ignore (handle_ok h (parse_req "A B"));
+            let stats =
+              get "stats" (handle_ok h (req [ ("op", Json.str "stats") ]))
+            in
+            let benches =
+              match Json.member "benches" stats with
+              | Some b -> b
+              | None -> Alcotest.fail "no benches"
+            in
+            (match Json.member "pool" benches with
+            | Some (Json.Obj fields) ->
+                check bool "pending" true (List.mem_assoc "pending" fields)
+            | _ -> Alcotest.fail "pool not an object");
+            let serve_points =
+              match Json.member "serve" benches with
+              | Some (Json.List pts) -> pts
+              | _ -> Alcotest.fail "serve metrics not a list"
+            in
+            let durations =
+              List.filter
+                (fun p ->
+                  match Json.member "metric" p with
+                  | Some v -> (
+                      match Json.member "type" v with
+                      | Some (Json.String "duration") -> true
+                      | _ -> false)
+                  | None -> false)
+                serve_points
+            in
+            check bool "request/queue/parse summaries" true
+              (List.length durations >= 3);
+            List.iter
+              (fun p ->
+                let v = get "metric" p in
+                check bool "p50 present" true (Json.member "p50_us" v <> None);
+                check bool "p99 present" true (Json.member "p99_us" v <> None))
+              durations));
+  ]
+
+(* Handler with an armed slow log writing to a temp file. *)
+let with_slow_handler ?max_records ~threshold_us
+    (f : Serve.Handler.t -> string -> unit) : unit =
+  let path = Filename.temp_file "antlrkit-test-slow" ".jsonl" in
+  Exec.Pool.with_pool ~jobs:2 (fun pool ->
+      let registry = Serve.Registry.create () in
+      (match
+         Serve.Registry.load_source registry ~pool ~name:"tiny" tiny_src
+       with
+      | Ok _ -> ()
+      | Error e -> Alcotest.fail e);
+      let sl = Serve.Slow_log.create ?max_records ~threshold_us path in
+      Fun.protect
+        ~finally:(fun () ->
+          Serve.Slow_log.close sl;
+          Sys.remove path)
+        (fun () ->
+          f (Serve.Handler.create ~registry ~pool ~slow_log:sl ()) path))
+
+let read_lines path =
+  let ic = open_in path in
+  let rec go acc =
+    match input_line ic with
+    | l -> go (l :: acc)
+    | exception End_of_file ->
+        close_in ic;
+        List.rev acc
+  in
+  go []
+
+let slow_line path i =
+  match List.nth_opt (read_lines path) i with
+  | Some l -> (
+      match Json.parse l with
+      | Ok j -> j
+      | Error e -> Alcotest.failf "slow-log line unparsable: %s" e)
+  | None -> Alcotest.failf "slow log has no line %d" i
+
+let slow_log_tests =
+  [
+    test "threshold 0 retains every request with id and events" (fun () ->
+        with_slow_handler ~threshold_us:0 (fun h path ->
+            ignore (handle_ok h (parse_req "A B"));
+            let rec_0 = slow_line path 0 in
+            (match get "req_id" rec_0 with
+            | Json.String s ->
+                check bool "generated id" true
+                  (String.length s > 2 && String.sub s 0 2 = "r-")
+            | _ -> Alcotest.fail "req_id not a string");
+            check bool "op" true (get "op" rec_0 = Json.String "parse");
+            check bool "grammar" true (get "grammar" rec_0 = Json.String "tiny");
+            check bool "ok" true (get "ok" rec_0 = Json.Bool true);
+            (match get "events" rec_0 with
+            | Json.List evs -> check bool "trace captured" true (evs <> [])
+            | _ -> Alcotest.fail "events not a list");
+            List.iter
+              (fun k ->
+                check bool k true
+                  (match get k rec_0 with Json.Int n -> n >= 0 | _ -> false))
+              [ "wall_us"; "queue_us"; "parse_us"; "events_dropped" ]));
+    test "client-supplied id is the correlation id" (fun () ->
+        with_slow_handler ~threshold_us:0 (fun h path ->
+            ignore
+              (handle_ok h
+                 (parse_req ~extra:[ ("id", Json.str "probe-42") ] "A B"));
+            let r = slow_line path 0 in
+            check bool "client id retained" true
+              (get "req_id" r = Json.String "probe-42");
+            check int "one record" 1 (Serve.Handler.slow_log h |> Option.get |> Serve.Slow_log.written)));
+    test "huge threshold keeps only failing requests" (fun () ->
+        with_slow_handler ~threshold_us:max_int (fun h path ->
+            ignore (handle_ok h (parse_req "A B"));
+            check int "fast success not retained" 0
+              (List.length (read_lines path));
+            ignore (handle_ok h (parse_req "A A"));
+            let r = slow_line path 0 in
+            check bool "failure retained" true (get "ok" r = Json.Bool false);
+            check int "only the failure" 1 (List.length (read_lines path))));
+    test "record cap converts writes into drops" (fun () ->
+        with_slow_handler ~max_records:2 ~threshold_us:0 (fun h path ->
+            for _ = 1 to 4 do
+              ignore (handle_ok h (parse_req "A B"))
+            done;
+            let sl = Option.get (Serve.Handler.slow_log h) in
+            check int "written capped" 2 (Serve.Slow_log.written sl);
+            check int "rest dropped" 2 (Serve.Slow_log.dropped sl);
+            check int "file matches" 2 (List.length (read_lines path))));
+    test "timestamps within a record never decrease" (fun () ->
+        with_slow_handler ~threshold_us:0 (fun h path ->
+            ignore (handle_ok h (parse_req "A B"));
+            match get "events" (slow_line path 0) with
+            | Json.List evs ->
+                let ts =
+                  List.map
+                    (fun e ->
+                      match get "ts_us" e with
+                      | Json.Int n -> n
+                      | _ -> Alcotest.fail "ts_us not an int")
+                    evs
+                in
+                let rec ordered = function
+                  | a :: (b :: _ as rest) -> a <= b && ordered rest
+                  | _ -> true
+                in
+                check bool "ordered" true (ordered ts);
+                check bool "non-negative" true (List.for_all (fun t -> t >= 0) ts)
+            | _ -> Alcotest.fail "events not a list"));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* The HTTP metrics listener, end to end over a real socket. *)
+
+let http_request ?(meth = "GET") ~(port : int) (path : string) : string =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error (_, _, _) -> ())
+    (fun () ->
+      Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      let lines =
+        Printf.sprintf "%s %s HTTP/1.1\r\nHost: localhost\r\n\r\n" meth path
+      in
+      ignore (Unix.write fd (Bytes.of_string lines) 0 (String.length lines));
+      let buf = Buffer.create 1024 in
+      let chunk = Bytes.create 4096 in
+      let rec drain () =
+        match Unix.read fd chunk 0 4096 with
+        | 0 -> ()
+        | n ->
+            Buffer.add_subbytes buf chunk 0 n;
+            drain ()
+      in
+      drain ();
+      Buffer.contents buf)
+
+let metrics_http_tests =
+  [
+    test "GET /metrics, /health, /ready over a real socket" (fun () ->
+        with_handler (fun h ->
+            ignore (handle_ok h (parse_req "A B"));
+            match Serve.Metrics_http.start ~port:0 h with
+            | Error e -> Alcotest.fail e
+            | Ok listener ->
+                Fun.protect
+                  ~finally:(fun () -> Serve.Metrics_http.stop listener)
+                  (fun () ->
+                    let port = Serve.Metrics_http.port listener in
+                    check bool "kernel-assigned port" true (port > 0);
+                    let m = http_request ~port "/metrics" in
+                    check bool "200" true (contains m "HTTP/1.1 200 OK");
+                    check bool "prometheus content type" true
+                      (contains m "text/plain; version=0.0.4");
+                    check bool "series served" true
+                      (contains m "antlrkit_serve_requests");
+                    let hl = http_request ~port "/health" in
+                    check bool "health 200" true (contains hl "200 OK");
+                    check bool "health body" true (contains hl "ok");
+                    let rd = http_request ~port "/ready" in
+                    check bool "ready 200" true (contains rd "200 OK");
+                    check bool "query string ignored" true
+                      (contains (http_request ~port "/metrics?x=1") "200 OK");
+                    check bool "404 for unknown path" true
+                      (contains (http_request ~port "/nope") "404 Not Found");
+                    check bool "405 for POST" true
+                      (contains
+                         (http_request ~meth:"POST" ~port "/metrics")
+                         "405 Method Not Allowed"))));
+    test "stop joins the listener and is idempotent" (fun () ->
+        with_handler (fun h ->
+            match Serve.Metrics_http.start ~port:0 h with
+            | Error e -> Alcotest.fail e
+            | Ok listener ->
+                let port = Serve.Metrics_http.port listener in
+                check bool "live before stop" true
+                  (contains (http_request ~port "/health") "200 OK");
+                Serve.Metrics_http.stop listener;
+                Serve.Metrics_http.stop listener;
+                check bool "connection refused after stop" true
+                  (match http_request ~port "/health" with
+                  | _ -> false
+                  | exception Unix.Unix_error (Unix.ECONNREFUSED, _, _) -> true)));
   ]
 
 (* The state-reset contract, observed through the public request path:
@@ -440,6 +700,9 @@ let suite =
   [
     ("serve_protocol", protocol_tests);
     ("serve_handler", handler_tests);
+    ("serve_telemetry_ops", telemetry_op_tests);
+    ("serve_slow_log", slow_log_tests);
+    ("serve_metrics_http", metrics_http_tests);
     ("serve_reuse", reuse_tests);
     ("serve_generated_reset", generated_reset_tests);
     ("serve_server", server_tests);
