@@ -20,9 +20,12 @@
 
    - "parallel.<grammar>": the fresh run's [digest_match] must be true --
      parallel DFA analysis produced a byte-identical compilation at every
-     job count.  Speedup numbers are deliberately NOT gated: they are a
-     property of the runner's core count (recorded in the entry), not of
-     the code.
+     job count -- and, when the committed baseline carries the field,
+     [lazy_digest_match] too (concurrently grown lazy engines canonicalize
+     to the sequential warm blob).  Speedup numbers gate only when the
+     fresh runner reports [cores] > 1: then the jobs=4 analysis and parse
+     speedups must exceed 1.0x; on a single-core runner they are a
+     property of the machine, so they are recorded but not judged.
 
    - "codegen.<grammar>": the fresh run's [agree] must be true (zero
      generated-vs-interpreter disagreements over the bench corpus) and its
@@ -321,14 +324,13 @@ let () =
                 | None, _ -> ())
               gated_fields
       else if has_prefix "parallel." key then begin
-        ignore base_entry;
         match List.assoc_opt key fresh with
         | None ->
             incr failures;
             Fmt.pr "FAIL %-18s missing from fresh telemetry@." key
-        | Some fresh_entry -> (
+        | Some fresh_entry ->
             incr checked;
-            match Obs.Json.member "digest_match" fresh_entry with
+            (match Obs.Json.member "digest_match" fresh_entry with
             | Some (Obs.Json.Bool true) ->
                 Fmt.pr "ok   %-18s digest_match@." key
             | Some (Obs.Json.Bool false) ->
@@ -339,7 +341,79 @@ let () =
                   key
             | _ ->
                 incr failures;
-                Fmt.pr "FAIL %-18s no digest_match field in fresh entry@." key)
+                Fmt.pr "FAIL %-18s no digest_match field in fresh entry@." key);
+            (* The lazy-strategy warm-blob digest: gated once the committed
+               baseline carries the field, so older baselines keep gating
+               cleanly against newer binaries. *)
+            (match Obs.Json.member "lazy_digest_match" base_entry with
+            | Some (Obs.Json.Bool _) -> (
+                incr checked;
+                match Obs.Json.member "lazy_digest_match" fresh_entry with
+                | Some (Obs.Json.Bool true) ->
+                    Fmt.pr "ok   %-18s lazy_digest_match@." key
+                | Some (Obs.Json.Bool false) ->
+                    incr failures;
+                    Fmt.pr
+                      "FAIL %-18s concurrently grown lazy engines diverged \
+                       from the sequential warm blob \
+                       (lazy_digest_match=false)@."
+                      key
+                | _ ->
+                    incr failures;
+                    Fmt.pr
+                      "FAIL %-18s no lazy_digest_match field in fresh \
+                       entry@."
+                      key)
+            | _ -> ());
+            (* Speedups measure the runner, so they gate only when the
+               runner can actually exhibit one: on a multicore box the
+               jobs=4 point must beat jobs=1 for both fanned-out analysis
+               and the batched parse; on a single core the honest ~1.0x
+               numbers are recorded, not judged. *)
+            let fresh_cores =
+              match Obs.Json.member "cores" fresh_entry with
+              | Some (Obs.Json.Int n) -> n
+              | _ -> 1
+            in
+            if fresh_cores > 1 then begin
+              let point_at jobs =
+                match Obs.Json.member "points" fresh_entry with
+                | Some (Obs.Json.List ps) ->
+                    List.find_opt
+                      (fun p ->
+                        Obs.Json.member "jobs" p = Some (Obs.Json.Int jobs))
+                      ps
+                | _ -> None
+              in
+              match point_at 4 with
+              | None ->
+                  incr failures;
+                  Fmt.pr "FAIL %-18s no jobs=4 point in fresh entry@." key
+              | Some p ->
+                  List.iter
+                    (fun field ->
+                      incr checked;
+                      match float_field p field with
+                      | Some s when s > 1.0 ->
+                          Fmt.pr "ok   %-18s %s %.2fx at jobs=4 (%d cores)@."
+                            key field s fresh_cores
+                      | Some s ->
+                          incr failures;
+                          Fmt.pr
+                            "FAIL %-18s %s %.2fx at jobs=4 on a %d-core \
+                             runner (must exceed 1.0x)@."
+                            key field s fresh_cores
+                      | None ->
+                          incr failures;
+                          Fmt.pr "FAIL %-18s no %s in the jobs=4 point@." key
+                            field)
+                    [ "analysis_speedup"; "parse_speedup" ]
+            end
+            else
+              Fmt.pr
+                "ok   %-18s speedups recorded, not gated (single-core \
+                 runner)@."
+                key
       end
       else if has_prefix "codegen." key then begin
         ignore base_entry;

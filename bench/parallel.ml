@@ -10,12 +10,21 @@
      sharded across the pool, via the same [Runtime.Batch] driver the CLI
      uses.
 
-   And one correctness bit the CI gate enforces regardless of machine:
-   [digest_match] -- the pooled compilation's normalized payload digest
-   ([Compiled_cache.payload_digest]) must be byte-identical to the
-   sequential one at every job count.  Speedups are reported but NOT
-   gated: they depend on the runner's core count, which telemetry records
-   in [cores]/[backend] so a reader can judge the scaling numbers (on a
+   And two correctness bits the CI gate enforces regardless of machine:
+
+   - [digest_match] -- the pooled compilation's normalized payload digest
+     ([Compiled_cache.payload_digest]) must be byte-identical to the
+     sequential one at every job count;
+   - [lazy_digest_match] -- a lazy-strategy compilation batch-parsed over
+     the same corpus must warm up to the same canonical on-disk blob
+     (same payload digest) at every job count: the engines' concurrent
+     growth may discover states in any interleaving, but the canonical
+     serialized form (BFS renumbering, see [Lazy_dfa.to_portable]) is
+     interleaving-independent.
+
+   Speedups are reported but gated only when the runner is actually
+   multicore: they depend on the core count, which telemetry records in
+   [cores]/[backend] so a reader can judge the scaling numbers (on a
    single-core machine every speedup is ~1.0x and that is the honest
    result).  Telemetry rows land under "parallel.<grammar>"; CI's
    bench-smoke gate checks the digest bits against the committed
@@ -36,6 +45,8 @@ type point = {
   p_analysis_ms : float;
   p_parse_tok_s : float;
   p_digest : string;
+  p_lazy_parse_tok_s : float;
+  p_lazy_digest : string; (* warm blob after the lazy batch *)
 }
 
 let measure_point (spec : Workload.spec) ~(inputs : Runtime.Batch.input list)
@@ -64,11 +75,30 @@ let measure_point (spec : Workload.spec) ~(inputs : Runtime.Batch.input list)
                 | _ -> failwith "parallel bench: corpus input failed to parse")
               results)
       in
+      (* Lazy strategy: a single cold batch (medians would measure warm
+         engines), then the canonical digest of the warmed-up blob.  The
+         engines are shared by every chunk, so this doubles as the
+         concurrency leg of the bench. *)
+      let lc =
+        Llstar.Compiled.of_source_exn ~strategy:Llstar.Compiled.Lazy
+          spec.Workload.grammar_text
+      in
+      let lazy_parse_ms =
+        let ts =
+          snd
+            (Common.time (fun () ->
+                 ignore (Runtime.Batch.run ~pool ~config ~env lc inputs)))
+        in
+        ts *. 1e3
+      in
       {
         p_jobs = jobs;
         p_analysis_ms;
         p_parse_tok_s = float_of_int corpus_tokens /. (parse_ms /. 1e3);
         p_digest = !digest;
+        p_lazy_parse_tok_s =
+          float_of_int corpus_tokens /. (lazy_parse_ms /. 1e3);
+        p_lazy_digest = Llstar.Compiled_cache.payload_digest lc;
       })
 
 let run () =
@@ -102,18 +132,26 @@ let run () =
       let digests_match =
         List.for_all (fun p -> p.p_digest = base.p_digest) points
       in
+      let lazy_digests_match =
+        List.for_all (fun p -> p.p_lazy_digest = base.p_lazy_digest) points
+      in
       List.iter
         (fun p ->
-          Fmt.pr "%-11s %4d | %8.1fms %6.2fx | %12.0f %6.2fx | %s@."
+          Fmt.pr "%-11s %4d | %8.1fms %6.2fx | %12.0f %6.2fx | %s/%s@."
             spec.Workload.name p.p_jobs p.p_analysis_ms
             (base.p_analysis_ms /. p.p_analysis_ms)
             p.p_parse_tok_s
             (p.p_parse_tok_s /. base.p_parse_tok_s)
-            (if p.p_digest = base.p_digest then "ok" else "MISMATCH"))
+            (if p.p_digest = base.p_digest then "ok" else "MISMATCH")
+            (if p.p_lazy_digest = base.p_lazy_digest then "ok"
+             else "LAZY-MISMATCH"))
         points;
       if not digests_match then
         Fmt.pr "  *** DIGEST MISMATCH: parallel analysis diverged from \
                 sequential ***@.";
+      if not lazy_digests_match then
+        Fmt.pr "  *** LAZY DIGEST MISMATCH: concurrently grown engines \
+                diverged from the sequential warm blob ***@.";
       Common.Tel.add
         (Printf.sprintf "parallel.%s" spec.Workload.name)
         (Obs.Json.obj
@@ -122,6 +160,7 @@ let run () =
              ("cores", Obs.Json.int (Exec.Pool.available_cores ()));
              ("corpus_tokens", Obs.Json.int corpus_tokens);
              ("digest_match", Obs.Json.bool digests_match);
+             ("lazy_digest_match", Obs.Json.bool lazy_digests_match);
              ( "points",
                Obs.Json.list
                  (List.map
@@ -138,6 +177,12 @@ let run () =
                           ( "parse_speedup",
                             Obs.Json.float
                               (p.p_parse_tok_s /. base.p_parse_tok_s) );
+                          ( "lazy_parse_tokens_per_s",
+                            Obs.Json.float p.p_lazy_parse_tok_s );
+                          ( "lazy_parse_speedup",
+                            Obs.Json.float
+                              (p.p_lazy_parse_tok_s
+                              /. base.p_lazy_parse_tok_s) );
                         ])
                     points) );
            ]))

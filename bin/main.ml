@@ -71,15 +71,31 @@ let lazy_arg =
            analyzing every decision up front.")
 
 let jobs_arg =
+  (* Validated at the Cmdliner layer so a bad count is a friendly usage
+     error, not an [Invalid_argument] escaping from pool construction. *)
+  let jobs_conv =
+    let parse s =
+      match int_of_string_opt s with
+      | Some n when n >= 0 -> Ok n
+      | Some n ->
+          Error
+            (`Msg
+              (Printf.sprintf
+                 "job count must be >= 0 (0 = all available cores), got %d" n))
+      | None -> Error (`Msg (Printf.sprintf "expected an integer, got %S" s))
+    in
+    Arg.conv (parse, Format.pp_print_int)
+  in
   Arg.(
-    value & opt int 1
+    value & opt jobs_conv 1
     & info [ "j"; "jobs" ] ~docv:"N"
         ~doc:
           "Worker domains for parallel work: lookahead-DFA analysis fans \
-           out per decision, batch parsing and fuzzing shard their inputs. \
-           $(docv)=0 uses every available core.  Results are identical for \
-           any job count; on an OCaml 4.x build this falls back to \
-           sequential execution.")
+           out per decision, batch parsing and fuzzing spread their inputs \
+           over a chunk queue.  $(docv)=0 uses every available core.  \
+           Results are identical for any job count (including with \
+           $(b,--lazy): shared lazy DFA engines synchronize internally); \
+           on an OCaml 4.x build this falls back to sequential execution.")
 
 (* --- structured tracing flags ------------------------------------------ *)
 
@@ -294,13 +310,6 @@ let parse_cmd =
       cache_dir lazy_ jobs trace_file =
     if trace_file <> None then
       Fmt.epr "warning: --trace is ignored in batch mode@.";
-    if lazy_ && jobs > 1 then begin
-      Fmt.epr
-        "error: --lazy is incompatible with --jobs %d: lazy DFA engines are \
-         mutated at parse time and cannot be shared across domains@."
-        jobs;
-      exit 2
-    end;
     match Runtime.Batch.load_inputs inputs with
     | Error e ->
         Fmt.epr "error: %s@." e;
@@ -321,6 +330,13 @@ let parse_cmd =
                 then incr failed;
                 Fmt.pr "%a@." Runtime.Batch.pp_outcome (sym, r))
               results;
+            (* Re-save a lazy compilation after the batch, as single-input
+               mode does: the canonical blob carries every DFA state the
+               batch materialized -- identical for any job count. *)
+            (match cache_dir with
+            | Some dir when lazy_ ->
+                ignore (Llstar.Compiled_cache.save ~dir c)
+            | _ -> ());
             Fmt.pr "batch: %d/%d inputs parsed, %d tokens total (jobs=%d)@."
               (Array.length results - !failed)
               (Array.length results)
@@ -420,8 +436,9 @@ let gen_cmd =
 
 let fuzz_cmd =
   let run seed runs grammar mutate corpus_dir size profile_flag json_file
-      jobs =
+      jobs lazy_ =
     let jobs = Exec.Pool.resolve_jobs jobs in
+    let strategy = if lazy_ then Some Llstar.Compiled.Lazy else None in
     Exec.Pool.with_pool ~jobs @@ fun pool ->
     let t0 = Unix.gettimeofday () in
     let specs =
@@ -449,8 +466,8 @@ let fuzz_cmd =
           else None
         in
         match
-          Fuzz.Driver.run_spec ~size ~mutate ?corpus_dir ?profile ~pool ~seed
-            ~runs spec
+          Fuzz.Driver.run_spec ~size ~mutate ?corpus_dir ?profile ~pool
+            ?strategy ~seed ~runs spec
         with
         | Error e ->
             Fmt.epr "%s: %a@." spec.Bench_grammars.Workload.name
@@ -540,7 +557,7 @@ let fuzz_cmd =
           unexplained disagreement, crash or hang is reported and shrunk.")
     Term.(
       const run $ seed $ runs $ grammar $ mutate $ corpus_dir $ size $ profile
-      $ json $ jobs_arg)
+      $ json $ jobs_arg $ lazy_arg)
 
 (* --- codegen ----------------------------------------------------------- *)
 

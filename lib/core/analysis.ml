@@ -759,6 +759,30 @@ let make_builder atn opts decision ~allow_multi_recursion =
     allow_multi_recursion;
   }
 
+(* Re-insert a previously discovered state into a builder being restored
+   from serialized form ([Lazy_dfa.of_portable]).  States must arrive in
+   id order so the sequential-id invariant of [new_wstate] holds; the
+   dedup and by-id tables are rebuilt here, the closure memo is left cold
+   (it is a pure cache and re-fills on demand). *)
+let restore_wstate (b : builder) ~configs ~term_edges ~accept ~pred_edges
+    ~overflow ~depth ~path : unit =
+  let d =
+    {
+      id = b.nstates;
+      configs;
+      term_edges;
+      accept;
+      pred_edges;
+      overflow;
+      depth;
+      path;
+    }
+  in
+  Hashtbl.replace b.dedup configs d.id;
+  Hashtbl.replace b.by_id d.id d;
+  b.states <- d :: b.states;
+  b.nstates <- b.nstates + 1
+
 (* Alternatives that no accept state or predicate edge ever predicts can
    never be chosen: dead productions (section 1.1). *)
 let find_dead_alts (b : builder) (dfa : Look_dfa.t) (d : Atn.decision) :

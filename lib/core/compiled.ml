@@ -55,7 +55,13 @@ let result t decision =
   | Some e -> Lazy_dfa.result e.(decision)
   | None -> t.results.(decision)
 
-let dfa t decision = (result t decision).Analysis.dfa
+(* The prediction hot path: in lazy mode this must stay lock-free (the
+   engine's published snapshot), not go through [result], which takes the
+   engine lock to assemble warnings. *)
+let dfa t decision =
+  match t.engines with
+  | Some e -> Lazy_dfa.current e.(decision)
+  | None -> t.results.(decision).Analysis.dfa
 
 let num_decisions t = Array.length t.results
 

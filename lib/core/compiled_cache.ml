@@ -32,8 +32,12 @@
 (* Bump whenever the marshaled representation changes shape: any change to
    [Compiled.t] or to a type reachable from it (ASTs, ATN, DFAs, analysis
    results, lazy engines).
-   v2: [Grammar.Sym.t] gained the [frozen] field. *)
-let format_version = 2
+   v2: [Grammar.Sym.t] gained the [frozen] field.
+   v3: lazy engines are serialized as [Lazy_dfa.portable] (canonical,
+   discovery-order independent) alongside an engine-stripped [Compiled.t]
+   instead of being marshaled live -- live engines now carry a mutex and
+   an atomic, which do not marshal. *)
+let format_version = 3
 
 let magic = "ANTLRKIT-CACHE\n"
 
@@ -67,14 +71,62 @@ let key_of (c : Compiled.t) : string =
 
 let cache_file ~dir k = Filename.concat dir (k ^ ".antlrkit-cache")
 
+(* ------------------------------------------------------------------ *)
+(* Payload form.
+
+   Live lazy engines hold a mutex, an atomic and derived hash tables,
+   none of which [Marshal] accepts, and their builders' raw state depends
+   on discovery order.  The marshaled payload is therefore the compiled
+   value with [engines] stripped, paired with each engine's canonical
+   [Lazy_dfa.portable] form; both halves go through one [Marshal] call so
+   structure shared between them (the ATN, interned symbols) is shared in
+   the blob too.  Eager compilations pair with [None] and round-trip
+   unchanged. *)
+
+type payload = Compiled.t * Lazy_dfa.portable array option
+
+let to_payload (c : Compiled.t) : payload =
+  match c.Compiled.engines with
+  | None -> (c, None)
+  | Some engines ->
+      ( { c with Compiled.engines = None },
+        Some (Array.map Lazy_dfa.to_portable engines) )
+
+let of_payload ((c, engines) : payload) : Compiled.t =
+  match engines with
+  | None -> c
+  | Some ps ->
+      let engines =
+        Array.mapi
+          (fun i p ->
+            Lazy_dfa.of_portable ~opts:c.Compiled.opts c.Compiled.atn
+              c.Compiled.atn.Atn.decisions.(i) p)
+          ps
+      in
+      { c with Compiled.engines = Some engines }
+
 (* Digest of the compilation result with the volatile parts normalized
    away: the provenance tag (a cache hit is re-tagged [From_cache]) and
    the report's measured wall-clock analysis time, neither of which is a
    product of the analysis itself.  Because marshaling is deterministic
-   for identically constructed values, two compilations of the same
-   grammar agree on this digest iff they produced the same ATN, DFAs,
-   warnings and report -- the determinism oracle the parallel-analysis
-   tests and the scaling bench check against the sequential build. *)
+   for identically constructed values -- and lazy engines are digested in
+   their canonical portable form, which is discovery-order independent --
+   two compilations of the same grammar agree on this digest iff they
+   produced the same ATN, DFAs (or materialized lazy state set), warnings
+   and report: the determinism oracle the parallel-analysis tests and the
+   scaling bench check against the sequential build.
+
+   The digest marshals with [No_sharing]: default marshaling encodes
+   *physical* sharing (two structurally equal values whose internal cons
+   cells are shared differently produce different bytes), and sharing of
+   config stacks between DFA states is an artifact of closure evaluation
+   order -- under concurrent lazy growth it varies with task interleaving
+   even when every state is identical.  [No_sharing] makes the bytes a
+   pure function of structure.  It would diverge on cyclic input, but
+   every type reachable from a payload is an immutable tree (ATN edges
+   and config stacks are integer indices, never back-pointers).  The
+   on-disk blob in [save] keeps default sharing: there it is a size
+   optimization, and round-tripping does not care about bytes. *)
 let payload_digest (c : Compiled.t) : string =
   let c = Compiled.with_origin c Compiled.Fresh in
   let c =
@@ -84,7 +136,8 @@ let payload_digest (c : Compiled.t) : string =
         { c.Compiled.report with Report.analysis_time = 0.0 };
     }
   in
-  Digest.to_hex (Digest.string (Marshal.to_string c []))
+  Digest.to_hex
+    (Digest.string (Marshal.to_string (to_payload c) [ Marshal.No_sharing ]))
 
 (* ------------------------------------------------------------------ *)
 (* Save / load *)
@@ -190,7 +243,7 @@ let save ~dir (c : Compiled.t) : (string, string) result =
   let path = cache_file ~dir k in
   try
     mkdir_p dir;
-    let payload = Marshal.to_string c [] in
+    let payload = Marshal.to_string (to_payload c) [] in
     let tmp =
       Filename.concat dir
         (Printf.sprintf ".%s-%d.tmp.%d" k
@@ -230,7 +283,8 @@ let load_key ?(tracer = Obs.Trace.null) ~dir (k : string) : Compiled.t option
                   let payload = really_input_string ic len in
                   if Digest.to_hex (Digest.string payload) <> digest then None
                   else
-                    let c : Compiled.t = Marshal.from_string payload 0 in
+                    let p : payload = Marshal.from_string payload 0 in
+                    let c = of_payload p in
                     Some (Compiled.with_origin c Compiled.From_cache)
           with _ -> None
         in

@@ -13,8 +13,10 @@
    element and await them in element order, so the output ordering is the
    input ordering regardless of completion order, and a task exception
    surfaces at the index that raised it.  Tasks must not mutate state
-   shared with other tasks; see DESIGN.md (Execution layer) for the
-   read-only sharing discipline the analysis and batch drivers follow. *)
+   shared with other tasks unless that state synchronizes internally
+   (e.g. the concurrency-safe [Lazy_dfa] engines); see DESIGN.md
+   (Execution layer) for the sharing discipline the analysis, batch and
+   fuzz drivers follow. *)
 
 type t = Pool_backend.t
 type 'a task = 'a Pool_backend.task
@@ -25,8 +27,18 @@ let backend = Pool_backend.backend_name
 (* Cores the runtime recommends (1 on the sequential backend). *)
 let available_cores = Pool_backend.available_cores
 
-(* Resolve a user-facing job count: 0 means "all available cores". *)
-let resolve_jobs n = if n = 0 then max 1 (available_cores ()) else n
+(* Resolve a user-facing job count: 0 means "all available cores".
+   Negative counts are rejected here with a clear message instead of
+   leaking into [create], which would raise about its own [jobs]
+   argument; the CLI validates earlier still, at the Cmdliner layer. *)
+let resolve_jobs n =
+  if n < 0 then
+    invalid_arg
+      (Printf.sprintf
+         "Exec.Pool.resolve_jobs: job count must be >= 0 (0 = all cores), \
+          got %d" n)
+  else if n = 0 then max 1 (available_cores ())
+  else n
 
 let create ~jobs = Pool_backend.create ~jobs
 let jobs = Pool_backend.jobs
@@ -76,3 +88,26 @@ let shard_ranges ~shards n : (int * int) list =
     in
     go 0 0 []
   end
+
+(* Chunk-queue scheduling: split [0 .. n-1] into several chunks per
+   worker rather than one contiguous shard each.  Every chunk is its own
+   task in the pool's shared run queue, so a worker that finishes early
+   pulls the next pending chunk instead of idling behind the slowest
+   shard -- work stealing at chunk granularity, with no new machinery:
+   the shared queue already load-balances whatever is submitted; the old
+   one-shard-per-worker split simply never gave it anything to balance.
+   [granularity] is the chunks-per-worker factor: higher values smooth
+   more unevenness but pay more per-chunk overhead (task bookkeeping,
+   chunk-local state such as a metrics registry).
+
+   Determinism: chunk boundaries depend only on [n], [jobs] and
+   [granularity] -- never on timing -- and callers await/merge in chunk
+   order, so results are identical for any interleaving or job count. *)
+let default_chunks_per_worker = 8
+
+let chunk_ranges ?(granularity = default_chunks_per_worker) ~jobs n :
+    (int * int) list =
+  if jobs < 1 then invalid_arg "Exec.Pool.chunk_ranges: jobs must be >= 1";
+  if granularity < 1 then
+    invalid_arg "Exec.Pool.chunk_ranges: granularity must be >= 1";
+  shard_ranges ~shards:(jobs * granularity) n

@@ -149,16 +149,16 @@ type shard = {
   s_failures : failure list; (* in run order *)
 }
 
-(* Fuzz the contiguous run range [lo, hi) against a shard-private oracle.
-   Run [i] draws every random choice from [rng_of_seed ~index:i seed], so
-   the tallies depend only on the (seed, range) pair -- never on which
-   worker, or how many, executed the range. *)
+(* Fuzz the contiguous run range [lo, hi) against a chunk-private oracle
+   over the (shared) compiled workload.  Run [i] draws every random
+   choice from [rng_of_seed ~index:i seed], so the tallies depend only on
+   the (seed, range) pair -- never on which worker, or how many, executed
+   the range. *)
 let run_range ?(size = 30) ?(mutate = true) ?fuel ?time_cap ?corpus_dir
-    ?profile ~(seed : int) (spec : Workload.spec) (lo, hi) :
+    ?profile ~(seed : int) (cw : Workload.compiled) (lo, hi) :
     (shard, Llstar.Compiled.error) result =
-  match Oracle.create ?fuel ?time_cap ?profile spec with
-  | Error e -> Error e
-  | Ok o ->
+  let spec = cw.Workload.spec in
+  let o = Oracle.create_with ?fuel ?time_cap ?profile cw in
       let vocab = Oracle.(o.vocab) in
       let accepted = ref 0 and rejected = ref 0 in
       let mutated = ref 0 and explained = ref 0 in
@@ -227,61 +227,76 @@ let run_range ?(size = 30) ?(mutate = true) ?fuel ?time_cap ?corpus_dir
           s_failures = List.rev !failures;
         }
 
-(* One fuzzing session over a single grammar spec.  [pool] shards the run
-   indices across workers; each shard owns a private oracle (the backends
-   hold mutable parser state) and a private profile, merged on join.  The
-   report is identical for any job count because runs are seed-index
-   deterministic and shards are merged in index order. *)
+(* One fuzzing session over a single grammar spec.  The LL-star compilation
+   happens once and is shared by every chunk -- safe for both strategies
+   (eager results are read-only; lazy engines synchronize internally), and
+   required for lazy determinism: per-chunk compilations would each count
+   their own sprouts, making merged profiles depend on the job count.
+   [pool] spreads the run indices across workers in several chunks per
+   worker ([Exec.Pool.chunk_ranges]; modest granularity -- each chunk
+   builds its own oracle around the shared compilation, since the baseline
+   backends hold mutable parser state); each chunk also owns a private
+   profile, merged on join.  The report is identical for any job count
+   because runs are seed-index deterministic and chunks are merged in
+   index order.  [strategy] picks the LL-star compilation strategy (default
+   eager); lazy fuzzing doubles as a concurrency stress of the shared
+   engines' sprout path. *)
 let run_spec ?size ?mutate ?fuel ?time_cap ?corpus_dir ?profile ?pool
-    ~(seed : int) ~(runs : int) (spec : Workload.spec) :
+    ?strategy ~(seed : int) ~(runs : int) (spec : Workload.spec) :
     (report, Llstar.Compiled.error) result =
-  let jobs = match pool with None -> 1 | Some p -> Exec.Pool.jobs p in
-  let shards =
-    match pool with
-    | Some p when jobs > 1 && runs > 1 ->
-        let tasks =
-          List.map
-            (fun range ->
-              Exec.Pool.submit p (fun () ->
-                  let sp =
-                    Option.map (fun _ -> Runtime.Profile.create ()) profile
-                  in
-                  let r =
-                    run_range ?size ?mutate ?fuel ?time_cap ?corpus_dir
-                      ?profile:sp ~seed spec range
-                  in
-                  (r, sp)))
-            (Exec.Pool.shard_ranges ~shards:jobs runs)
-        in
-        List.map
-          (fun task ->
-            let r, sp = Exec.Pool.await task in
-            (match (profile, sp) with
-            | Some into, Some src -> Runtime.Profile.merge ~into src
-            | _ -> ());
-            r)
-          tasks
-    | _ ->
-        [
-          run_range ?size ?mutate ?fuel ?time_cap ?corpus_dir ?profile ~seed
-            spec (0, runs);
-        ]
-  in
-  match
-    List.find_map (function Error e -> Some e | Ok _ -> None) shards
-  with
-  | Some e -> Error e
-  | None ->
+  match Workload.compile_result ?strategy spec with
+  | Error e -> Error e
+  | Ok cw -> (
+      let jobs = match pool with None -> 1 | Some p -> Exec.Pool.jobs p in
       let shards =
-        List.map (function Ok s -> s | Error _ -> assert false) shards
+        match pool with
+        | Some p when jobs > 1 && runs > 1 ->
+            let tasks =
+              List.map
+                (fun range ->
+                  Exec.Pool.submit p (fun () ->
+                      let sp =
+                        Option.map (fun _ -> Runtime.Profile.create ()) profile
+                      in
+                      let r =
+                        run_range ?size ?mutate ?fuel ?time_cap ?corpus_dir
+                          ?profile:sp ~seed cw range
+                      in
+                      (r, sp)))
+                (Exec.Pool.chunk_ranges ~granularity:4 ~jobs runs)
+            in
+            List.map
+              (fun task ->
+                let r, sp = Exec.Pool.await task in
+                (match (profile, sp) with
+                | Some into, Some src -> Runtime.Profile.merge ~into src
+                | _ -> ());
+                r)
+              tasks
+        | _ ->
+            [
+              run_range ?size ?mutate ?fuel ?time_cap ?corpus_dir ?profile
+                ~seed cw (0, runs);
+            ]
       in
-      Ok
-        {
-          r_grammar = spec.Workload.name;
-          r_runs = runs;
-          r_accepted = List.fold_left (fun a s -> a + s.s_accepted) 0 shards;
-          r_rejected = List.fold_left (fun a s -> a + s.s_rejected) 0 shards;
-          r_mutated = List.fold_left (fun a s -> a + s.s_mutated) 0 shards;
-          r_explained = List.fold_left (fun a s -> a + s.s_explained) 0 shards;
-          r_failures = List.concat_map (fun s -> s.s_failures) shards;
-        }
+      match
+        List.find_map (function Error e -> Some e | Ok _ -> None) shards
+      with
+      | Some e -> Error e
+      | None ->
+          let shards =
+            List.map (function Ok s -> s | Error _ -> assert false) shards
+          in
+          Ok
+            {
+              r_grammar = spec.Workload.name;
+              r_runs = runs;
+              r_accepted =
+                List.fold_left (fun a s -> a + s.s_accepted) 0 shards;
+              r_rejected =
+                List.fold_left (fun a s -> a + s.s_rejected) 0 shards;
+              r_mutated = List.fold_left (fun a s -> a + s.s_mutated) 0 shards;
+              r_explained =
+                List.fold_left (fun a s -> a + s.s_explained) 0 shards;
+              r_failures = List.concat_map (fun s -> s.s_failures) shards;
+            })

@@ -78,48 +78,68 @@ type t = {
        every checked input (the fuzz CLI's --profile/--json) *)
 }
 
-let create ?(fuel = 3_000_000) ?(time_cap = 2.0) ?profile
-    (spec : Workload.spec) : (t, Llstar.Compiled.error) result =
+(* Build an oracle around an already compiled workload; the fuzz driver
+   compiles once per spec and shares [cw] across its shard oracles (the
+   baseline backends stay shard-private -- they hold mutable parser
+   state -- but the LL-star compilation is safely shareable: eager results
+   are read-only, lazy engines synchronize internally). *)
+let create_with ?(fuel = 3_000_000) ?(time_cap = 2.0) ?profile
+    (cw : Workload.compiled) : t =
+  let spec = cw.Workload.spec in
+  let surface = cw.Workload.c.Llstar.Compiled.surface in
+  let peg = surface.Grammar.Ast.options.Grammar.Ast.backtrack in
+  let predicated = spec.Workload.sem_preds <> [] in
+  let order_resolved =
+    (* A lazy compilation's [results] snapshot carries no warnings or
+       final classifications yet (start states only), and reading the
+       live engines here would make explanations depend on how warm the
+       shared engines happen to be -- nondeterministic across job counts.
+       Classify from a private eager analysis instead: deterministic
+       ground truth, paid once per oracle. *)
+    let results =
+      match Llstar.Compiled.strategy cw.Workload.c with
+      | Llstar.Compiled.Eager -> cw.Workload.c.Llstar.Compiled.results
+      | Llstar.Compiled.Lazy ->
+          Llstar.Analysis.analyze_all ~opts:cw.Workload.c.Llstar.Compiled.opts
+            cw.Workload.c.Llstar.Compiled.atn
+    in
+    Array.exists
+      (fun (r : Llstar.Analysis.result) ->
+        r.Llstar.Analysis.klass = Llstar.Analysis.Backtrack
+        || r.Llstar.Analysis.warnings <> [])
+      results
+  in
+  let packrat =
+    if predicated then None
+    else Some (Baselines.Packrat.create ~memoize:true surface)
+  in
+  let ll1_t = Baselines.Ll1.of_grammar surface in
+  let ll1 =
+    if Baselines.Ll1.is_ll1 ll1_t && (not predicated) && not peg then
+      Some ll1_t
+    else None
+  in
+  {
+    name = spec.Workload.name;
+    cw;
+    env = Workload.env_of_spec spec;
+    peg;
+    predicated;
+    order_resolved;
+    packrat;
+    earley = Baselines.Earley.of_grammar surface;
+    ll1;
+    vocab = Array.of_list (Grammar.Sentence_gen.vocabulary cw.Workload.gen);
+    fuel;
+    time_cap;
+    profile;
+  }
+
+let create ?fuel ?time_cap ?profile (spec : Workload.spec) :
+    (t, Llstar.Compiled.error) result =
   match Workload.compile_result spec with
   | Error e -> Error e
-  | Ok cw ->
-      let surface = cw.Workload.c.Llstar.Compiled.surface in
-      let peg = surface.Grammar.Ast.options.Grammar.Ast.backtrack in
-      let predicated = spec.Workload.sem_preds <> [] in
-      let order_resolved =
-        Array.exists
-          (fun (r : Llstar.Analysis.result) ->
-            r.Llstar.Analysis.klass = Llstar.Analysis.Backtrack
-            || r.Llstar.Analysis.warnings <> [])
-          cw.Workload.c.Llstar.Compiled.results
-      in
-      let packrat =
-        if predicated then None
-        else Some (Baselines.Packrat.create ~memoize:true surface)
-      in
-      let ll1_t = Baselines.Ll1.of_grammar surface in
-      let ll1 =
-        if Baselines.Ll1.is_ll1 ll1_t && (not predicated) && not peg then
-          Some ll1_t
-        else None
-      in
-      Ok
-        {
-          name = spec.Workload.name;
-          cw;
-          env = Workload.env_of_spec spec;
-          peg;
-          predicated;
-          order_resolved;
-          packrat;
-          earley = Baselines.Earley.of_grammar surface;
-          ll1;
-          vocab =
-            Array.of_list (Grammar.Sentence_gen.vocabulary cw.Workload.gen);
-          fuel;
-          time_cap;
-          profile;
-        }
+  | Ok cw -> Ok (create_with ?fuel ?time_cap ?profile cw)
 
 (* Render terminal spellings to a token array against the compiled
    vocabulary, the way corpus construction does: literals carry their raw

@@ -31,8 +31,11 @@ type compiled = {
   gen : Grammar.Sentence_gen.t; (* over the surface grammar *)
 }
 
-let compile_result (spec : spec) : (compiled, Llstar.Compiled.error) result =
-  match Llstar.Compiled.of_source spec.grammar_text with
+(* [strategy] selects eager or lazy lookahead-DFA construction (default
+   eager); [pool] fans the per-decision analysis out. *)
+let compile_result ?pool ?strategy (spec : spec) :
+    (compiled, Llstar.Compiled.error) result =
+  match Llstar.Compiled.of_source ?pool ?strategy spec.grammar_text with
   | Error e -> Error e
   | Ok c ->
       let surface = c.Llstar.Compiled.surface in
@@ -40,8 +43,8 @@ let compile_result (spec : spec) : (compiled, Llstar.Compiled.error) result =
 
 (* Thin wrapper for tests and benches; production callers (the CLI) use
    [compile_result] and surface the error themselves. *)
-let compile (spec : spec) : compiled =
-  match compile_result spec with
+let compile ?strategy (spec : spec) : compiled =
+  match compile_result ?strategy spec with
   | Ok cw -> cw
   | Error e ->
       failwith (Fmt.str "%s: %a" spec.name Llstar.Compiled.pp_error e)

@@ -1,21 +1,30 @@
 (* Batched parsing driver: run one compiled grammar over many inputs,
    optionally across the worker domains of an [Exec.Pool].
 
-   Sharding model ("per-input parser state is naturally isolated"): the
-   input list is split into [jobs] contiguous shards; each shard is one
-   pool task that owns everything mutable it touches -- its token
-   streams, one interpreter per input, its own [Profile] (metrics
-   registry) and its own tracer.  The only shared value is the compiled
-   grammar, which is read-only by construction once the vocabulary is
-   frozen: for that reason a lazy-strategy compilation -- whose per-decision
-   engines sprout DFA states at parse time -- is rejected when more than
-   one job would share it; callers compile eagerly to batch in
-   parallel.
+   Scheduling model ("per-input parser state is naturally isolated"): the
+   input list is split into several chunks per worker
+   ([Exec.Pool.chunk_ranges]); each chunk is one pool task that owns
+   everything mutable it touches -- its token streams, one interpreter
+   per input, its own [Profile] (metrics registry).  Chunks queue in the
+   pool's shared run queue, so uneven inputs no longer serialize on the
+   slowest shard.  The only shared value is the compiled grammar: eager
+   compilations are read-only once the vocabulary is frozen, and
+   lazy-strategy engines synchronize internally (mutex-guarded sprouts,
+   atomically published snapshots -- see [Llstar.Lazy_dfa]), so both
+   strategies batch at any job count with byte-identical results.
 
    Determinism: outcomes are written into a result slot per input index
-   and shards are awaited in order, so the returned array is in input
-   order whatever the interleaving; per-shard metrics registries are
-   merged into the caller's profile shard-by-shard in shard order. *)
+   and chunks are awaited in order, so the returned array is in input
+   order whatever the interleaving; per-chunk metrics registries are
+   merged into the caller's profile in chunk (= input) order.
+
+   Failure contract (fail-fast with a full drain): an exception raised
+   while parsing one input stops that chunk at that input; every other
+   chunk still runs to completion and is merged, and then the exception
+   of the smallest raising input index is re-raised -- the same exception
+   a sequential run would have hit first, after all tasks are drained (no
+   task is left running against freed state, no completed work is
+   silently dropped). *)
 
 type input = { name : string; text : string }
 
@@ -51,49 +60,78 @@ let run_one ~config ~env ~profile ~recover ?start (c : Llstar.Compiled.t)
       | Error errors ->
           Parse_errors { tokens = Array.length toks; errors })
 
-(* Parse every input; [pool] shards the list across its workers.  The
-   merged per-worker metrics land in [profile] when given.  Raises
-   [Invalid_argument] if [c] was compiled with the lazy strategy and the
-   pool would actually run shards concurrently (shared engines would be
-   mutated cross-domain). *)
+(* Parse every input; [pool] spreads the list across its workers in
+   chunks.  The merged per-chunk metrics land in [profile] when given.
+   See the header for the scheduling and failure contracts. *)
 let run ?pool ?(config = Lexer_engine.default_config)
     ?(env = Interp.default_env) ?profile ?(recover = false) ?start
     (c : Llstar.Compiled.t) (inputs : input list) : result_ array =
   let jobs = match pool with None -> 1 | Some p -> Exec.Pool.jobs p in
-  if jobs > 1 && Llstar.Compiled.strategy c = Llstar.Compiled.Lazy then
-    invalid_arg
-      "Batch.run: lazy-strategy compilations mutate shared DFA engines at \
-       parse time; compile eagerly to batch with --jobs > 1";
   let inputs = Array.of_list inputs in
   let n = Array.length inputs in
   let results : outcome option array = Array.make n None in
   (match pool with
   | Some p when jobs > 1 && n > 1 ->
-      let shard (lo, hi) =
+      let chunk (lo, hi) =
         Exec.Pool.submit p (fun () ->
-            (* Shard-local profile: no synchronization on the hot path;
-               merged below, after the join. *)
+            (* Chunk-local profile: no synchronization on the hot path;
+               merged below, after the join.  A raising input stops this
+               chunk (fail-fast) but is reported, not re-raised, so the
+               join below can drain and merge every task first. *)
             let sp = Profile.create () in
-            let outs =
-              Array.init (hi - lo) (fun i ->
-                  run_one ~config ~env ~profile:sp ~recover ?start c
-                    inputs.(lo + i))
-            in
-            (outs, sp))
+            let outs = Array.make (hi - lo) None in
+            let failure = ref None in
+            let i = ref lo in
+            while !failure = None && !i < hi do
+              (match
+                 run_one ~config ~env ~profile:sp ~recover ?start c
+                   inputs.(!i)
+               with
+              | o -> outs.(!i - lo) <- Some o
+              | exception e ->
+                  failure := Some (!i, e, Printexc.get_raw_backtrace ()));
+              incr i
+            done;
+            (outs, sp, !failure))
       in
       let tasks =
         List.map
-          (fun range -> (range, shard range))
-          (Exec.Pool.shard_ranges ~shards:jobs n)
+          (fun range -> (range, chunk range))
+          (Exec.Pool.chunk_ranges ~jobs n)
+      in
+      (* Drain every task before surfacing any failure: completed outcomes
+         are merged whatever happened elsewhere, and the exception raised
+         (if any) is the one at the smallest input index -- exactly the
+         one a sequential run would have hit first. *)
+      let first_failure = ref None in
+      let note_failure ((i, _, _) as f) =
+        match !first_failure with
+        | Some (j, _, _) when j <= i -> ()
+        | _ -> first_failure := Some f
       in
       List.iter
         (fun ((lo, _hi), task) ->
-          let outs, sp = Exec.Pool.await task in
-          Array.iteri (fun i o -> results.(lo + i) <- Some o) outs;
-          match profile with
-          | Some into -> Profile.merge ~into sp
-          | None -> ())
-        tasks
+          match Exec.Pool.await task with
+          | outs, sp, failure ->
+              Array.iteri
+                (fun i o ->
+                  match o with
+                  | Some o -> results.(lo + i) <- Some o
+                  | None -> ())
+                outs;
+              (match profile with
+              | Some into -> Profile.merge ~into sp
+              | None -> ());
+              Option.iter note_failure failure
+          | exception e ->
+              (* Defensive: the chunk body catches per-input exceptions,
+                 so a raising await means the task itself died (resource
+                 exhaustion); attribute it to the chunk's first input. *)
+              note_failure (lo, e, Printexc.get_raw_backtrace ()))
+        tasks;
+      (match !first_failure with
+      | Some (_, e, bt) -> Printexc.raise_with_backtrace e bt
+      | None -> ())
   | _ ->
       let sp = match profile with Some p -> p | None -> Profile.create () in
       Array.iteri

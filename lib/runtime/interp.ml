@@ -230,11 +230,16 @@ and predict t (decision : int) ~prec ~rule : int =
         | None -> (
             (* No materialized transition.  In lazy mode ask the engine to
                sprout it before falling through to predicate edges, so the
-               walk only ever sees transitions the eager DFA would have. *)
+               walk only ever sees transitions the eager DFA would have.
+               [sprout_view] also returns the published snapshot backing
+               its answer; the walk always resumes on that DFA, never on
+               the possibly stale [dfa] it was on -- another domain may
+               have grown (or completed) the engine since it was
+               fetched. *)
             match eng with
             | Some e when not (Llstar.Lazy_dfa.is_complete e) -> (
-                match Llstar.Lazy_dfa.sprout e ~state ~term with
-                | Llstar.Lazy_dfa.Edge { target; fresh } ->
+                match Llstar.Lazy_dfa.sprout_view e ~state ~term with
+                | Llstar.Lazy_dfa.Edge { target; fresh }, dfa' ->
                     if fresh then begin
                       (match t.profile with
                       | Some p ->
@@ -245,19 +250,34 @@ and predict t (decision : int) ~prec ~rule : int =
                         emit t
                           (Obs.Trace.Lazy_sprout { decision; state; term; target })
                     end;
-                    walk (Llstar.Lazy_dfa.current e) target (depth + 1)
-                | Llstar.Lazy_dfa.Resolved ->
+                    walk dfa' target (depth + 1)
+                | Llstar.Lazy_dfa.Resolved, dfa' ->
                     (* the state acquired an accept or predicate edges *)
-                    walk (Llstar.Lazy_dfa.current e) state depth
-                | Llstar.Lazy_dfa.Rebuilt ->
+                    walk dfa' state depth
+                | Llstar.Lazy_dfa.Rebuilt, dfa' ->
                     (* incremental construction gave way to the full eager
-                       fallback DFA; prediction consumed nothing, so restart
-                       the walk from its start state *)
+                       fallback DFA (or another domain completed the
+                       engine, renumbering states); prediction consumed
+                       nothing, so restart the walk from its start state *)
                     if tr_on t then emit t (Obs.Trace.Dfa_rebuild { decision });
-                    let dfa' = Llstar.Compiled.dfa t.c decision in
                     walk dfa' dfa'.Llstar.Look_dfa.start 0
-                | Llstar.Lazy_dfa.No_edge -> try_preds dfa state depth)
-            | _ -> try_preds dfa state depth))
+                | Llstar.Lazy_dfa.No_edge, dfa' -> try_preds dfa' state depth)
+            | Some e ->
+                (* The engine completed after this walk fetched [dfa]: a
+                   stale snapshot may lack transitions or resolutions the
+                   final DFA has (and completion may have renumbered
+                   states), so restart once on the published result.
+                   Physical equality detects staleness -- snapshots are
+                   immutable and republished on every change -- and
+                   guarantees termination: after one restart the walk is
+                   on the final DFA, which never changes again. *)
+                let dfa' = Llstar.Lazy_dfa.current e in
+                if dfa' == dfa then try_preds dfa state depth
+                else begin
+                  if tr_on t then emit t (Obs.Trace.Dfa_rebuild { decision });
+                  walk dfa' dfa'.Llstar.Look_dfa.start 0
+                end
+            | None -> try_preds dfa state depth))
   in
   let dfa = Llstar.Compiled.dfa t.c decision in
   let alt, depth =

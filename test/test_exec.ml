@@ -76,7 +76,60 @@ let pool_tests =
         check int "explicit" 3 (Exec.Pool.resolve_jobs 3);
         Alcotest.(check bool)
           "0 means all cores" true
-          (Exec.Pool.resolve_jobs 0 >= 1));
+          (Exec.Pool.resolve_jobs 0 >= 1);
+        (* negatives are rejected with a clear message, never passed on
+           to [create] *)
+        List.iter
+          (fun n ->
+            match Exec.Pool.resolve_jobs n with
+            | _ -> Alcotest.failf "resolve_jobs %d should raise" n
+            | exception Invalid_argument m ->
+                let contains s sub =
+                  let ls = String.length s and lu = String.length sub in
+                  let rec go i =
+                    i + lu <= ls && (String.sub s i lu = sub || go (i + 1))
+                  in
+                  go 0
+                in
+                Alcotest.(check bool)
+                  "message names the bad count" true
+                  (contains m (string_of_int n)))
+          [ -1; -8 ]);
+    Alcotest.test_case "chunk_ranges covers exactly, several per worker"
+      `Quick (fun () ->
+        List.iter
+          (fun (jobs, n) ->
+            let ranges = Exec.Pool.chunk_ranges ~jobs n in
+            let covered =
+              List.fold_left
+                (fun pos (lo, hi) ->
+                  check int "contiguous" pos lo;
+                  Alcotest.(check bool) "non-empty" true (hi > lo);
+                  hi)
+                0 ranges
+            in
+            check int "covers n" n covered;
+            let chunks = List.length ranges in
+            Alcotest.(check bool)
+              "at most jobs*granularity chunks" true
+              (chunks <= jobs * Exec.Pool.default_chunks_per_worker);
+            (* enough chunks that no worker can idle behind one shard *)
+            if n >= jobs * Exec.Pool.default_chunks_per_worker then
+              check int "granularity chunks" (jobs * Exec.Pool.default_chunks_per_worker)
+                chunks)
+          [ (1, 10); (2, 100); (4, 7); (4, 1000); (3, 3) ]);
+    Alcotest.test_case "chunk_ranges edge cases" `Quick (fun () ->
+        check int "n=0" 0 (List.length (Exec.Pool.chunk_ranges ~jobs:4 0));
+        (* boundaries depend only on (jobs, granularity, n) *)
+        Alcotest.(check bool)
+          "deterministic" true
+          (Exec.Pool.chunk_ranges ~jobs:3 50 = Exec.Pool.chunk_ranges ~jobs:3 50);
+        (match Exec.Pool.chunk_ranges ~jobs:0 5 with
+        | _ -> Alcotest.fail "jobs=0 should raise"
+        | exception Invalid_argument _ -> ());
+        match Exec.Pool.chunk_ranges ~granularity:0 ~jobs:2 5 with
+        | _ -> Alcotest.fail "granularity=0 should raise"
+        | exception Invalid_argument _ -> ());
     (* Wakeup stress (serve-daemon hardening): thousands of near-empty
        tasks keep the workers bouncing between the condition wait and the
        queue, the shape most likely to expose a lost wakeup -- a missed
@@ -246,17 +299,111 @@ let batch_tests =
         Alcotest.(check bool)
           "total tokens positive" true
           (Runtime.Batch.total_tokens rs > 0));
-    Alcotest.test_case "lazy compile rejected for jobs > 1" `Quick (fun () ->
+    (* The historic --lazy x --jobs incompatibility, now fixed: a lazy
+       compilation batches at any job count with the same verdicts as the
+       sequential run (the engines synchronize internally). *)
+    Alcotest.test_case "lazy batch matches sequential at any job count"
+      `Quick (fun () ->
+        let run_lazy ~jobs =
+          let c =
+            Llstar.Compiled.of_source_exn ~strategy:Llstar.Compiled.Lazy
+              expr_src
+          in
+          let inputs =
+            List.map
+              (fun (name, text) -> { Runtime.Batch.name; text })
+              batch_inputs
+          in
+          Exec.Pool.with_pool ~jobs (fun pool ->
+              Runtime.Batch.run ~pool c inputs)
+        in
+        let seq = run_lazy ~jobs:1 in
+        List.iter
+          (fun jobs ->
+            let par = run_lazy ~jobs in
+            Array.iteri
+              (fun i (r : Runtime.Batch.result_) ->
+                Alcotest.(check bool)
+                  (Printf.sprintf "input %d verdict, jobs=%d" i jobs)
+                  (Runtime.Batch.outcome_ok seq.(i).Runtime.Batch.outcome)
+                  (Runtime.Batch.outcome_ok r.Runtime.Batch.outcome))
+              par)
+          [ 2; 4 ]);
+    (* Regression: the old rejection fired even when nothing could run in
+       parallel -- a single input (or none) under a jobs>1 pool. *)
+    Alcotest.test_case "lazy batch with n <= 1 under a jobs>1 pool" `Quick
+      (fun () ->
         let c =
           Llstar.Compiled.of_source_exn ~strategy:Llstar.Compiled.Lazy
             expr_src
         in
         Exec.Pool.with_pool ~jobs:2 (fun pool ->
-            let inputs = [ { Runtime.Batch.name = "x"; text = "1" } ] in
-            if Exec.Pool.jobs pool > 1 then
-              match Runtime.Batch.run ~pool c inputs with
-              | _ -> Alcotest.fail "expected Invalid_argument"
-              | exception Invalid_argument _ -> ()));
+            let rs =
+              Runtime.Batch.run ~pool c
+                [ { Runtime.Batch.name = "x"; text = "1" } ]
+            in
+            check int "one result" 1 (Array.length rs);
+            Alcotest.(check bool)
+              "parsed" true
+              (Runtime.Batch.outcome_ok rs.(0).Runtime.Batch.outcome);
+            check int "empty batch" 0
+              (Array.length (Runtime.Batch.run ~pool c []))));
+    (* Failure contract: fail-fast with a full drain.  Two inputs raise
+       (via a semantic predicate); the exception surfaced must be the one
+       at the smallest input index, and every non-raising input's work
+       must still land in the merged profile -- nothing is dropped. *)
+    Alcotest.test_case "fail-fast surfaces smallest index after a drain"
+      `Quick (fun () ->
+        (* ambiguous alternatives force the predicate to be evaluated on
+           every prediction; it raises on inputs spelled "boom..." *)
+        let c =
+          Llstar.Compiled.of_source_exn
+            "grammar B; s : {chk()}? ID | {pass()}? ID ;"
+        in
+        let env =
+          Runtime.Interp.env_of_tables
+            ~preds:
+              [
+                ( "chk()",
+                  fun tok ->
+                    if String.length tok.Runtime.Token.text >= 4
+                       && String.sub tok.Runtime.Token.text 0 4 = "boom"
+                    then failwith tok.Runtime.Token.text
+                    else true );
+                ("pass()", fun _ -> true);
+              ]
+            ()
+        in
+        let input name = { Runtime.Batch.name; text = name } in
+        let ok_names = [ "a"; "b"; "c"; "d"; "e"; "f" ] in
+        let inputs =
+          [ input "a"; input "b"; input "boomearly"; input "c"; input "d";
+            input "boomlate"; input "e"; input "f" ]
+        in
+        (* ground truth: profile volume of the ok inputs, sequentially *)
+        let ok_profile = Runtime.Profile.create () in
+        ignore
+          (Runtime.Batch.run ~env ~profile:ok_profile c
+             (List.map input ok_names));
+        List.iter
+          (fun jobs ->
+            Exec.Pool.with_pool ~jobs (fun pool ->
+                let profile = Runtime.Profile.create () in
+                match Runtime.Batch.run ~pool ~env ~profile c inputs with
+                | _ -> Alcotest.fail "expected Failure"
+                | exception Failure m ->
+                    (* smallest raising index wins, as sequentially *)
+                    check string
+                      (Printf.sprintf "first failure, jobs=%d" jobs)
+                      "boomearly" m;
+                    (* drained: with one input per chunk at these sizes,
+                       every ok input completed and was merged *)
+                    if jobs > 1 then
+                      check int
+                        (Printf.sprintf "ok work merged, jobs=%d" jobs)
+                        (Runtime.Profile.events ok_profile)
+                        (Runtime.Profile.events profile)))
+          [ 1; 2; 4 ]);
     Alcotest.test_case "manifest expansion" `Quick (fun () ->
         let dir = Filename.temp_file "antlrkit" "manifest" in
         Sys.remove dir;
@@ -310,6 +457,34 @@ let fuzz_tests =
                   par.Fuzz.Driver.r_rejected;
                 check int "mutated" seq.Fuzz.Driver.r_mutated
                   par.Fuzz.Driver.r_mutated;
+                check int "failures"
+                  (List.length seq.Fuzz.Driver.r_failures)
+                  (List.length par.Fuzz.Driver.r_failures)))
+          [ 2; 4 ]);
+    (* Same session under the lazy strategy: every chunk predicts against
+       the one shared set of engines (a concurrency stress of the sprout
+       path), and the report must still match the sequential lazy run. *)
+    Alcotest.test_case "sharded lazy fuzz report = sequential" `Slow
+      (fun () ->
+        let spec = Bench_grammars.Mini_java.spec in
+        let run ?pool () =
+          match
+            Fuzz.Driver.run_spec ?pool ~strategy:Llstar.Compiled.Lazy ~seed:7
+              ~runs:30 spec
+          with
+          | Ok r -> r
+          | Error e ->
+              Alcotest.failf "fuzz failed: %a" Llstar.Compiled.pp_error e
+        in
+        let seq = run () in
+        List.iter
+          (fun jobs ->
+            Exec.Pool.with_pool ~jobs (fun pool ->
+                let par = run ~pool () in
+                check int "accepted" seq.Fuzz.Driver.r_accepted
+                  par.Fuzz.Driver.r_accepted;
+                check int "rejected" seq.Fuzz.Driver.r_rejected
+                  par.Fuzz.Driver.r_rejected;
                 check int "failures"
                   (List.length seq.Fuzz.Driver.r_failures)
                   (List.length par.Fuzz.Driver.r_failures)))

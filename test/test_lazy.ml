@@ -172,8 +172,146 @@ let small_cases =
           = eager.Llstar.Compiled.results.(d).Llstar.Analysis.warnings));
   ]
 
+(* --- concurrency: shared engines under parallel prediction ------------- *)
+
+(* The tentpole contract: one lazy compilation shared by many concurrently
+   predicting tasks answers exactly like the eager compilation, and the
+   engine state it converges to is canonically identical (same warm-blob
+   digest) to the one a sequential run reaches -- whatever the
+   interleaving.  On a 4.x build the pool degrades to inline execution and
+   these become plain determinism checks. *)
+let concurrency_tests =
+  [
+    test "concurrent sprouts: many tasks race one cold engine" (fun () ->
+        let spec = Bench_grammars.Mini_java.spec in
+        let cw = eager_of spec in
+        let corpus = Workload.build_corpus cw ~target_tokens:800 in
+        let toks = List.map (Workload.lex_exn cw) corpus.Workload.texts in
+        let expected =
+          let env = Workload.env_of_spec spec in
+          List.map (parse_str cw.Workload.c env) toks
+        in
+        (* sequential reference: one task's worth of parses on a fresh
+           lazy engine set, then its canonical on-disk form *)
+        let seq_digest =
+          let cl = lazy_compile spec in
+          let env = Workload.env_of_spec spec in
+          List.iter (fun t -> ignore (parse_str cl env t)) toks;
+          Llstar.Compiled_cache.payload_digest cl
+        in
+        let cl = lazy_compile spec in
+        Exec.Pool.with_pool ~jobs:8 (fun pool ->
+            let tasks =
+              List.init 16 (fun _ ->
+                  Exec.Pool.submit pool (fun () ->
+                      let env = Workload.env_of_spec spec in
+                      List.map (parse_str cl env) toks))
+            in
+            List.iteri
+              (fun ti got ->
+                List.iteri
+                  (fun i (e, g) ->
+                    check string (Printf.sprintf "task %d program %d" ti i) e g)
+                  (List.combine expected got))
+              (List.map Exec.Pool.await tasks));
+        (* every task saw correct answers *and* the racily-grown engines
+           canonicalize to the sequential blob *)
+        check string "canonical digest = sequential"
+          seq_digest
+          (Llstar.Compiled_cache.payload_digest cl));
+    test "warm-saved blob digest: parallel batch = sequential" (fun () ->
+        let spec = Bench_grammars.Mini_sql.spec in
+        let cw = eager_of spec in
+        let corpus = Workload.build_corpus cw ~target_tokens:800 in
+        let env = Workload.env_of_spec spec in
+        let digest_after ~jobs =
+          let cl = lazy_compile spec in
+          let inputs =
+            List.mapi
+              (fun i text ->
+                { Runtime.Batch.name = string_of_int i; text })
+              corpus.Workload.texts
+          in
+          Exec.Pool.with_pool ~jobs (fun pool ->
+              ignore (Runtime.Batch.run ~pool ~env cl inputs));
+          Llstar.Compiled_cache.payload_digest cl
+        in
+        let seq = digest_after ~jobs:1 in
+        List.iter
+          (fun jobs ->
+            check string
+              (Printf.sprintf "digest jobs=%d" jobs)
+              seq (digest_after ~jobs))
+          [ 2; 4 ]);
+    qtest ~count:40 "random grammars: parallel lazy verdicts = sequential"
+      (QCheck.pair Test_props.arb_grammar
+         (QCheck.list_of_size (QCheck.Gen.int_range 1 8)
+            (QCheck.list_of_size (QCheck.Gen.int_bound 8)
+               (QCheck.int_bound 4))))
+      (fun (g, sentences) ->
+        let compile_lazy () =
+          match
+            Llstar.Compiled.compile ~analysis_opts:Test_props.rand_opts
+              ~strategy:Llstar.Compiled.Lazy g
+          with
+          | Ok c -> Some c
+          | Error _ -> None
+        in
+        match compile_lazy () with
+        | None -> true (* unlucky generated shape; nothing to compare *)
+        | Some c0 ->
+            let names =
+              List.map
+                (List.map (fun i -> [| "A"; "B"; "C"; "D"; "E" |].(i)))
+                sentences
+            in
+            let verdicts c toks_list =
+              (* two passes: a cold parse that sprouts and a warm one that
+                 must hit only materialized states *)
+              List.concat_map
+                (fun toks ->
+                  List.map
+                    (fun () ->
+                      match Runtime.Interp.recognize c toks with
+                      | Ok () -> true
+                      | Error _ -> false)
+                    [ (); () ])
+                toks_list
+            in
+            let toks_list c =
+              List.map (fun ns -> Test_props.tokens_of_names c ns) names
+            in
+            let seq = verdicts c0 (toks_list c0) in
+            List.for_all
+              (fun jobs ->
+                match compile_lazy () with
+                | None -> true
+                | Some c ->
+                    let toks_list = toks_list c in
+                    let par =
+                      Exec.Pool.with_pool ~jobs (fun pool ->
+                          let tasks =
+                            List.map
+                              (fun toks ->
+                                Exec.Pool.submit pool (fun () ->
+                                    List.map
+                                      (fun () ->
+                                        match
+                                          Runtime.Interp.recognize c toks
+                                        with
+                                        | Ok () -> true
+                                        | Error _ -> false)
+                                      [ (); () ]))
+                              toks_list
+                          in
+                          List.concat_map Exec.Pool.await tasks)
+                    in
+                    par = seq)
+              [ 2; 4 ]);
+  ]
+
 let suite =
   [
     ( "lazy_dfa",
-      small_cases @ List.concat_map per_grammar all_specs );
+      small_cases @ concurrency_tests @ List.concat_map per_grammar all_specs );
   ]
