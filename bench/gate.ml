@@ -39,6 +39,19 @@
      throughput are recorded in the entries but never gated: like the
      parallel speedups, they measure the runner, not the code.
 
+   - "stream.<grammar>" / "stream.scale": the fresh run's
+     [verdict_match] must be true -- streaming and materialized parses
+     agreed on every input.  When the committed baseline marks the row
+     [ratio_gated] (the scale leg's MB-size input; the per-grammar
+     corpora time in the few-ms range where the ratio is scheduler
+     noise), the fresh [throughput_ratio] must be at least 0.8x -- the
+     streaming path may not cost more than 20% over the pinned-array
+     path; within-process on one runner, so hardware cancels.  When the
+     baseline carries the flatness booleans ([peak_within_window],
+     [mem_flat]) the fresh run's must be true: resident tokens stayed
+     bounded by the window and the live-heap delta stayed flat while
+     the input grew 100x.
+
    [--prom] switches to Prometheus text-format (v0.0.4) validation over
    live scrapes of the serve daemon's /metrics endpoint (CI serve-smoke):
    every series must belong to a family with exactly one # HELP and one
@@ -60,6 +73,7 @@ let gated_fields =
 let slowdown_limit = 2.0
 let slack_ms = 2.0
 let codegen_speedup_floor = 2.0
+let stream_ratio_floor = 0.8
 
 let die fmt = Fmt.kstr (fun s -> Fmt.epr "gate: %s@." s; exit 1) fmt
 
@@ -470,10 +484,74 @@ let () =
                     Fmt.pr "FAIL %-18s no %s field in fresh entry@." key
                       field)
               [ "all_answered"; "all_ok" ]
+      end
+      else if has_prefix "stream." key then begin
+        match List.assoc_opt key fresh with
+        | None ->
+            incr failures;
+            Fmt.pr "FAIL %-18s missing from fresh telemetry@." key
+        | Some fresh_entry ->
+            incr checked;
+            (match Obs.Json.member "verdict_match" fresh_entry with
+            | Some (Obs.Json.Bool true) ->
+                Fmt.pr "ok   %-18s verdict_match@." key
+            | Some (Obs.Json.Bool false) ->
+                incr failures;
+                Fmt.pr
+                  "FAIL %-18s streaming parse diverged from materialized \
+                   (verdict_match=false)@."
+                  key
+            | _ ->
+                incr failures;
+                Fmt.pr "FAIL %-18s no verdict_match field in fresh entry@."
+                  key);
+            (match Obs.Json.member "ratio_gated" base_entry with
+            | Some (Obs.Json.Bool true) -> (
+                incr checked;
+                match float_field fresh_entry "throughput_ratio" with
+                | Some r when r >= stream_ratio_floor ->
+                    Fmt.pr "ok   %-18s throughput ratio %.2fx (floor \
+                            %.1fx)@." key r stream_ratio_floor
+                | Some r ->
+                    incr failures;
+                    Fmt.pr
+                      "FAIL %-18s streaming throughput %.2fx of \
+                       materialized, below the %.1fx floor@."
+                      key r stream_ratio_floor
+                | None ->
+                    incr failures;
+                    Fmt.pr "FAIL %-18s no throughput_ratio field in fresh \
+                            entry@." key)
+            | _ ->
+                Fmt.pr "ok   %-18s throughput ratio recorded, not gated@."
+                  key);
+            (* The scale leg's flatness booleans gate when the committed
+               baseline carries them (per-grammar rows do not). *)
+            List.iter
+              (fun field ->
+                match Obs.Json.member field base_entry with
+                | Some (Obs.Json.Bool _) -> (
+                    incr checked;
+                    match Obs.Json.member field fresh_entry with
+                    | Some (Obs.Json.Bool true) ->
+                        Fmt.pr "ok   %-18s %s@." key field
+                    | Some (Obs.Json.Bool false) ->
+                        incr failures;
+                        Fmt.pr
+                          "FAIL %-18s %s=false (streaming memory grew with \
+                           the input)@."
+                          key field
+                    | _ ->
+                        incr failures;
+                        Fmt.pr "FAIL %-18s no %s field in fresh entry@." key
+                          field)
+                | _ -> ())
+              [ "peak_within_window"; "mem_flat" ]
       end)
     base;
   if !checked = 0 then
-    die "no sets.*, parallel.* or codegen.* entries found in %s"
+    die "no sets.*, parallel.*, codegen.*, serve.* or stream.* entries \
+         found in %s"
       (String.concat " " base_paths);
   if !failures > 0 then begin
     Fmt.pr "gate: %d regression(s) across %d checks@." !failures !checked;

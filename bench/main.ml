@@ -27,6 +27,7 @@ let all_benches : (string * string * (unit -> unit)) list =
     ("parallel", "Multicore scaling: parallel analysis and batched parsing", Parallel.run);
     ("codegen", "Generated parsers vs the ATN/DFA interpreter", Codegen.run);
     ("serve", "Parse service under concurrent line-JSON load", Serve_bench.run);
+    ("stream", "Streaming pipeline: sliding windows vs materialized", Stream.run);
     ("fuzz", "Differential fuzzing oracle throughput", Fuzzing.run);
     ("obs", "Tracing overhead: null sink is free, ring sink per-event", Overhead.run);
     ("bechamel", "Bechamel microbenchmarks", Micro.run);

@@ -19,6 +19,52 @@ let read_file path =
   close_in ic;
   s
 
+(* Parse inputs are never slurped: bytes flow through the chunked scanner,
+   an optional --max-input-bytes budget is enforced as they arrive, and an
+   unreadable path is a clean CLI error rather than an escaping
+   [Sys_error]. *)
+exception Input_too_large of { path : string; limit : int }
+
+let bounded_reader ?limit path (read : Runtime.Lexer_engine.reader) :
+    Runtime.Lexer_engine.reader =
+  match limit with
+  | None -> read
+  | Some limit ->
+      let seen = ref 0 in
+      fun buf off len ->
+        let n = read buf off len in
+        seen := !seen + n;
+        if !seen > limit then raise (Input_too_large { path; limit });
+        n
+
+let with_input ?max_bytes path (f : Runtime.Lexer_engine.reader -> 'a) : 'a =
+  match open_in_bin path with
+  | exception Sys_error msg ->
+      Fmt.epr "error: cannot read input: %s@." msg;
+      exit 2
+  | ic ->
+      let read =
+        bounded_reader ?limit:max_bytes path
+          (Runtime.Lexer_engine.reader_of_channel ic)
+      in
+      Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () -> f read)
+
+(* Chunked lexing to a materialized array: the same tokens as
+   [Lexer_engine.tokenize], without ever holding the input bytes. *)
+let tokenize_reader ~tracer config sym read :
+    (Runtime.Token.t array, Runtime.Lexer_engine.error) result =
+  let s = Runtime.Lexer_engine.stream ~tracer config sym read in
+  let chunks = ref [] in
+  let rec go () =
+    match Runtime.Lexer_engine.next_chunk ~max_tokens:4096 s with
+    | Error e -> Error e
+    | Ok [||] -> Ok (Array.concat (List.rev !chunks))
+    | Ok c ->
+        chunks := c :: !chunks;
+        go ()
+  in
+  go ()
+
 let grammar_arg =
   Arg.(
     required
@@ -258,7 +304,7 @@ let parse_cmd =
   (* Single-input mode: the historical behavior (tree printing, tracing,
      lazy re-save). *)
   let run_single grammar input config start show_tree profile_flag verbose
-      recover cache_dir lazy_ trace_file trace_format =
+      recover cache_dir lazy_ max_input_bytes trace_file trace_format =
     let tracer, close_trace = make_tracer trace_file trace_format in
     let quit code =
       close_trace ();
@@ -266,8 +312,13 @@ let parse_cmd =
     in
     let c = compile_grammar ?cache_dir ~tracer ~lazy_ grammar in
     let sym = Llstar.Compiled.sym c in
-    let text = read_file input in
-    match Runtime.Lexer_engine.tokenize ~tracer config sym text with
+    match
+      with_input ?max_bytes:max_input_bytes input
+        (tokenize_reader ~tracer config sym)
+    with
+    | exception Input_too_large { path; limit } ->
+        Fmt.epr "%s: input exceeds --max-input-bytes (%d)@." path limit;
+        quit 1
     | Error e ->
         Fmt.epr "%s: lex error: %a@." input Runtime.Lexer_engine.pp_error e;
         quit 1
@@ -303,6 +354,64 @@ let parse_cmd =
               errors;
             show_profile ();
             quit 1)
+  in
+  (* Streaming mode: the chunked lexer feeds a bounded token window and the
+     interpreter recognizes as tokens arrive, in O(window) live memory.
+     Verdict parity with the materialized path: the whole input is always
+     scanned (drain), and a lex error anywhere wins over the parse verdict,
+     exactly as tokenize-then-parse would have reported it. *)
+  let run_stream grammar input config start profile_flag verbose cache_dir
+      lazy_ window max_input_bytes trace_file trace_format =
+    let tracer, close_trace = make_tracer trace_file trace_format in
+    let quit code =
+      close_trace ();
+      exit code
+    in
+    let c = compile_grammar ?cache_dir ~tracer ~lazy_ grammar in
+    let sym = Llstar.Compiled.sym c in
+    let profile = Runtime.Profile.create () in
+    let show_profile () =
+      if profile_flag then begin
+        Fmt.pr "%a@." Runtime.Profile.pp profile;
+        if verbose then Fmt.pr "%a" Runtime.Profile.pp_decisions profile
+      end
+    in
+    let lex_error e =
+      Fmt.epr "%s: lex error: %a@." input Runtime.Lexer_engine.pp_error e;
+      quit 1
+    in
+    match
+      with_input ?max_bytes:max_input_bytes input (fun read ->
+          let ls = Runtime.Lexer_engine.stream ~tracer config sym read in
+          let ts =
+            Runtime.Token_stream.of_pull ~window
+              (Runtime.Lexer_engine.pull ls)
+          in
+          let verdict =
+            Runtime.Interp.recognize_stream ~profile ~tracer ?start c ts
+          in
+          match Runtime.Lexer_engine.drain ls with
+          | Error e -> Error e
+          | Ok _ -> Ok (verdict, Runtime.Lexer_engine.produced ls))
+    with
+    | exception Input_too_large { path; limit } ->
+        Fmt.epr "%s: input exceeds --max-input-bytes (%d)@." path limit;
+        quit 1
+    | exception Runtime.Lexer_engine.Lex_error e -> lex_error e
+    | Error e -> lex_error e
+    | Ok (Ok (), total) ->
+        Fmt.pr "parsed %d tokens@." total;
+        show_profile ();
+        (match cache_dir with
+        | Some dir when lazy_ -> ignore (Llstar.Compiled_cache.save ~dir c)
+        | _ -> ());
+        close_trace ()
+    | Ok (Error errors, _) ->
+        List.iter
+          (fun e -> Fmt.epr "%a@." (Runtime.Parse_error.pp sym) e)
+          errors;
+        show_profile ();
+        quit 1
   in
   (* Batch mode: many inputs (and/or @manifest expansions), optionally
      sharded across a worker pool. *)
@@ -350,19 +459,38 @@ let parse_cmd =
             if !failed > 0 then exit 1)
   in
   let run grammar inputs config start show_tree profile_flag verbose recover
-      cache_dir lazy_ jobs trace_file trace_format =
+      cache_dir lazy_ jobs trace_file trace_format stream window
+      max_input_bytes =
     let jobs = Exec.Pool.resolve_jobs jobs in
     let is_manifest a = String.length a > 1 && a.[0] = '@' in
-    match inputs with
-    | [ input ] when jobs = 1 && not (is_manifest input) ->
-        run_single grammar input config start show_tree profile_flag verbose
-          recover cache_dir lazy_ trace_file trace_format
-    | [] ->
-        Fmt.epr "error: no input files@.";
-        exit 2
-    | inputs ->
-        run_batch grammar inputs config start profile_flag verbose recover
-          cache_dir lazy_ jobs trace_file
+    let usage msg =
+      Fmt.epr "error: %s@." msg;
+      exit 2
+    in
+    if stream then begin
+      if show_tree then
+        usage "--stream is recognize-only and cannot print a tree (--tree)";
+      if recover then usage "--stream does not support --recover";
+      if window < 1 then usage "--window must be >= 1";
+      match inputs with
+      | [ input ] when jobs = 1 && not (is_manifest input) ->
+          run_stream grammar input config start profile_flag verbose
+            cache_dir lazy_ window max_input_bytes trace_file trace_format
+      | _ ->
+          usage
+            "--stream takes exactly one input file (no manifests, batch \
+             mode or --jobs)"
+    end
+    else
+      match inputs with
+      | [ input ] when jobs = 1 && not (is_manifest input) ->
+          run_single grammar input config start show_tree profile_flag
+            verbose recover cache_dir lazy_ max_input_bytes trace_file
+            trace_format
+      | [] -> usage "no input files"
+      | inputs ->
+          run_batch grammar inputs config start profile_flag verbose recover
+            cache_dir lazy_ jobs trace_file
   in
   let input =
     Arg.(
@@ -387,12 +515,45 @@ let parse_cmd =
           ~doc:"With --profile, also print the per-decision table.")
   in
   let recover = Arg.(value & flag & info [ "recover" ] ~doc:"Recover from syntax errors.") in
+  let stream =
+    Arg.(
+      value & flag
+      & info [ "stream" ]
+          ~doc:
+            "Recognize the input through the streaming pipeline: chunked \
+             lexing feeds a bounded token window, speculation memos are \
+             evicted behind the window, and live memory stays O(window) \
+             regardless of input size.  The verdict, error positions and \
+             profile are identical to the materialized path.  \
+             Recognize-only: incompatible with $(b,--tree), $(b,--recover) \
+             and batch mode.")
+  in
+  let window =
+    Arg.(
+      value & opt int 4096
+      & info [ "window" ] ~docv:"TOKENS"
+          ~doc:
+            "Token-window size for $(b,--stream): the number of recent \
+             tokens kept live.  The window grows only while an active \
+             speculation needs to rewind further back.")
+  in
+  let max_input_bytes =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-input-bytes" ] ~docv:"N"
+          ~doc:
+            "Fail with a clean error once the input file exceeds $(docv) \
+             bytes.  Enforced incrementally as bytes are read, so an \
+             oversized input never occupies memory (works with and \
+             without $(b,--stream)).")
+  in
   Cmd.v
     (Cmd.info "parse" ~doc:"Parse an input file with an LL(*) parser for the grammar.")
     Term.(
       const run $ grammar_arg $ input $ lexer_config_term $ start $ tree
       $ profile $ verbose $ recover $ cache_dir_arg $ lazy_arg $ jobs_arg
-      $ trace_arg $ trace_format_arg)
+      $ trace_arg $ trace_format_arg $ stream $ window $ max_input_bytes)
 
 (* --- gen --------------------------------------------------------------- *)
 
@@ -436,7 +597,7 @@ let gen_cmd =
 
 let fuzz_cmd =
   let run seed runs grammar mutate corpus_dir size profile_flag json_file
-      jobs lazy_ =
+      jobs lazy_ stream_window =
     let jobs = Exec.Pool.resolve_jobs jobs in
     let strategy = if lazy_ then Some Llstar.Compiled.Lazy else None in
     Exec.Pool.with_pool ~jobs @@ fun pool ->
@@ -467,7 +628,7 @@ let fuzz_cmd =
         in
         match
           Fuzz.Driver.run_spec ~size ~mutate ?corpus_dir ?profile ~pool
-            ?strategy ~seed ~runs spec
+            ?strategy ?stream_window ~seed ~runs spec
         with
         | Error e ->
             Fmt.epr "%s: %a@." spec.Bench_grammars.Workload.name
@@ -549,6 +710,17 @@ let fuzz_cmd =
             "Write a machine-readable telemetry document (per-grammar \
              verdict counts, failures and decision profiles) to $(docv).")
   in
+  let stream_window =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "stream-window" ] ~docv:"TOKENS"
+          ~doc:
+            "Also run every input through the streaming LL(*) recognizer \
+             with a $(docv)-sized token window, and flag any disagreement \
+             with the materialized run (verdict, error position, consumed \
+             tokens) as a divergence.")
+  in
   Cmd.v
     (Cmd.info "fuzz"
        ~doc:
@@ -557,7 +729,7 @@ let fuzz_cmd =
           unexplained disagreement, crash or hang is reported and shrunk.")
     Term.(
       const run $ seed $ runs $ grammar $ mutate $ corpus_dir $ size $ profile
-      $ json $ jobs_arg $ lazy_arg)
+      $ json $ jobs_arg $ lazy_arg $ stream_window)
 
 (* --- codegen ----------------------------------------------------------- *)
 

@@ -451,7 +451,10 @@ let emit_node t (r : Ir.rule_ir) (decision_by_id : Ir.decision_ir array)
           line t ~indent:2 "%s st ~prec" (decide_fn decision)
       | Mask bits ->
           let bit = List.assoc decision bits in
-          line t ~indent:2 "let pos = ts.Ts.p in";
+          (* absolute position: a sliding window shifts [p] under the
+             guard's feet, and two distinct positions must never compare
+             equal across a slide *)
+          line t ~indent:2 "let pos = ts.Ts.base + ts.Ts.p in";
           line t ~indent:2 "if pos <> !last_pos then begin";
           line t ~indent:3 "last_pos := pos;";
           line t ~indent:3 "seen := %d;" bit;
@@ -536,13 +539,16 @@ let emit (ir : Ir.t) : string =
   blank t;
   line t "(* Lookahead, inlined over the exposed stream representation: same";
   line t "   semantics as [Ts.la] (high-water touch included), without the";
-  line t "   cross-module call or the synthetic EOF token past the end. *)";
+  line t "   cross-module call or the synthetic EOF token past the end.  The";
+  line t "   fast path reads the filled window; [Ts.la_far] pulls from the";
+  line t "   source in streaming mode (and synthesizes EOF otherwise). *)";
   line t "let[@inline] la (ts : Ts.t) (k : int) : int =";
   line t ~indent:1 "let i = ts.Ts.p + k - 1 in";
-  line t ~indent:1 "if i > ts.Ts.hw then ts.Ts.hw <- i;";
-  line t ~indent:1 "if i < Array.length ts.Ts.toks then";
+  line t ~indent:1 "if i < ts.Ts.limit then begin";
+  line t ~indent:2 "if i > ts.Ts.hw then ts.Ts.hw <- i;";
   line t ~indent:2 "(Array.unsafe_get ts.Ts.toks i).Runtime.Token.ttype";
-  line t ~indent:1 "else 0";
+  line t ~indent:1 "end";
+  line t ~indent:1 "else Ts.la_far ts k";
   blank t;
   line t "let[@inline] record (st : Rt.st) ~decision ~depth ~backtracked";
   line t ~indent:2 "~spec_depth : unit =";
@@ -589,6 +595,10 @@ let emit (ir : Ir.t) : string =
     "let outcome ?env ?profile (toks : Runtime.Token.t array) : Rt.outcome =";
   line t ~indent:1
     "Rt.run_recognizer ?env ?profile ~memoize ~start_rule entry toks";
+  blank t;
+  line t "let outcome_stream ?env ?profile (ts : Ts.t) : Rt.outcome =";
+  line t ~indent:1
+    "Rt.run_recognizer_stream ?env ?profile ~memoize ~start_rule entry ts";
   blank t;
   line t "let recognize ?env ?profile (toks : Runtime.Token.t array) :";
   line t ~indent:2 "(unit, Runtime.Parse_error.t list) result =";

@@ -163,6 +163,10 @@ let to_parser (ir : Ir.t) : (module Rt.PARSER) =
       Rt.run_recognizer ?env ?profile ~memoize:ir.Ir.memoize
         ~start_rule:ir.Ir.start_rule entry toks
 
+    let outcome_stream ?env ?profile ts =
+      Rt.run_recognizer_stream ?env ?profile ~memoize:ir.Ir.memoize
+        ~start_rule:ir.Ir.start_rule entry ts
+
     let recognize ?env ?profile toks =
       Rt.to_result (outcome ?env ?profile toks)
   end : Rt.PARSER)

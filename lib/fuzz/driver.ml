@@ -155,10 +155,10 @@ type shard = {
    the (seed, range) pair -- never on which worker, or how many, executed
    the range. *)
 let run_range ?(size = 30) ?(mutate = true) ?fuel ?time_cap ?corpus_dir
-    ?profile ~(seed : int) (cw : Workload.compiled) (lo, hi) :
+    ?profile ?stream_window ~(seed : int) (cw : Workload.compiled) (lo, hi) :
     (shard, Llstar.Compiled.error) result =
   let spec = cw.Workload.spec in
-  let o = Oracle.create_with ?fuel ?time_cap ?profile cw in
+  let o = Oracle.create_with ?fuel ?time_cap ?profile ?stream_window cw in
       let vocab = Oracle.(o.vocab) in
       let accepted = ref 0 and rejected = ref 0 in
       let mutated = ref 0 and explained = ref 0 in
@@ -242,8 +242,8 @@ let run_range ?(size = 30) ?(mutate = true) ?fuel ?time_cap ?corpus_dir
    eager); lazy fuzzing doubles as a concurrency stress of the shared
    engines' sprout path. *)
 let run_spec ?size ?mutate ?fuel ?time_cap ?corpus_dir ?profile ?pool
-    ?strategy ~(seed : int) ~(runs : int) (spec : Workload.spec) :
-    (report, Llstar.Compiled.error) result =
+    ?strategy ?stream_window ~(seed : int) ~(runs : int)
+    (spec : Workload.spec) : (report, Llstar.Compiled.error) result =
   match Workload.compile_result ?strategy spec with
   | Error e -> Error e
   | Ok cw -> (
@@ -260,7 +260,7 @@ let run_spec ?size ?mutate ?fuel ?time_cap ?corpus_dir ?profile ?pool
                       in
                       let r =
                         run_range ?size ?mutate ?fuel ?time_cap ?corpus_dir
-                          ?profile:sp ~seed cw range
+                          ?profile:sp ?stream_window ~seed cw range
                       in
                       (r, sp)))
                 (Exec.Pool.chunk_ranges ~granularity:4 ~jobs runs)
@@ -276,7 +276,7 @@ let run_spec ?size ?mutate ?fuel ?time_cap ?corpus_dir ?profile ?pool
         | _ ->
             [
               run_range ?size ?mutate ?fuel ?time_cap ?corpus_dir ?profile
-                ~seed cw (0, runs);
+                ?stream_window ~seed cw (0, runs);
             ]
       in
       match

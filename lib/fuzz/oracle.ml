@@ -57,6 +57,9 @@ type outcome = {
   o_codegen : verdict option;
       (* committed generated parser (lib/gen), when one exists for the
          grammar; compared outcome-for-outcome against the interpreter *)
+  o_stream : verdict option;
+      (* streaming LL-star leg (bounded token window), when enabled;
+         compared outcome-for-outcome against the materialized run *)
   o_explained : bool; (* an expected disagreement was normalized away *)
 }
 
@@ -76,6 +79,9 @@ type t = {
   profile : Runtime.Profile.t option;
     (* when set, the LL-star backend's decision profile accumulates across
        every checked input (the fuzz CLI's --profile/--json) *)
+  stream_window : int option;
+    (* when set, every input additionally runs through the streaming
+       LL-star recognizer with this token-window size *)
 }
 
 (* Build an oracle around an already compiled workload; the fuzz driver
@@ -84,7 +90,7 @@ type t = {
    state -- but the LL-star compilation is safely shareable: eager results
    are read-only, lazy engines synchronize internally). *)
 let create_with ?(fuel = 3_000_000) ?(time_cap = 2.0) ?profile
-    (cw : Workload.compiled) : t =
+    ?stream_window (cw : Workload.compiled) : t =
   let spec = cw.Workload.spec in
   let surface = cw.Workload.c.Llstar.Compiled.surface in
   let peg = surface.Grammar.Ast.options.Grammar.Ast.backtrack in
@@ -133,13 +139,14 @@ let create_with ?(fuel = 3_000_000) ?(time_cap = 2.0) ?profile
     fuel;
     time_cap;
     profile;
+    stream_window;
   }
 
-let create ?fuel ?time_cap ?profile (spec : Workload.spec) :
+let create ?fuel ?time_cap ?profile ?stream_window (spec : Workload.spec) :
     (t, Llstar.Compiled.error) result =
   match Workload.compile_result spec with
   | Error e -> Error e
-  | Ok cw -> Ok (create_with ?fuel ?time_cap ?profile cw)
+  | Ok cw -> Ok (create_with ?fuel ?time_cap ?profile ?stream_window cw)
 
 (* Render terminal spellings to a token array against the compiled
    vocabulary, the way corpus construction does: literals carry their raw
@@ -247,6 +254,43 @@ let check (t : t) (names : string list) : outcome * divergence list =
             of_bool got.Runtime.Generated.ok))
       (Gen.Registry.find t.name)
   in
+  (* Streaming differential: the same tokens re-parsed through a bounded
+     window must reproduce the materialized run exactly -- verdict, error
+     position and consumed-token count.  Any mismatch is a retention bug
+     in the window/memo machinery, never an expected disagreement. *)
+  let stream =
+    Option.map
+      (fun window ->
+        guarded t slow "llstar-stream" (fun () ->
+            let pos = ref 0 in
+            let pull () =
+              let n = Array.length toks in
+              if !pos >= n then [||]
+              else begin
+                let len = min (max 1 window) (n - !pos) in
+                let a = Array.sub toks !pos len in
+                pos := !pos + len;
+                a
+              end
+            in
+            let ts = Runtime.Token_stream.of_pull ~window pull in
+            let got =
+              Runtime.Generated.interp_outcome_stream ~env:t.env
+                t.cw.Workload.c ts
+            in
+            let want =
+              Runtime.Generated.interp_outcome ~env:t.env t.cw.Workload.c
+                toks
+            in
+            if not (Runtime.Generated.agree got want) then
+              diverge "stream-mismatch"
+                (Printf.sprintf "streamed=%s materialized=%s (window %d)"
+                   (Runtime.Generated.describe got)
+                   (Runtime.Generated.describe want)
+                   window);
+            of_bool got.Runtime.Generated.ok))
+      t.stream_window
+  in
   (* Recovery probe on rejected inputs: panic-mode resynchronization must
      neither crash nor hang, whatever it is fed. *)
   let recovery =
@@ -271,6 +315,7 @@ let check (t : t) (names : string list) : outcome * divergence list =
   crash "packrat" packrat;
   crash "ll1" ll1;
   crash "codegen" codegen;
+  crash "llstar-stream" stream;
   crash "llstar-recovery" recovery;
   (* fuel guard trips: flagged so blow-ups are visible in CI *)
   let fuel backend = function
@@ -328,6 +373,7 @@ let check (t : t) (names : string list) : outcome * divergence list =
       o_ll1 = ll1;
       o_recovery = recovery;
       o_codegen = codegen;
+      o_stream = stream;
       o_explained = !explained;
     },
     List.rev !divs )

@@ -38,16 +38,16 @@ type st = {
 exception Spec_fail
 (* Internal: a speculative parse failed to match.  Never escapes [speculate]. *)
 
-let make ?(env = Interp.default_env) ?profile ~(memoize : bool)
-    (toks : Token.t array) : st =
-  {
-    ts = Token_stream.of_array toks;
-    env;
-    profile;
-    memo_enabled = memoize;
-    memo = None;
-    speculating = 0;
-  }
+(* [make_of_stream] accepts any stream, including a streaming window
+   ({!Token_stream.of_pull}); emitted parsers handle both through the same
+   inlined fast path (a bounds check against the filled prefix, with an
+   out-of-line [Ts.la_far] continuation that pulls more input). *)
+let make_of_stream ?(env = Interp.default_env) ?profile ~(memoize : bool)
+    (ts : Token_stream.t) : st =
+  { ts; env; profile; memo_enabled = memoize; memo = None; speculating = 0 }
+
+let make ?env ?profile ~(memoize : bool) (toks : Token.t array) : st =
+  make_of_stream ?env ?profile ~memoize (Token_stream.of_array toks)
 
 (* Reset a parser state for the next request's tokens.  The memo table is
    keyed by (rule, precedence, position) only -- NOT by token content -- so
@@ -143,6 +143,7 @@ let speculate st (run : unit -> unit) : bool * int =
   st.speculating <- st.speculating - 1;
   let reach = max 0 (Token_stream.high_water st.ts - start + 1) in
   Token_stream.seek st.ts start;
+  Token_stream.release st.ts start;
   Token_stream.set_high_water st.ts
     (max saved_hw (Token_stream.high_water st.ts));
   (ok, reach)
@@ -180,9 +181,10 @@ let record st ~decision ~depth ~backtracked ~spec_depth : unit =
 
 (* Memo key packing: position in bits 0..29, precedence bound in bits
    30..44, rule id in bits 45..61.  The bounds are far beyond anything a
-   real grammar produces (2^30 tokens, prec < 2^15, 2^17 rules) and an
-   int key keeps the speculation-time lookup allocation-free, unlike the
-   interpreter's tuple keys. *)
+   real grammar produces (2^30 tokens, prec < 2^15, 2^17 rules); an int
+   key keeps the speculation-time lookup allocation-free, and the
+   position in the low bits makes windowed eviction a cheap range test
+   ({!Interp.memo_key} uses the same packing). *)
 let memo_key ~(rule : int) ~(prec : int) ~(pos : int) : int =
   (((rule lsl 15) lor prec) lsl 30) lor pos
 
@@ -191,6 +193,11 @@ let memo_table st : (int, memo_entry) Hashtbl.t =
   | Some tbl -> tbl
   | None ->
       let tbl = Hashtbl.create 256 in
+      (* Windowed eviction: entries behind the stream's release frontier
+         key positions the stream can no longer rewind to, so they can
+         never be hit again -- drop them whenever the window slides. *)
+      if Token_stream.is_streaming st.ts then
+        Token_stream.set_release_hook st.ts (Interp.evict_memo_before tbl);
       st.memo <- Some tbl;
       tbl
 
@@ -308,6 +315,15 @@ let run_recognizer ?(env = Interp.default_env) ?profile ~(memoize : bool)
     =
   run_st (make ~env ?profile ~memoize toks) ~start_rule entry
 
+(* Streaming counterpart: run an emitted parser over a stream (typically a
+   {!Token_stream.of_pull} window fed by the chunked lexer).  [consumed]
+   stays an absolute token index, so outcomes compare [agree]-equal with
+   the materialized path's. *)
+let run_recognizer_stream ?(env = Interp.default_env) ?profile
+    ~(memoize : bool) ~(start_rule : int) (entry : st -> unit)
+    (ts : Token_stream.t) : outcome =
+  run_st (make_of_stream ~env ?profile ~memoize ts) ~start_rule entry
+
 let to_result (o : outcome) : (unit, Parse_error.t list) result =
   match o.error with None -> Ok () | Some e -> Error [ e ]
 
@@ -316,15 +332,20 @@ let to_result (o : outcome) : (unit, Parse_error.t list) result =
    serve layer's slow-request sampling) sees decision/speculation events;
    generated parsers have no tracer hook, so their captures carry lexer
    and handler events only. *)
-let interp_outcome ?env ?profile ?tracer ?start (c : Llstar.Compiled.t)
-    (toks : Token.t array) : outcome =
-  let t = Interp.create ?env ?profile ?tracer c toks in
+let interp_outcome_stream ?env ?profile ?tracer ?start
+    (c : Llstar.Compiled.t) (ts : Token_stream.t) : outcome =
+  let t = Interp.create_from_stream ?env ?profile ?tracer c ts in
   let res = Interp.recognize_run t ?start () in
   let consumed = Token_stream.index t.Interp.ts in
   match res with
   | Ok () -> { ok = true; error = None; consumed }
   | Error (e :: _) -> { ok = false; error = Some e; consumed }
   | Error [] -> { ok = false; error = None; consumed }
+
+let interp_outcome ?env ?profile ?tracer ?start (c : Llstar.Compiled.t)
+    (toks : Token.t array) : outcome =
+  interp_outcome_stream ?env ?profile ?tracer ?start c
+    (Token_stream.of_array toks)
 
 (* Structural agreement: same verdict, same consumed count, and on failure
    the same error kind at the same token index. *)
@@ -361,6 +382,12 @@ module type PARSER = sig
 
   val outcome :
     ?env:Interp.env -> ?profile:Profile.t -> Token.t array -> outcome
+
+  val outcome_stream :
+    ?env:Interp.env -> ?profile:Profile.t -> Token_stream.t -> outcome
+  (** Run over a stream (typically a [Token_stream.of_pull] window fed by
+      the chunked lexer) in O(window) live memory; same observables as
+      {!outcome} on the same token sequence. *)
 
   val recognize :
     ?env:Interp.env ->

@@ -64,13 +64,32 @@ let trace = ref (Sys.getenv_opt "ANTLRKIT_TRACE" <> None)
 
 type memo_entry = Failed | Succeeded of int (* stop index *)
 
+(* Memo key packing, shared with {!Generated}: position in bits 0..29,
+   precedence bound in bits 30..44, rule id in bits 45..61.  An int key
+   keeps speculation-time lookups allocation-free, and -- with the
+   position in the low bits -- makes windowed eviction a cheap range test
+   per entry. *)
+let memo_key ~(rule : int) ~(prec : int) ~(pos : int) : int =
+  (((rule lsl 15) lor prec) lsl 30) lor pos
+
+let memo_pos (key : int) : int = key land 0x3FFFFFFF
+
+(* Windowed memo eviction: entries keyed at positions behind the release
+   frontier can never be hit again (the stream refuses to rewind there),
+   so drop them when the stream's window slides.  Polymorphic in the entry
+   type: {!Generated} uses the same packing with its own entry type. *)
+let evict_memo_before (tbl : (int, 'a) Hashtbl.t) (frontier : int) : unit =
+  Hashtbl.filter_map_inplace
+    (fun key v -> if memo_pos key < frontier then None else Some v)
+    tbl
+
 type t = {
   c : Llstar.Compiled.t;
   env : env;
   ts : Token_stream.t;
   profile : Profile.t option;
   tracer : Obs.Trace.t;
-  memo : (int * int * int, memo_entry) Hashtbl.t option; (* rule, pos, prec *)
+  memo : (int, memo_entry) Hashtbl.t option; (* packed (rule, prec, pos) *)
   mutable speculating : int;
   recover : bool;
   mutable errors : Parse_error.t list;
@@ -146,6 +165,7 @@ let rec eval_synpred t (rule : int) : bool * int =
   t.speculating <- t.speculating - 1;
   let reach = max 0 (Token_stream.high_water t.ts - start + 1) in
   Token_stream.seek t.ts start;
+  Token_stream.release t.ts start;
   Token_stream.set_high_water t.ts (max saved_hw (Token_stream.high_water t.ts));
   if tr_on t then
     emit t
@@ -316,7 +336,8 @@ and parse_rule t (rule : int) ~prec ~building : Tree.t list =
   let ri = a.Atn.rules.(rule) in
   let use_memo = t.speculating > 0 && t.memo <> None in
   let memo_key =
-    if use_memo then (rule, Token_stream.index t.ts, prec) else (0, 0, 0)
+    if use_memo then memo_key ~rule ~prec ~pos:(Token_stream.index t.ts)
+    else 0
   in
   let memo_entry =
     if use_memo then Hashtbl.find_opt (Option.get t.memo) memo_key else None
@@ -570,9 +591,14 @@ let recover_to_follow t rule =
 (* ------------------------------------------------------------------ *)
 (* Entry points *)
 
-let create ?(env = default_env) ?profile ?(tracer = Obs.Trace.null)
+(* [create_from_stream] runs the parser over any stream, including a
+   streaming window ({!Token_stream.of_pull}); in that case the memo table
+   subscribes to the window's release hook so entries behind the frontier
+   are evicted as the window slides -- they can never be hit again, because
+   the stream refuses to rewind past the frontier. *)
+let create_from_stream ?(env = default_env) ?profile ?(tracer = Obs.Trace.null)
     ?(recover = false) ?(max_errors = 25) (c : Llstar.Compiled.t)
-    (toks : Token.t array) : t =
+    (ts : Token_stream.t) : t =
   let memoize = (Llstar.Compiled.options c).Grammar.Ast.memoize in
   (* A cache-loaded compilation arrives with DFA states already
      materialized (statically, or by earlier runs in lazy mode): credit
@@ -584,13 +610,18 @@ let create ?(env = default_env) ?profile ?(tracer = Obs.Trace.null)
           ~n:(Llstar.Compiled.dfa c d).Llstar.Look_dfa.nstates
       done
   | _ -> ());
+  let memo = if memoize then Some (Hashtbl.create 1024) else None in
+  (match memo with
+  | Some tbl when Token_stream.is_streaming ts ->
+      Token_stream.set_release_hook ts (evict_memo_before tbl)
+  | _ -> ());
   {
     c;
     env;
-    ts = Token_stream.of_array toks;
+    ts;
     profile;
     tracer;
-    memo = (if memoize then Some (Hashtbl.create 1024) else None);
+    memo;
     speculating = 0;
     recover;
     errors = [];
@@ -599,6 +630,11 @@ let create ?(env = default_env) ?profile ?(tracer = Obs.Trace.null)
     follow_cache = Hashtbl.create 16;
     ff = None;
   }
+
+let create ?env ?profile ?tracer ?recover ?max_errors (c : Llstar.Compiled.t)
+    (toks : Token.t array) : t =
+  create_from_stream ?env ?profile ?tracer ?recover ?max_errors c
+    (Token_stream.of_array toks)
 
 let start_rule_id t = function
   | Some name -> (
@@ -684,6 +720,15 @@ let recognize_run (t : t) ?start () : (unit, Parse_error.t list) result =
 let recognize ?env ?profile ?tracer ?start (c : Llstar.Compiled.t)
     (toks : Token.t array) : (unit, Parse_error.t list) result =
   let t = create ?env ?profile ?tracer c toks in
+  recognize_run t ?start ()
+
+(* Streaming recognizer: same semantics as {!recognize} over whatever the
+   stream yields, in O(window) live memory.  Exceptions from the stream's
+   pull function (e.g. {!Lexer_engine.Lex_error}) propagate to the
+   caller. *)
+let recognize_stream ?env ?profile ?tracer ?start (c : Llstar.Compiled.t)
+    (ts : Token_stream.t) : (unit, Parse_error.t list) result =
+  let t = create_from_stream ?env ?profile ?tracer c ts in
   recognize_run t ?start ()
 
 (* Number of (rule, position) results currently memoized; the paper's

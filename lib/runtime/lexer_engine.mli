@@ -35,6 +35,60 @@ type error = { msg : string; line : int; col : int }
 
 val pp_error : Format.formatter -> error -> unit
 
+exception Lex_error of error
+(** Raised by {!pull} when the scanner hits a lex error mid-stream. *)
+
+(** {1 Chunked scanning}
+
+    The scanner is incremental: it reads bytes from a pull-based {!reader}
+    through a sliding window and yields tokens in chunks, so unbounded
+    inputs lex in O(window) memory.  Chunked and whole-string scanning are
+    byte-identical: same tokens, indices, positions, trace events and
+    errors. *)
+
+type reader = Bytes.t -> int -> int -> int
+(** [reader buf off len] reads up to [len] bytes into [buf] at [off] and
+    returns the count; 0 means end of input. *)
+
+val reader_of_string : string -> reader
+
+val reader_of_channel : in_channel -> reader
+
+type stream
+(** Incremental scanner state: byte window, position, line/col, token
+    count.  One value per input; not thread-safe. *)
+
+val stream :
+  ?tracer:Obs.Trace.t ->
+  ?buf_chars:int ->
+  config ->
+  Grammar.Sym.t ->
+  reader ->
+  stream
+(** Open an incremental scan of [reader] against a grammar's vocabulary.
+    [buf_chars] (default 64 KiB) sizes the byte window; it grows only when
+    a single token outlives a full window. *)
+
+val next_chunk : ?max_tokens:int -> stream -> (Token.t array, error) result
+(** Scan up to [max_tokens] (default 256) further tokens.  [Ok [||]]
+    means the input is exhausted; after an [Error] the stream stays
+    failed.  Tokens scanned before a mid-chunk failure are withheld, so a
+    failing input yields the same observable outcome as {!tokenize}. *)
+
+val pull : ?chunk_tokens:int -> stream -> unit -> Token.t array
+(** [pull s] is a chunk source compatible with [Token_stream.of_pull];
+    lex failures raise {!Lex_error} at the lookahead call that pulled
+    them. *)
+
+val drain : stream -> (int, error) result
+(** Scan the remaining input without retaining tokens: the count of
+    remaining tokens, or the first lex error.  Lets a streaming driver
+    report the same verdict and token total as the materialized path,
+    which always lexes everything first. *)
+
+val produced : stream -> int
+(** Tokens produced so far (across all chunks). *)
+
 val tokenize :
   ?tracer:Obs.Trace.t ->
   config ->

@@ -1,70 +1,277 @@
 (* Token stream with mark/seek support for speculation.
 
    The LL-star strategy is one-pass and left-to-right (paper section 4), so
-   the stream only ever needs to rewind as far as the most recent mark.  The
+   the stream only ever needs to rewind as far as the oldest live mark.  The
    high-water mark records the furthest token index touched by lookahead or
-   consumption; the profiler uses it to measure speculation depth. *)
+   consumption; the profiler uses it to measure speculation depth.
+
+   Two modes share one representation:
+
+   - *materialized* ([of_array]/[load]): the whole token array is pinned,
+     [base = 0], [limit = Array.length toks], no source.  This is the
+     historical behaviour and what generated parsers inline against.
+   - *streaming* ([of_pull]): [toks] is a sliding window over an unbounded
+     token sequence produced by a pull function.  [base] is the absolute
+     index of [toks.(0)]; [limit] is the filled prefix.  Tokens below the
+     release frontier -- [min (oldest live mark) (cursor) - 1], i.e.
+     everything speculation can no longer rewind to -- are reclaimed when
+     the window needs room.  The frontier is always [base].
+
+   The cursor [p] and high-water [hw] are window-relative (absolute minus
+   [base]); the public API speaks absolute indices.  Keeping [p]/[hw]
+   relative is what lets generated parsers inline lookahead and consume as
+   direct field accesses in both modes. *)
 
 type t = {
-  mutable toks : Token.t array;
-  mutable p : int; (* cursor: next token to consume *)
-  mutable hw : int; (* furthest index examined *)
+  mutable toks : Token.t array; (* window; slots [0, limit) are live *)
+  mutable p : int; (* cursor, window-relative: next token to consume *)
+  mutable hw : int; (* furthest window-relative index examined *)
+  mutable limit : int; (* filled prefix of [toks]; always <= length *)
+  mutable base : int; (* absolute index of [toks.(0)]; 0 if materialized *)
+  mutable src : (unit -> Token.t array) option; (* None: materialized *)
+  mutable eof_seen : bool; (* the source returned its last chunk *)
+  mutable marks : int list; (* live marks (absolute), newest first *)
+  mutable on_release : int -> unit; (* called with the new frontier *)
+  mutable window : int; (* target window capacity (streaming) *)
+  mutable peak : int; (* max tokens resident at once *)
 }
 
+exception Released of { frontier : int; requested : int }
+
+let () =
+  Printexc.register_printer (function
+    | Released { frontier; requested } ->
+        Some
+          (Printf.sprintf
+             "Token_stream.Released { frontier = %d; requested = %d }" frontier
+             requested)
+    | _ -> None)
+
 (* hw = -1: no index has been examined until the first [lt]/[la] call *)
-let of_array toks = { toks; p = 0; hw = -1 }
+let of_array toks =
+  {
+    toks;
+    p = 0;
+    hw = -1;
+    limit = Array.length toks;
+    base = 0;
+    src = None;
+    eof_seen = true;
+    marks = [];
+    on_release = ignore;
+    window = 0;
+    peak = Array.length toks;
+  }
+
+(* A shared filler for vacated window slots, so reclaimed tokens become
+   garbage immediately instead of lingering behind the frontier until the
+   slot is overwritten. *)
+let filler = Token.eof_token ~index:(-1)
+
+let of_pull ?(window = 4096) pull =
+  let window = max 1 window in
+  {
+    toks = Array.make window filler;
+    p = 0;
+    hw = -1;
+    limit = 0;
+    base = 0;
+    src = Some pull;
+    eof_seen = false;
+    marks = [];
+    on_release = ignore;
+    window;
+    peak = 0;
+  }
+
+let is_streaming t = t.src <> None
 
 (* Reset for reuse: rewind the cursor and forget the high-water mark, so a
    long-lived consumer (the serve layer's request loop) can run many
    independent parses through one stream value without one parse's
-   speculation reach or cursor position leaking into the next.  This is
-   the whole state of a stream -- [toks] itself is never mutated -- so
-   [reset] restores exactly the [of_array] post-condition. *)
+   speculation reach or cursor position leaking into the next.  Only
+   meaningful in materialized mode -- a streaming window cannot rewind past
+   its frontier, so [reset] refuses rather than silently corrupting the
+   cursor. *)
 let reset t =
+  if is_streaming t then
+    invalid_arg "Token_stream.reset: cannot rewind a streaming window";
   t.p <- 0;
   t.hw <- -1
 
 (* Replace the token array and reset: the cross-request reuse entry point.
    Swapping the array (rather than allocating a stream per request) keeps
-   the stream identity stable for state that holds a reference to it. *)
+   the stream identity stable for state that holds a reference to it.  Also
+   the escape hatch back to materialized mode for a stream value previously
+   pointed at a source. *)
 let load t toks =
+  t.src <- None;
+  t.eof_seen <- true;
+  t.base <- 0;
+  t.limit <- Array.length toks;
+  t.marks <- [];
+  t.on_release <- ignore;
+  t.window <- 0;
+  t.peak <- Array.length toks;
   t.toks <- toks;
   reset t
 
-let size t = Array.length t.toks
+(* Tokens seen so far: the total count once the source is exhausted, and
+   exactly [Array.length toks] in materialized mode. *)
+let size t = t.base + t.limit
 
-let index t = t.p
+let index t = t.base + t.p
 
 let touch t i = if i > t.hw then t.hw <- i
 
-(* Token at lookahead offset [k] (k >= 1); EOF beyond the end. *)
-let lt t k =
+(* Release frontier: everything below [min (oldest live mark) (cursor) - 1]
+   can never be examined again.  Marks bound speculation rewinds; the
+   cursor bounds committed consumption; the extra retained token keeps
+   [prev] valid. *)
+let frontier_target t =
+  let floor = List.fold_left min (t.base + t.p) t.marks - 1 in
+  max floor t.base
+
+(* Drop released tokens from the front of the window.  All relative
+   coordinates (cursor, high-water, fill limit) shift down together, so
+   absolute positions are preserved; vacated slots are cleared so the GC
+   can reclaim the tokens. *)
+let slide t =
+  let drop = frontier_target t - t.base in
+  if drop > 0 then begin
+    let kept = t.limit - drop in
+    Array.blit t.toks drop t.toks 0 kept;
+    Array.fill t.toks kept drop filler;
+    t.base <- t.base + drop;
+    t.p <- t.p - drop;
+    t.hw <- t.hw - drop;
+    t.limit <- kept;
+    t.on_release t.base
+  end
+
+(* Make room for [n] more tokens: slide first, grow (amortized doubling)
+   only if the live span still does not fit.  The window only outgrows its
+   configured size when speculation genuinely needs a longer reach. *)
+let room t n =
+  if t.limit + n > Array.length t.toks then begin
+    slide t;
+    if t.limit + n > Array.length t.toks then begin
+      let cap = max (2 * Array.length t.toks) (t.limit + n) in
+      let toks = Array.make cap filler in
+      Array.blit t.toks 0 toks 0 t.limit;
+      t.toks <- toks
+    end
+  end
+
+(* Pull one chunk from the source into the window. *)
+let fill_once t =
+  match t.src with
+  | None -> ()
+  | Some pull ->
+      if not t.eof_seen then begin
+        let chunk = pull () in
+        let n = Array.length chunk in
+        if n = 0 then t.eof_seen <- true
+        else begin
+          room t n;
+          Array.blit chunk 0 t.toks t.limit n;
+          t.limit <- t.limit + n;
+          if t.limit > t.peak then t.peak <- t.limit
+        end
+      end
+
+(* Fill until the window covers relative index [i] (or the source ends).
+   Sliding inside [fill_once] may shift [i]; re-deriving it from the
+   absolute target keeps the loop correct. *)
+let fill_to t i =
+  let abs = t.base + i in
+  while t.base + t.limit <= abs && not t.eof_seen do
+    fill_once t
+  done
+
+(* Token at lookahead offset [k] (k >= 1); EOF beyond the end.  The fast
+   path is a bounds check against the filled prefix; [lt_slow] pulls from
+   the source (streaming) or synthesizes EOF (materialized / exhausted). *)
+let lt_slow t k =
+  fill_to t (t.p + k - 1);
   let i = t.p + k - 1 in
   touch t i;
-  if i < Array.length t.toks then t.toks.(i) else Token.eof_token ~index:i
+  if i < t.limit then t.toks.(i) else Token.eof_token ~index:(t.base + i)
+
+let lt t k =
+  let i = t.p + k - 1 in
+  if i < t.limit then begin
+    touch t i;
+    t.toks.(i)
+  end
+  else lt_slow t k
 
 (* Token type at lookahead offset [k]. *)
 let la t k = (lt t k).Token.ttype
+
+(* Out-of-line continuation of the lookahead that generated parsers inline:
+   same contract as [la], reached only when [p + k - 1 >= limit]. *)
+let la_far t k = la t k
 
 let consume t =
   let tok = lt t 1 in
   if not (Token.is_eof tok) then t.p <- t.p + 1;
   tok
 
-(* Clamp to [0, size]: [size] is the legal post-EOF cursor.  Marks always
-   come from [mark]/[index] and are in range, but seek is also reachable
-   from memoized stop positions and recovery logic; an out-of-range cursor
-   silently accepted here surfaced later as [prev] reading outside the
-   array or lookahead running from a negative index. *)
-let seek t i = t.p <- max 0 (min i (Array.length t.toks))
+(* Materialized mode clamps to [0, size] ([size] being the legal post-EOF
+   cursor): marks always come from [mark]/[index] and are in range, but
+   seek is also reachable from memoized stop positions and recovery logic,
+   and an out-of-range cursor silently accepted here surfaced later as
+   [prev] reading outside the array or lookahead running from a negative
+   index.  Streaming mode cannot clamp a below-frontier target -- the
+   tokens are gone, and a clamped rewind would silently corrupt the
+   speculation it was meant to restore -- so it raises {!Released}. *)
+let seek t i =
+  match t.src with
+  | None -> t.p <- max 0 (min i t.limit)
+  | Some _ ->
+      if i < t.base then raise (Released { frontier = t.base; requested = i });
+      t.p <- min (i - t.base) t.limit
 
-let mark t = t.p
+(* Marks pin the window: tokens at or above [oldest mark - 1] survive
+   sliding.  Streaming callers must pair every [mark] with [release]; the
+   debug retention check ([live_marks]) catches forgotten ones. *)
+let mark t =
+  let m = t.base + t.p in
+  if is_streaming t then t.marks <- m :: t.marks;
+  m
 
-let high_water t = t.hw
+let release t m =
+  if is_streaming t then
+    match t.marks with
+    | hd :: tl when hd = m -> t.marks <- tl
+    | marks ->
+        (* out-of-order release: drop the first matching mark *)
+        let rec drop = function
+          | [] -> []
+          | hd :: tl -> if hd = m then tl else hd :: drop tl
+        in
+        t.marks <- drop marks
 
-let set_high_water t v = t.hw <- v
+let live_marks t = t.marks
 
-let at_eof t = t.p >= Array.length t.toks
+let high_water t = t.base + t.hw
 
-(* Most recently consumed token, if any. *)
+let set_high_water t v = t.hw <- v - t.base
+
+let at_eof t =
+  if t.p < t.limit then false
+  else begin
+    fill_to t t.p;
+    t.p >= t.limit
+  end
+
+(* Most recently consumed token, if any.  The slide keeps one token behind
+   the cursor resident, so [p = 0] implies absolute position 0. *)
 let prev t = if t.p > 0 then Some t.toks.(t.p - 1) else None
+
+let set_release_hook t f = t.on_release <- f
+
+let peak_live t = t.peak
+
+let window_size t = t.window

@@ -167,7 +167,7 @@ let parse_work h (entry : Registry.entry) ~(backend : Protocol.backend)
    - [serve.queue_us]{grammar,backend}: waiting for a pool worker;
    - [serve.parse_us]{grammar,backend}: inside the parse closure
      (lex + parse), so request - queue - parse = dispatch overhead. *)
-let record h ~(req_id : string) ~(grammar : string)
+let record h ~(req_id : string) ~(op : string) ~(grammar : string)
     ~(backend : Protocol.backend) ~(ok : bool) ~(tokens : int)
     ~(wall_us : int) ~(queue_us : int) ~(parse_us : int)
     ~(profile : Runtime.Profile.t option) : unit =
@@ -176,12 +176,11 @@ let record h ~(req_id : string) ~(grammar : string)
   Mutex.lock h.m_lock;
   Obs.Metrics.incr
     (Obs.Metrics.counter h.metrics
-       ~labels:
-         [ ("op", "parse"); grammar_l; backend_l; ("ok", string_of_bool ok) ]
+       ~labels:[ ("op", op); grammar_l; backend_l; ("ok", string_of_bool ok) ]
        "serve.requests");
   Obs.Duration.observe
     (Obs.Metrics.duration h.metrics
-       ~labels:[ ("op", "parse"); grammar_l; backend_l ]
+       ~labels:[ ("op", op); grammar_l; backend_l ]
        "serve.request_us")
     wall_us;
   Obs.Duration.observe
@@ -206,7 +205,7 @@ let record h ~(req_id : string) ~(grammar : string)
       (Obs.Trace.Serve_request
          {
            req_id;
-           op = "parse";
+           op;
            grammar;
            backend = Protocol.backend_name backend;
            ok;
@@ -215,73 +214,126 @@ let record h ~(req_id : string) ~(grammar : string)
            queue_us;
          })
 
-let do_parse h (req : Protocol.request) : Obs.Json.t =
+(* The streaming variant of [parse_work]: the request text feeds the
+   chunked scanner, the scanner feeds a bounded token window, and the
+   recognizer pulls as it goes -- O(window) live tokens however large the
+   payload.  The token budget is enforced incrementally: the pull aborts
+   the parse the moment production crosses [max_tokens].  Verdict parity
+   with [parse_work] (which lexes everything up front) requires draining
+   the scanner afterwards, so a lex error or a budget overrun anywhere in
+   the input wins over the parse verdict, with the same total count. *)
+let parse_stream_work h (entry : Registry.entry)
+    ~(backend : Protocol.backend) ~(start : string option) ~(window : int)
+    ~(tracer : Obs.Trace.t) ~(submitted_us : int) (text : string) () :
+    parse_work =
+  let t_start = mono_us () in
+  let queue_us = max 0 (t_start - submitted_us) in
+  let finish verdict = { verdict; queue_us; parse_us = mono_us () - t_start } in
+  let sym = Llstar.Compiled.sym entry.c in
+  let ls =
+    Runtime.Lexer_engine.stream ~tracer entry.lexer_config sym
+      (Runtime.Lexer_engine.reader_of_string text)
+  in
+  let exception Over_budget in
+  let pull =
+    let inner = Runtime.Lexer_engine.pull ls in
+    fun () ->
+      if Runtime.Lexer_engine.produced ls > h.limits.max_tokens then
+        raise Over_budget;
+      inner ()
+  in
+  let ts = Runtime.Token_stream.of_pull ~window pull in
+  let profile = Runtime.Profile.create () in
+  let run =
+    match backend with
+    | Protocol.Interp ->
+        Some
+          (fun () ->
+            Runtime.Generated.interp_outcome_stream ~env:entry.env ~profile
+              ~tracer ?start entry.c ts)
+    | Protocol.Generated -> (
+        match entry.generated with
+        | None -> None
+        | Some (module P) ->
+            Some (fun () -> P.outcome_stream ~env:entry.env ~profile ts))
+  in
+  match run with
+  | None -> finish `No_generated
+  | Some run -> (
+      match run () with
+      | exception Runtime.Lexer_engine.Lex_error le -> finish (`Lex_error le)
+      | exception Over_budget -> (
+          match Runtime.Lexer_engine.drain ls with
+          | Error le -> finish (`Lex_error le)
+          | Ok _ -> finish (`Token_budget (Runtime.Lexer_engine.produced ls)))
+      | o -> (
+          match Runtime.Lexer_engine.drain ls with
+          | Error le -> finish (`Lex_error le)
+          | Ok _ ->
+              let n = Runtime.Lexer_engine.produced ls in
+              if n > h.limits.max_tokens then finish (`Token_budget n)
+              else begin
+                Runtime.Profile.observe_parse_us profile
+                  (mono_us () - t_start);
+                finish
+                  (`Done
+                    ( {
+                        ok = o.Runtime.Generated.ok;
+                        errors = Option.to_list o.Runtime.Generated.error;
+                        consumed = o.Runtime.Generated.consumed;
+                      },
+                      profile,
+                      n ))
+              end))
+
+(* Shared request plumbing and response assembly for parse and
+   parse_stream: validation is the caller's job, everything from the
+   capture ring to the structured response is identical, so the two ops
+   answer byte-identically (modulo the echoed op name). *)
+let respond_parse h (req : Protocol.request) ~(op : string)
+    ~(entry : Registry.entry) ~(gname : string)
+    (work :
+      tracer:Obs.Trace.t -> submitted_us:int -> unit -> parse_work) :
+    Obs.Json.t =
   let id = req.Protocol.id in
   let fail ?(extra = []) code message =
     Protocol.error_response ~id ~code ~message ~extra ()
   in
-  match (req.Protocol.grammar, req.Protocol.text) with
-  | None, _ -> fail "bad_request" "parse requires \"grammar\""
-  | _, None -> fail "bad_request" "parse requires \"text\""
-  | Some gname, Some text -> (
-      match Registry.find h.registry gname with
-      | None ->
-          fail "unknown_grammar"
-            (Printf.sprintf
-               "grammar %S is not loaded (op=list shows what is; op=load \
-                adds one)"
-               gname)
-      | Some entry ->
-          if String.length text > h.limits.max_request_bytes then
-            fail "too_large"
-              (Printf.sprintf "text is %d bytes; limit is %d"
-                 (String.length text) h.limits.max_request_bytes)
-          else if
-            req.Protocol.backend = Protocol.Generated && req.Protocol.recover
-          then
-            fail "bad_request"
-              "error recovery is only supported on the interp backend"
-          else begin
-            let req_id = req_id_of h req in
-            let backend = req.Protocol.backend in
-            (* Per-request capture ring: only materialized when the slow
-               log is armed, so the disabled path stays allocation-free. *)
-            let cap =
-              match h.slow_log with
-              | Some sl -> Some (Obs.Trace.Ring.create (Slow_log.max_events sl))
-              | None -> None
-            in
-            let rtr =
-              match cap with
-              | Some buf -> Obs.Trace.ring buf
-              | None -> Obs.Trace.null
-            in
-            let t0 = Obs.Trace.monotonic_now () in
-            let submitted_us = int_of_float (t0 *. 1e6) in
-            let work =
-              parse_work h entry ~backend ~start:req.Protocol.start
-                ~recover:req.Protocol.recover ~tracer:rtr ~submitted_us text
-            in
-            let { verdict; queue_us; parse_us } =
-              Exec.Pool.await (Exec.Pool.submit h.pool work)
-            in
-            let finish ~(ok : bool) ~(tokens : int)
-                ~(profile : Runtime.Profile.t option) :
-                int * float (* wall_us, wall_s *) =
-              let wall = Obs.Trace.monotonic_now () -. t0 in
-              let wall_us = int_of_float (wall *. 1e6) in
-              record h ~req_id ~grammar:gname ~backend ~ok ~tokens ~wall_us
-                ~queue_us ~parse_us ~profile;
-              (match (h.slow_log, cap) with
-              | Some sl, Some buf when Slow_log.should_retain sl ~wall_us ~ok
-                ->
-                  Slow_log.record sl ~req_id ~op:"parse" ~grammar:gname
-                    ~backend:(Protocol.backend_name backend)
-                    ~ok ~wall_us ~queue_us ~parse_us buf
-              | _ -> ());
-              (wall_us, wall)
-            in
-            match verdict with
+  let req_id = req_id_of h req in
+  let backend = req.Protocol.backend in
+  (* Per-request capture ring: only materialized when the slow
+     log is armed, so the disabled path stays allocation-free. *)
+  let cap =
+    match h.slow_log with
+    | Some sl -> Some (Obs.Trace.Ring.create (Slow_log.max_events sl))
+    | None -> None
+  in
+  let rtr =
+    match cap with
+    | Some buf -> Obs.Trace.ring buf
+    | None -> Obs.Trace.null
+  in
+  let t0 = Obs.Trace.monotonic_now () in
+  let submitted_us = int_of_float (t0 *. 1e6) in
+  let { verdict; queue_us; parse_us } =
+    Exec.Pool.await (Exec.Pool.submit h.pool (work ~tracer:rtr ~submitted_us))
+  in
+  let finish ~(ok : bool) ~(tokens : int)
+      ~(profile : Runtime.Profile.t option) : int * float
+      (* wall_us, wall_s *) =
+    let wall = Obs.Trace.monotonic_now () -. t0 in
+    let wall_us = int_of_float (wall *. 1e6) in
+    record h ~req_id ~op ~grammar:gname ~backend ~ok ~tokens ~wall_us
+      ~queue_us ~parse_us ~profile;
+    (match (h.slow_log, cap) with
+    | Some sl, Some buf when Slow_log.should_retain sl ~wall_us ~ok ->
+        Slow_log.record sl ~req_id ~op ~grammar:gname
+          ~backend:(Protocol.backend_name backend)
+          ~ok ~wall_us ~queue_us ~parse_us buf
+    | _ -> ());
+    (wall_us, wall)
+  in
+  match verdict with
             | `Lex_error le ->
                 let _ = finish ~ok:false ~tokens:0 ~profile:None in
                 fail "lex_error"
@@ -330,7 +382,7 @@ let do_parse h (req : Protocol.request) : Obs.Json.t =
                        h.limits.time_budget_s)
                     ~extra:base
                 else if r.ok then
-                  Protocol.ok_response ~id ~op:"parse"
+                  Protocol.ok_response ~id ~op
                     (base @ [ ("consumed", Obs.Json.int r.consumed) ])
                 else
                   let sym = Llstar.Compiled.sym entry.Registry.c in
@@ -350,7 +402,65 @@ let do_parse h (req : Protocol.request) : Obs.Json.t =
                                  (Runtime.Parse_error.to_json sym)
                                  r.errors) );
                         ])
-          end)
+
+(* Validation shared by parse and parse_stream: both need a loaded
+   grammar and a bounded text payload. *)
+let with_parse_target h (req : Protocol.request)
+    (k : entry:Registry.entry -> gname:string -> text:string -> Obs.Json.t) :
+    Obs.Json.t =
+  let id = req.Protocol.id in
+  let fail code message = Protocol.error_response ~id ~code ~message () in
+  match (req.Protocol.grammar, req.Protocol.text) with
+  | None, _ -> fail "bad_request" (req.Protocol.op ^ " requires \"grammar\"")
+  | _, None -> fail "bad_request" (req.Protocol.op ^ " requires \"text\"")
+  | Some gname, Some text -> (
+      match Registry.find h.registry gname with
+      | None ->
+          fail "unknown_grammar"
+            (Printf.sprintf
+               "grammar %S is not loaded (op=list shows what is; op=load \
+                adds one)"
+               gname)
+      | Some entry ->
+          if String.length text > h.limits.max_request_bytes then
+            fail "too_large"
+              (Printf.sprintf "text is %d bytes; limit is %d"
+                 (String.length text) h.limits.max_request_bytes)
+          else k ~entry ~gname ~text)
+
+let do_parse h (req : Protocol.request) : Obs.Json.t =
+  with_parse_target h req (fun ~entry ~gname ~text ->
+      if req.Protocol.backend = Protocol.Generated && req.Protocol.recover
+      then
+        Protocol.error_response ~id:req.Protocol.id ~code:"bad_request"
+          ~message:"error recovery is only supported on the interp backend"
+          ()
+      else
+        respond_parse h req ~op:"parse" ~entry ~gname
+          (fun ~tracer ~submitted_us ->
+            parse_work h entry ~backend:req.Protocol.backend
+              ~start:req.Protocol.start ~recover:req.Protocol.recover ~tracer
+              ~submitted_us text))
+
+let default_stream_window = 4096
+
+let do_parse_stream h (req : Protocol.request) : Obs.Json.t =
+  with_parse_target h req (fun ~entry ~gname ~text ->
+      let fail message =
+        Protocol.error_response ~id:req.Protocol.id ~code:"bad_request"
+          ~message ()
+      in
+      let window =
+        Option.value req.Protocol.window ~default:default_stream_window
+      in
+      if req.Protocol.recover then
+        fail "parse_stream is recognize-only and does not support recover"
+      else if window < 1 then fail "\"window\" must be >= 1"
+      else
+        respond_parse h req ~op:"parse_stream" ~entry ~gname
+          (fun ~tracer ~submitted_us ->
+            parse_stream_work h entry ~backend:req.Protocol.backend
+              ~start:req.Protocol.start ~window ~tracer ~submitted_us text))
 
 (* ------------------------------------------------------------------ *)
 (* Registry ops *)
@@ -502,6 +612,7 @@ let dispatch h (req : Protocol.request) :
       (Protocol.ok_response ~id ~op:"ping" [ ("pong", Obs.Json.bool true) ],
        `Continue)
   | "parse" -> (do_parse h req, `Continue)
+  | "parse_stream" -> (do_parse_stream h req, `Continue)
   | "load" -> (do_load h req, `Continue)
   | "evict" ->
       ( (match req.Protocol.grammar with
@@ -546,7 +657,7 @@ let dispatch h (req : Protocol.request) :
           ~message:
             (Printf.sprintf
                "unknown op %S \
-                (ping|parse|load|evict|list|stats|metrics|health|ready|shutdown)"
+                (ping|parse|parse_stream|load|evict|list|stats|metrics|health|ready|shutdown)"
                op)
           (),
         `Continue )
@@ -557,8 +668,8 @@ let dispatch h (req : Protocol.request) :
    garbage must not mint metric series. *)
 let known_ops =
   [
-    "ping"; "parse"; "load"; "evict"; "list"; "stats"; "metrics"; "health";
-    "ready"; "shutdown";
+    "ping"; "parse"; "parse_stream"; "load"; "evict"; "list"; "stats";
+    "metrics"; "health"; "ready"; "shutdown";
   ]
 
 (* Every known op is counted and timed; parse additionally records its
@@ -571,7 +682,9 @@ let handle_request h (req : Protocol.request) :
   if known then bump_op h req.Protocol.op;
   let t0 = mono_us () in
   let resp, action = dispatch h req in
-  (if known && req.Protocol.op <> "parse" then begin
+  (if
+     known && req.Protocol.op <> "parse" && req.Protocol.op <> "parse_stream"
+   then begin
      let wall_us = max 0 (mono_us () - t0) in
      Mutex.lock h.m_lock;
      Obs.Duration.observe

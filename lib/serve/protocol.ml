@@ -8,6 +8,7 @@
 
      {"op":"ping"}
      {"op":"parse","grammar":"MiniJava","backend":"interp","text":"..."}
+     {"op":"parse_stream","grammar":"MiniJava","text":"...","window":4096}
      {"op":"load","grammar":"MiniSQL"}            load a builtin grammar
      {"op":"load","grammar":"my","text":"s:A;"}   compile grammar text
      {"op":"evict","grammar":"my"}
@@ -44,6 +45,7 @@ type request = {
   text : string option;
   start : string option; (* start rule override (interp backend only) *)
   recover : bool; (* error recovery: collect all errors (interp only) *)
+  window : int option; (* token-window size (parse_stream only) *)
 }
 
 (* ------------------------------------------------------------------ *)
@@ -80,6 +82,11 @@ let member_bool (k : string) (j : Obs.Json.t) : bool option =
   | Some (Obs.Json.Bool b) -> Some b
   | _ -> None
 
+let member_int (k : string) (j : Obs.Json.t) : int option =
+  match Obs.Json.member k j with
+  | Some (Obs.Json.Int i) -> Some i
+  | _ -> None
+
 let request_of_json (j : Obs.Json.t) : (request, string) result =
   match j with
   | Obs.Json.Obj _ -> (
@@ -105,6 +112,7 @@ let request_of_json (j : Obs.Json.t) : (request, string) result =
                   start = member_str "start" j;
                   recover =
                     Option.value (member_bool "recover" j) ~default:false;
+                  window = member_int "window" j;
                 }))
   | _ -> Error "request must be a JSON object"
 

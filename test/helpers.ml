@@ -66,6 +66,19 @@ let rule_decision c name =
   if !found < 0 then Alcotest.failf "rule %s has no decision" name;
   !found
 
+(* A chunk source over a pinned token array, for driving the streaming
+   window ([Token_stream.of_pull]) against a known materialized input. *)
+let pull_of_array ?(chunk = 4) toks =
+  let pos = ref 0 in
+  fun () ->
+    let n = min chunk (Array.length toks - !pos) in
+    if n <= 0 then [||]
+    else begin
+      let a = Array.sub toks !pos n in
+      pos := !pos + n;
+      a
+    end
+
 let test name f = Alcotest.test_case name `Quick f
 
 let qtest ?(count = 200) name gen prop =

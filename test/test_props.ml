@@ -10,7 +10,10 @@
    - random sentences drawn from the grammar are in its language;
    - on LL(1) grammars the LL-star parser agrees with the table-driven
      LL(1) baseline on arbitrary token strings;
-   - the pretty-printer round-trips. *)
+   - the pretty-printer round-trips;
+   - a streaming sliding-window parse is observably identical to the
+     materialized parse (verdict, error position, profile) at every
+     window size, and chunked lexing equals whole-string lexing. *)
 
 open Helpers
 module Gen = QCheck.Gen
@@ -330,6 +333,126 @@ let props =
             | Error _, Error _ -> true
             | _ -> false)
         | _ -> true);
+    (* The streaming pipeline's contract: a sliding window plus memo
+       eviction behind the release frontier changes memory behaviour only.
+       Verdict, error position, consumed count and the full profile (so
+       decision events, lookahead depths and speculation reach) must match
+       the materialized parse at every window size -- including a window
+       of 1 (maximum sliding) and window == input length (never slides). *)
+    qtest ~count:60 "streaming parse == materialized at any window"
+      (QCheck.pair arb_grammar_and_sentence
+         (QCheck.list_of_size (Gen.int_bound 8) (QCheck.int_bound 4)))
+      (fun ((g, sentence), word) ->
+        let peg =
+          {
+            g with
+            Grammar.Ast.options =
+              {
+                g.Grammar.Ast.options with
+                Grammar.Ast.backtrack = true;
+                Grammar.Ast.memoize = true;
+              };
+          }
+        in
+        match compile_rand peg with
+        | None -> true
+        | Some c ->
+            let agree_on names =
+              let toks = tokens_of_names c names in
+              let pm = Runtime.Profile.create () in
+              let mat = Runtime.Generated.interp_outcome ~profile:pm c toks in
+              let windows = [ 1; 2; 16; max 1 (Array.length toks) ] in
+              List.for_all
+                (fun window ->
+                  let ps = Runtime.Profile.create () in
+                  let ts =
+                    Runtime.Token_stream.of_pull ~window
+                      (pull_of_array ~chunk:3 toks)
+                  in
+                  let str =
+                    Runtime.Generated.interp_outcome_stream ~profile:ps c ts
+                  in
+                  QCheck.(
+                    if not (Runtime.Generated.agree mat str) then
+                      Test.fail_reportf "window %d: %s vs %s on %s" window
+                        (Runtime.Generated.describe mat)
+                        (Runtime.Generated.describe str)
+                        (String.concat " " names)
+                    else if
+                      Fmt.str "%a" Runtime.Profile.pp pm
+                      <> Fmt.str "%a" Runtime.Profile.pp ps
+                    then
+                      Test.fail_reportf "window %d: profiles differ on %s"
+                        window
+                        (String.concat " " names)
+                    else true))
+                windows
+            in
+            let on_sentence =
+              match sentence with None -> true | Some s -> agree_on s
+            in
+            on_sentence && agree_on (List.map (fun i -> terminals.(i)) word));
   ]
 
-let suite = [ ("properties", props) ]
+(* ------------------------------------------------------------------ *)
+(* Chunked lexing: the incremental scanner must be observably identical
+   to the whole-string path -- same tokens (type, text, position, index)
+   or the same first error -- at any chunk granularity. *)
+
+let lex_vocab =
+  lazy
+    (Llstar.Compiled.sym
+       (compile "grammar L; s : ID INT ';' '+' '==' '(' ')' ;"))
+
+let lexemes =
+  [| "x"; "abc_1"; "42"; "007"; ";"; "+"; "=="; "("; ")"; "// c"; "/* b */"; "$" |]
+
+let lex_props =
+  [
+    qtest ~count:200 "chunked lexing == whole-string lexing"
+      (QCheck.pair
+         (QCheck.list_of_size (Gen.int_bound 30)
+            (QCheck.int_bound (Array.length lexemes - 1)))
+         (QCheck.int_range 1 5))
+      (fun (picks, max_tokens) ->
+        let sym = Lazy.force lex_vocab in
+        let config = Runtime.Lexer_engine.default_config in
+        let text =
+          String.concat ""
+            (List.mapi
+               (fun i p ->
+                 lexemes.(p) ^ if i mod 3 = 0 then "\n" else " ")
+               picks)
+        in
+        let whole = Runtime.Lexer_engine.tokenize config sym text in
+        let ls =
+          Runtime.Lexer_engine.stream ~buf_chars:16 config sym
+            (Runtime.Lexer_engine.reader_of_string text)
+        in
+        let rec collect acc =
+          match Runtime.Lexer_engine.next_chunk ~max_tokens ls with
+          | Error e -> Error e
+          | Ok [||] -> Ok (Array.concat (List.rev acc))
+          | Ok chunk -> collect (chunk :: acc)
+        in
+        let chunked = collect [] in
+        QCheck.(
+          match (whole, chunked) with
+          | Ok a, Ok b ->
+              if a <> b then
+                Test.fail_reportf "token arrays differ on %S" text
+              else true
+          | Error a, Error b ->
+              if a <> b then
+                Test.fail_reportf "errors differ on %S: %s vs %s" text
+                  a.Runtime.Lexer_engine.msg b.Runtime.Lexer_engine.msg
+              else true
+          | Ok _, Error e ->
+              Test.fail_reportf "chunked failed, whole succeeded on %S: %s"
+                text e.Runtime.Lexer_engine.msg
+          | Error e, Ok _ ->
+              Test.fail_reportf "whole failed, chunked succeeded on %S: %s"
+                text e.Runtime.Lexer_engine.msg))
+  ]
+
+let suite = [ ("properties", props); ("lexing-properties", lex_props) ]

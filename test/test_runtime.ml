@@ -62,6 +62,110 @@ let stream_tests =
   ]
 
 (* ------------------------------------------------------------------ *)
+(* Streaming windows: retention protocol, Released, leak detection *)
+
+module Ts = Runtime.Token_stream
+
+let streaming_tests =
+  [
+    test "sliding window sees the same tokens as the array" (fun () ->
+        let toks = mk_tokens 50 in
+        let ts = Ts.of_pull ~window:4 (pull_of_array ~chunk:4 toks) in
+        check bool "streaming" true (Ts.is_streaming ts);
+        for i = 0 to 49 do
+          check int (Printf.sprintf "la at %d" i) (i + 2) (Ts.la ts 1);
+          let tok = Ts.consume ts in
+          check int "index round-trips" i tok.Runtime.Token.index
+        done;
+        check bool "at eof" true (Ts.at_eof ts);
+        check int "size = total pulled" 50 (Ts.size ts);
+        check int "la past end is EOF" Grammar.Sym.eof (Ts.la ts 1);
+        (* no marks: the window never needed to out-grow a doubling *)
+        check bool "peak bounded by O(window)" true (Ts.peak_live ts <= 8));
+    test "seek below the frontier raises Released" (fun () ->
+        let ts = Ts.of_pull ~window:2 (pull_of_array ~chunk:2 (mk_tokens 32)) in
+        for _ = 1 to 20 do
+          ignore (Ts.consume ts)
+        done;
+        (* force a slide so the frontier moves past 0 *)
+        ignore (Ts.la ts 2);
+        match Ts.seek ts 0 with
+        | () -> Alcotest.fail "seek below frontier must not clamp"
+        | exception Ts.Released { frontier; requested } ->
+            check int "requested" 0 requested;
+            check bool "frontier advanced" true (frontier > 0);
+            (* forward seeks within the window still work *)
+            Ts.seek ts frontier;
+            check int "cursor at frontier" frontier (Ts.index ts));
+    test "a mark pins the window; release lets it slide" (fun () ->
+        let toks = mk_tokens 256 in
+        let ts = Ts.of_pull ~window:2 (pull_of_array ~chunk:2 toks) in
+        let m = Ts.mark ts in
+        for _ = 1 to 40 do
+          ignore (Ts.consume ts)
+        done;
+        (* the mark holds: rewinding to it is still legal *)
+        Ts.seek ts m;
+        check int "rewound to mark" 0 (Ts.index ts);
+        check int "la after rewind" 2 (Ts.la ts 1);
+        check bool "window grew to span the speculation" true
+          (Ts.peak_live ts >= 40);
+        Ts.release ts m;
+        check bool "no live marks" true (Ts.live_marks ts = []);
+        while not (Ts.at_eof ts) do
+          ignore (Ts.consume ts)
+        done;
+        (* released: the old position is gone again *)
+        match Ts.seek ts 0 with
+        | () -> Alcotest.fail "released region must not be reachable"
+        | exception Ts.Released _ -> ());
+    test "a forgotten mark shows up in the retention check" (fun () ->
+        let ts = Ts.of_pull ~window:2 (pull_of_array (mk_tokens 32)) in
+        ignore (Ts.consume ts);
+        let m = Ts.mark ts in
+        while not (Ts.at_eof ts) do
+          ignore (Ts.consume ts)
+        done;
+        (* the leak: [m] was never released, so the window stayed pinned *)
+        check bool "leak detected" true (Ts.live_marks ts = [ m ]);
+        check bool "pinned window retained the whole tail" true
+          (Ts.peak_live ts >= 30));
+    test "release hook reports the advancing frontier" (fun () ->
+        let ts = Ts.of_pull ~window:2 (pull_of_array ~chunk:2 (mk_tokens 32)) in
+        let frontiers = ref [] in
+        Ts.set_release_hook ts (fun f -> frontiers := f :: !frontiers);
+        while not (Ts.at_eof ts) do
+          ignore (Ts.consume ts)
+        done;
+        let fs = List.rev !frontiers in
+        check bool "hook fired" true (fs <> []);
+        check bool "frontiers strictly increase" true
+          (List.for_all2
+             (fun a b -> a < b)
+             (List.filteri (fun i _ -> i < List.length fs - 1) fs)
+             (List.tl fs)));
+    test "streaming parse at window 1 agrees with materialized" (fun () ->
+        let c =
+          compile
+            "grammar T; options { backtrack=true; memoize=true; } s : e ';' ; \
+             e : ID '(' e ')' | ID '(' e ']' | ID ;"
+        in
+        List.iter
+          (fun input ->
+            let toks = lex c input in
+            let mat = Runtime.Generated.interp_outcome c toks in
+            let ts = Ts.of_pull ~window:1 (pull_of_array ~chunk:1 toks) in
+            let str = Runtime.Generated.interp_outcome_stream c ts in
+            check bool
+              (Printf.sprintf "%S: %s vs %s" input
+                 (Runtime.Generated.describe mat)
+                 (Runtime.Generated.describe str))
+              true
+              (Runtime.Generated.agree mat str))
+          [ "x ;"; "a ( b ) ;"; "a ( b ( c ) ) ;"; "a ( b ( c ] ] ;" ]);
+  ]
+
+(* ------------------------------------------------------------------ *)
 (* Lexer engine *)
 
 let lex_engine_tests =
@@ -390,6 +494,7 @@ let memo_tests =
 let suite =
   [
     ("token-stream", stream_tests);
+    ("streaming-window", streaming_tests);
     ("lexer-engine", lex_engine_tests);
     ("trees-errors", tree_tests);
     ("actions-speculation", action_tests);
